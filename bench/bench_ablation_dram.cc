@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: memory-model fidelity in the full-CMP configuration.
+ * Table 1 models memory as a flat 77-cycle latency; real DRAM has
+ * banks and row buffers, so co-runners close each other's rows and
+ * queue on banks. This bench reruns the Section 3.1-style full-CMP
+ * measurements with banked DRAM to show how much the flat-latency
+ * simplification hides, and that it does not change who wins.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hh"
+#include "fullsim/cmp_system.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gpm;
+    double scale = 0.02;
+    if (const char *s = std::getenv("GPM_VALIDATION_SCALE"))
+        scale = std::atof(s);
+
+    bench::banner("Ablation — flat memory vs banked open-row DRAM "
+                  "(full-CMP)",
+                  "All-Turbo runs; row-buffer behaviour and bank "
+                  "queueing vs the Table 1 flat 77 ns.");
+
+    DvfsTable dvfs = DvfsTable::classic3();
+    Table t({"Combination", "flat BIPS", "DRAM BIPS", "delta",
+             "row-hit rate", "bank+bus q [ns]"});
+    for (const char *key : {"2way2", "2way4", "4way1", "4way3"}) {
+        const auto &combo = combination(key);
+        FullSimConfig flat;
+        flat.lengthScale = scale;
+        FullSimConfig banked = flat;
+        banked.useDram = true;
+
+        CmpSystem a(combo, dvfs, flat);
+        CmpSystem b(combo, dvfs, banked);
+        auto ra = a.runStatic(
+            std::vector<PowerMode>(combo.size(), modes::Turbo));
+        auto rb = b.runStatic(
+            std::vector<PowerMode>(combo.size(), modes::Turbo));
+        t.addRow({key, Table::num(ra.chipBips(), 3),
+                  Table::num(rb.chipBips(), 3),
+                  Table::pct(rb.chipBips() / ra.chipBips() - 1.0),
+                  Table::pct(b.sharedL2().dram()->rowHitRate()),
+                  Table::num(rb.avgBusQueueNs, 1)});
+    }
+    t.print();
+    bench::maybeCsv("ablation_dram", t);
+
+    std::printf("\nExpected shape: compute-bound mixes barely "
+                "notice; memory-bound mixes slow several percent "
+                "more than under flat memory (random pointer "
+                "chases mostly miss row buffers at 95 ns vs 77 ns "
+                "flat, and hot banks queue), while streaming "
+                "workloads claw some back through row-buffer "
+                "hits.\n");
+    return 0;
+}

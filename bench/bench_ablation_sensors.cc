@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: controller robustness to sensor error. The global
+ * manager's budget guarantee rests on per-core current sensors
+ * (Section 2 cites the Foxton controller); real sensors carry a few
+ * percent of error. This bench sweeps the relative sensor noise and
+ * reports how MaxBIPS's budget adherence and performance degrade —
+ * quantifying how much sensor quality the architecture needs.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gpm;
+    bench::Env env;
+    auto combo = combination("4way1");
+
+    bench::banner("Ablation — sensor-noise robustness",
+                  "MaxBIPS @ 80% budget on (ammp, mcf, crafty, "
+                  "art) with noisy local power/BIPS monitors.");
+
+    Table t({"Sensor noise (1-sigma)", "Perf degradation",
+             "Power/budget", "Overshoot intervals",
+             "Mode switches"});
+    for (double noise : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+        SimConfig cfg;
+        cfg.sensorNoise = noise;
+        ExperimentRunner runner(env.lib, env.dvfs, cfg);
+        auto ev = runner.evaluate(combo, "MaxBIPS", 0.8);
+        t.addRow({Table::pct(noise, 0),
+                  Table::pct(ev.metrics.perfDegradation),
+                  Table::pct(ev.metrics.powerOverBudget),
+                  std::to_string(ev.managerStats.overshoots),
+                  std::to_string(ev.managerStats.modeSwitches)});
+    }
+    t.print();
+
+    std::printf("\nExpected shape: a few percent of sensor noise "
+                "mainly causes spurious mode switches and "
+                "occasional overshoots (corrected next interval); "
+                "budget adherence erodes gracefully, which is why "
+                "the paper's design tolerates realistic sensors.\n");
+    return 0;
+}

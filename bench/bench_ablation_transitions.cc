@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation (paper Section 5.1): transition-overhead assumptions.
+ * The paper conservatively stalls every core for the longest
+ * per-core transition; some implementations can execute through
+ * transitions. This bench quantifies what the conservative choice
+ * costs by comparing stall vs execute-through runs, and how a slower
+ * voltage regulator (2 mV/us instead of 10 mV/us: 5x longer
+ * transitions) changes MaxBIPS behaviour — including how the policy
+ * naturally switches less when switching is dearer.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "sim/cmp_sim.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gpm;
+    bench::Env env;
+    auto combo = combination("4way1");
+
+    bench::banner("Ablation — DVFS transition handling",
+                  "MaxBIPS on (ammp, mcf, crafty, art) under "
+                  "different transition assumptions, budgets 70% "
+                  "and 85%.");
+
+    struct Scenario
+    {
+        const char *name;
+        bool stall;
+        double slew; // V/s
+    };
+    Scenario scenarios[] = {
+        {"stall, 10 mV/us (paper)", true, 10e-3 * 1e6},
+        {"execute-through, 10 mV/us", false, 10e-3 * 1e6},
+        {"stall, 2 mV/us (slow VRM)", true, 2e-3 * 1e6},
+    };
+
+    Table t({"Scenario", "Budget", "Perf degradation",
+             "Mode switches", "Power/budget"});
+    for (const auto &sc : scenarios) {
+        // Same operating points, different slew -> same profiles.
+        DvfsTable dvfs({{"Turbo", 1.00, 1.00},
+                        {"Eff1", 0.95, 0.95},
+                        {"Eff2", 0.85, 0.85}},
+                       1.300, 1.0e9, sc.slew);
+        SimConfig cfg;
+        cfg.stallDuringTransitions = sc.stall;
+        ExperimentRunner runner(env.lib, dvfs, cfg);
+        for (double b : {0.70, 0.85}) {
+            auto ev = runner.evaluate(combo, "MaxBIPS", b);
+            t.addRow({sc.name, Table::pct(b, 0),
+                      Table::pct(ev.metrics.perfDegradation),
+                      std::to_string(
+                          ev.managerStats.modeSwitches),
+                      Table::pct(ev.metrics.powerOverBudget)});
+        }
+    }
+    t.print();
+
+    std::printf("\nExpected shape: execute-through recovers a "
+                "fraction of a percent (transitions are 1-4%% of "
+                "an explore interval); a 5x slower regulator makes "
+                "transitions 32-98 us — the predictor's transition "
+                "discount then suppresses marginal switches and "
+                "degradation rises only mildly.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation (paper Section 4): sensitivity to the voltage-frequency
+ * scaling assumption. The paper's linear V-f scaling is optimistic
+ * for emerging low-Vdd generations where voltage has less headroom;
+ * with sub-linear voltage scaling, per-mode power savings shrink
+ * (Eff2 saves ~27% instead of ~39%), the all-Eff2 power floor rises,
+ * and low budgets become unreachable — quantifying how much of the
+ * paper's benefit depends on the cubic-power assumption.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gpm;
+    double scale = 0.1;
+    if (const char *s = std::getenv("GPM_ABLATION_SCALE"))
+        scale = std::atof(s);
+
+    bench::banner("Ablation — voltage-scaling assumption",
+                  "MaxBIPS under linear (paper) vs sub-linear "
+                  "voltage scaling, (ammp, mcf, crafty, art).");
+
+    auto combo = combination("4way1");
+    struct Scenario
+    {
+        const char *name;
+        DvfsTable dvfs;
+        const char *cache;
+    };
+    Scenario scenarios[] = {
+        {"linear V-f (paper)", DvfsTable::classic3(),
+         "gpm_profiles_vlin_s%g.bin"},
+        {"sub-linear voltage", DvfsTable::subLinearVoltage(),
+         "gpm_profiles_vsub_s%g.bin"},
+    };
+
+    for (auto &sc : scenarios) {
+        std::printf("-- %s (Eff2 ideal savings %.1f%%)\n", sc.name,
+                    (1.0 -
+                     sc.dvfs.powerScale(modes::Eff2)) *
+                        100.0);
+        ProfileLibrary lib(sc.dvfs, scale);
+        char path[128];
+        std::snprintf(path, sizeof(path), sc.cache, scale);
+        lib.loadOrBuild(path);
+        ExperimentRunner runner(lib, sc.dvfs);
+
+        Table t({"Budget", "Perf degradation", "Power/budget",
+                 "Power savings"});
+        for (double b : bench::standardBudgets()) {
+            auto ev = runner.evaluate(combo, "MaxBIPS", b);
+            t.addRow({Table::pct(b, 1),
+                      Table::pct(ev.metrics.perfDegradation),
+                      Table::pct(ev.metrics.powerOverBudget),
+                      Table::pct(ev.metrics.powerSavings)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    std::printf("Expected shape: with sub-linear voltage the same "
+                "frequency cut buys less power, so the budget "
+                "floor rises (~73%% vs ~62%%) and low budgets show "
+                "power/budget > 100%% — the DVFS knob loses "
+                "leverage exactly as the paper's 'optimistic "
+                "bound' caveat warns.\n");
+    return 0;
+}

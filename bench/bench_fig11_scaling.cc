@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: average performance degradation of
+ * MaxBIPS, optimistic static, and chip-wide DVFS *over the oracle*,
+ * as a function of CMP scale (1, 2, 4, 8 cores), averaged over the
+ * budget range and the experimented combinations.
+ *
+ * Expected trends: MaxBIPS converges to the oracle with more cores;
+ * static saturates ~2% above; chip-wide grows monotonically.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gpm;
+    bench::Env env;
+    auto runner = env.runner();
+    auto budgets = bench::standardBudgets();
+
+    bench::banner("Figure 11 — policy trends under CMP scaling",
+                  "Mean degradation over the oracle, averaged over "
+                  "budgets and combinations per scale.");
+
+    // Scale -> combinations. The 1-core "combinations" are the 12
+    // individual benchmarks (MaxBIPS == chip-wide there).
+    std::map<int, std::vector<std::vector<std::string>>> combos;
+    for (const auto &w : spec2000Suite())
+        combos[1].push_back({w.name});
+    for (const auto &[key, combo] : benchmarkCombinations())
+        combos[static_cast<int>(combo.size())].push_back(combo);
+
+    Table t({"Cores", "MaxBIPS", "Static", "ChipWideDVFS"});
+    for (auto &[cores, sets] : combos) {
+        RunningStat mb, st, cw;
+        for (const auto &combo : sets) {
+            for (double b : budgets) {
+                double oracle =
+                    runner.evaluate(combo, "Oracle", b)
+                        .metrics.perfDegradation;
+                mb.add(runner.evaluate(combo, "MaxBIPS", b)
+                           .metrics.perfDegradation -
+                       oracle);
+                st.add(runner.evaluateStatic(combo, b)
+                           .metrics.perfDegradation -
+                       oracle);
+                cw.add(runner.evaluate(combo, "ChipWideDVFS", b)
+                           .metrics.perfDegradation -
+                       oracle);
+            }
+        }
+        t.addRow({std::to_string(cores), Table::pct(mb.mean()),
+                  Table::pct(st.mean()), Table::pct(cw.mean())});
+    }
+    t.print();
+    bench::maybeCsv("fig11_scaling_trends", t);
+
+    std::printf("\nExpected shape (paper): MaxBIPS -> 0 with more "
+                "cores; static saturates ~2%% above the oracle; "
+                "chip-wide grows with core count.\n");
+    return 0;
+}

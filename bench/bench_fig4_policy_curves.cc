@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: policy curves (performance degradation
+ * vs budget), budget curves (power consumed vs budget), and weighted
+ * slowdowns for Priority, PullHiPushLo, MaxBIPS and chip-wide DVFS
+ * on the (ammp, mcf, crafty, art) 4-way combination.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gpm;
+    bench::Env env;
+    auto runner = env.runner();
+    auto combo = combination("4way1");
+    auto budgets = bench::standardBudgets();
+    const std::vector<std::string> policies{
+        "PullHiPushLo", "Priority", "MaxBIPS", "ChipWideDVFS"};
+
+    bench::banner("Figure 4 — policy / budget / weighted-slowdown "
+                  "curves",
+                  "(ammp, mcf, crafty, art), budgets as % of the "
+                  "all-Turbo chip power.");
+
+    std::vector<std::vector<PolicyEval>> evals;
+    for (const auto &p : policies)
+        evals.push_back(runner.curve(combo, p, budgets));
+
+    auto header = [&]() {
+        std::vector<std::string> h{"Budget"};
+        for (const auto &p : policies)
+            h.push_back(p);
+        return h;
+    };
+
+    std::printf("(a) Policy curves: performance degradation\n");
+    Table ta(header());
+    for (std::size_t b = 0; b < budgets.size(); b++) {
+        std::vector<std::string> row{Table::pct(budgets[b], 1)};
+        for (std::size_t p = 0; p < policies.size(); p++)
+            row.push_back(
+                Table::pct(evals[p][b].metrics.perfDegradation));
+        ta.addRow(row);
+    }
+    ta.print();
+    bench::maybeCsv("fig4a_policy_curves", ta);
+
+    std::printf("\n(b) Budget curves: consumed power / target "
+                "budget\n");
+    Table tb(header());
+    for (std::size_t b = 0; b < budgets.size(); b++) {
+        std::vector<std::string> row{Table::pct(budgets[b], 1)};
+        for (std::size_t p = 0; p < policies.size(); p++)
+            row.push_back(
+                Table::pct(evals[p][b].metrics.powerOverBudget));
+        tb.addRow(row);
+    }
+    tb.print();
+    bench::maybeCsv("fig4b_budget_curves", tb);
+
+    std::printf("\n(c) Weighted slowdowns (harmonic mean of thread "
+                "speedups)\n");
+    Table tc(header());
+    for (std::size_t b = 0; b < budgets.size(); b++) {
+        std::vector<std::string> row{Table::pct(budgets[b], 1)};
+        for (std::size_t p = 0; p < policies.size(); p++)
+            row.push_back(
+                Table::pct(evals[p][b].metrics.weightedSlowdown));
+        tc.addRow(row);
+    }
+    tc.print();
+    bench::maybeCsv("fig4c_weighted_slowdowns", tc);
+
+    std::printf("\nExpected shape (paper): MaxBIPS lowest "
+                "degradation at every budget; chip-wide DVFS worst "
+                "and leaves power slack (budget curve steps); all "
+                "per-core policies sit near 100%% of budget.\n");
+    return 0;
+}

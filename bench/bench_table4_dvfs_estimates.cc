@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Tables 3 and 4: the power-mode design targets and
+ * the analytic DVFS power/performance estimates (cubic power, linear
+ * performance upper bound) for Turbo / Eff1 / Eff2.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "power/dvfs.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gpm;
+    bench::banner("Table 3/4 — DVFS mode estimates",
+                  "Analytic power savings (1 - s^3) and performance "
+                  "degradation upper bound (1 - s) per mode, vs the "
+                  "paper's 3:1 design target.");
+
+    auto dvfs = DvfsTable::classic3();
+    Table t({"Mode", "Vdd [V]", "f [GHz]", "Power savings",
+             "Perf degradation (bound)", "Ratio"});
+    for (std::size_t mi = 0; mi < dvfs.numModes(); mi++) {
+        auto m = static_cast<PowerMode>(mi);
+        double save = 1.0 - dvfs.powerScale(m);
+        double degr = 1.0 - dvfs.perfScale(m);
+        t.addRow({dvfs.point(m).name, Table::num(dvfs.voltage(m), 3),
+                  Table::num(dvfs.frequency(m) / 1e9, 2),
+                  Table::pct(save), Table::pct(degr),
+                  degr > 0.0 ? Table::num(save / degr, 2) + ":1"
+                             : "-"});
+    }
+    t.addRow({"(target)", "", "", "3X", "1X", "3:1"});
+    t.print();
+
+    std::printf("\nPaper Table 4 reference: Eff1 ~14.3%% / 5%%, "
+                "Eff2 ~38.6%% / 15%%.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces paper Table 5: DVFS transition overheads for the three
+ * mode transitions at a 10 mV/us regulator slew rate, plus the BIPS
+ * transition-discount factors of Section 5.5.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/mode_predictor.hh"
+#include "power/dvfs.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gpm;
+    bench::banner("Table 5 — DVFS transition overheads",
+                  "Voltage deltas and transition times at 10 mV/us; "
+                  "explore interval 500 us.");
+
+    auto dvfs = DvfsTable::classic3();
+    ModePredictor pred(dvfs, 500.0);
+
+    Table t({"Transition", "dV [mV]", "t [us]",
+             "Overhead vs 500us", "BIPS scale factor"});
+    auto row = [&](PowerMode a, PowerMode b) {
+        double dv =
+            (dvfs.voltage(a) - dvfs.voltage(b)) * 1000.0;
+        double us = dvfs.transitionUs(a, b);
+        t.addRow({dvfs.point(a).name + std::string(" <-> ") +
+                      dvfs.point(b).name,
+                  Table::num(dv < 0 ? -dv : dv, 0),
+                  Table::num(us, 1), Table::pct(us / 500.0),
+                  "500/" + Table::num(500.0 + us, 1)});
+    };
+    row(modes::Turbo, modes::Eff1);
+    row(modes::Eff1, modes::Eff2);
+    row(modes::Turbo, modes::Eff2);
+    t.print();
+
+    std::printf("\nPaper Table 5 reference: 65 mV/6.5 us, "
+                "130 mV/13 us, 195 mV/19.5 us "
+                "(scale factors ~500/507, 500/513, 500/520).\n");
+    return 0;
+}

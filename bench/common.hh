@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared environment for the per-figure benchmark harnesses.
+ *
+ * Every bench binary reproduces one table or figure of the paper
+ * (see EXPERIMENTS.md for the index). They share a disk-cached
+ * ProfileLibrary so the expensive detailed-core profiling runs once;
+ * the cache file defaults to ./gpm_profiles.bin and can be moved
+ * with GPM_PROFILE_CACHE. GPM_SCALE (default 1.0) scales workload
+ * lengths for quick runs.
+ */
+
+#ifndef GPM_BENCH_COMMON_HH
+#define GPM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.hh"
+#include "trace/phase_profile.hh"
+#include "trace/workload.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace gpm::bench
+{
+
+/** Workload length scale from GPM_SCALE (default 1.0). */
+inline double
+scaleFromEnv()
+{
+    const char *s = std::getenv("GPM_SCALE");
+    if (!s)
+        return 1.0;
+    double v = std::atof(s);
+    return v > 0.0 ? v : 1.0;
+}
+
+/** Profile-cache path from GPM_PROFILE_CACHE. */
+inline std::string
+cachePathFromEnv()
+{
+    const char *s = std::getenv("GPM_PROFILE_CACHE");
+    return s ? s : "gpm_profiles.bin";
+}
+
+/** Owns the DVFS table and the shared, disk-cached profiles. */
+class Env
+{
+  public:
+    Env()
+        : dvfs(DvfsTable::classic3()), scale(scaleFromEnv()),
+          lib(dvfs, scale)
+    {
+        if (scale != 1.0) {
+            // Scaled runs get their own cache file.
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), ".s%g", scale);
+            lib.loadOrBuild(cachePathFromEnv() + buf);
+        } else {
+            lib.loadOrBuild(cachePathFromEnv());
+        }
+    }
+
+    /** An experiment runner over the shared library. */
+    ExperimentRunner
+    runner(SimConfig cfg = SimConfig{})
+    {
+        return ExperimentRunner(lib, dvfs, cfg);
+    }
+
+    DvfsTable dvfs;
+    double scale;
+    ProfileLibrary lib;
+};
+
+/** The budget sweep used throughout the evaluation figures. */
+inline std::vector<double>
+standardBudgets()
+{
+    return {0.625, 0.70, 0.775, 0.85, 0.925, 1.0};
+}
+
+/**
+ * When GPM_CSV_DIR is set, write @p t as <dir>/<name>.csv so the
+ * figure series can be re-plotted; silently does nothing otherwise.
+ */
+inline void
+maybeCsv(const std::string &name, const Table &t)
+{
+    const char *dir = std::getenv("GPM_CSV_DIR");
+    if (!dir)
+        return;
+    std::string path = std::string(dir) + "/" + name + ".csv";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    std::fputs(t.csv().c_str(), f);
+    std::fclose(f);
+}
+
+/** Print a figure/table banner. */
+inline void
+banner(const char *what, const char *detail)
+{
+    std::printf("\n=== %s ===\n%s\n\n", what, detail);
+}
+
+} // namespace gpm::bench
+
+#endif // GPM_BENCH_COMMON_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Data helpers for the microbenchmarks (mirrors tests/helpers.hh
+ * without the gtest dependency).
+ */
+
+#ifndef GPM_BENCH_HELPERS_BENCH_HH
+#define GPM_BENCH_HELPERS_BENCH_HH
+
+#include "core/types.hh"
+#include "util/rng.hh"
+
+namespace benchdata
+{
+
+/** Random ModeMatrix with mode-monotone power and BIPS. */
+inline gpm::ModeMatrix
+randomMatrix(std::size_t cores, std::size_t n_modes,
+             std::uint64_t seed)
+{
+    gpm::Rng rng(seed);
+    gpm::ModeMatrix m(cores, n_modes);
+    for (std::size_t c = 0; c < cores; c++) {
+        double p = rng.uniform(5.0, 12.0);
+        double b = rng.uniform(0.2, 2.5);
+        for (std::size_t mi = 0; mi < n_modes; mi++) {
+            double s = 1.0 -
+                0.15 * static_cast<double>(mi) *
+                    rng.uniform(0.8, 1.2);
+            auto mode = static_cast<gpm::PowerMode>(mi);
+            m.powerW(c, mode) = p * s * s * s;
+            m.bips(c, mode) = b * s;
+        }
+    }
+    return m;
+}
+
+} // namespace benchdata
+
+#endif // GPM_BENCH_HELPERS_BENCH_HH

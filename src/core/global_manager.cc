@@ -1,0 +1,65 @@
+#include "global_manager.hh"
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+GlobalManager::GlobalManager(const DvfsTable &dvfs_,
+                             std::unique_ptr<Policy> policy_,
+                             MicroSec explore_us, Watts idle_power)
+    : dvfs(dvfs_), policy(std::move(policy_)),
+      pred(dvfs_, explore_us, idle_power)
+{
+    GPM_ASSERT(policy != nullptr);
+}
+
+std::vector<PowerMode>
+GlobalManager::atExplore(const std::vector<CoreSample> &samples,
+                         Watts budget_w,
+                         const ModeMatrix *oracle_matrix)
+{
+    GPM_ASSERT(!samples.empty());
+
+    // Score the prediction made last interval against what the local
+    // monitors now report (Section 5.5 accuracy statistics).
+    if (lastPrediction && lastChosen.size() == samples.size())
+        pred.recordOutcome(*lastPrediction, lastChosen, samples);
+
+    // Budget-overshoot bookkeeping: overshoots happen when behaviour
+    // shifts inside an interval; they are corrected by this decision.
+    Watts measured = 0.0;
+    for (const auto &s : samples)
+        measured += s.powerW;
+    if (lastBudgetW > 0.0 && measured > lastBudgetW)
+        stats_.overshoots++;
+
+    ModeMatrix predicted = pred.predict(samples);
+
+    PolicyInput in;
+    in.samples = &samples;
+    in.predicted = &predicted;
+    in.budgetW = budget_w;
+    in.dvfs = &dvfs;
+    if (policy->wantsOracle()) {
+        GPM_ASSERT(oracle_matrix != nullptr);
+        in.oracle = oracle_matrix;
+    }
+
+    std::vector<PowerMode> assign = policy->decide(in);
+    GPM_ASSERT(assign.size() == samples.size());
+    for (auto m : assign)
+        GPM_ASSERT(dvfs.valid(m));
+
+    for (std::size_t c = 0; c < assign.size(); c++)
+        if (assign[c] != samples[c].mode)
+            stats_.modeSwitches++;
+    stats_.decisions++;
+
+    lastPrediction = std::move(predicted);
+    lastChosen = assign;
+    lastBudgetW = budget_w;
+    return assign;
+}
+
+} // namespace gpm

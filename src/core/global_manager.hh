@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The global power manager (paper Section 2): the hierarchical
+ * controller that periodically collects per-core power/performance
+ * samples from the local monitors, builds predicted Power/BIPS
+ * matrices, invokes the configured policy, and issues per-core mode
+ * directives subject to the chip power budget.
+ */
+
+#ifndef GPM_CORE_GLOBAL_MANAGER_HH
+#define GPM_CORE_GLOBAL_MANAGER_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/mode_predictor.hh"
+#include "core/policies.hh"
+#include "power/dvfs.hh"
+
+namespace gpm
+{
+
+/** Decision statistics kept by the manager. */
+struct ManagerStats
+{
+    /** Explore intervals processed. */
+    std::uint64_t decisions = 0;
+    /** Intervals whose measured power exceeded the budget (these are
+     *  corrected at the next explore time, paper Section 5.4). */
+    std::uint64_t overshoots = 0;
+    /** Total mode switches issued across all cores. */
+    std::uint64_t modeSwitches = 0;
+};
+
+/**
+ * Global manager: one per chip. The driving simulator calls
+ * atExplore() every explore interval with fresh sensor samples; the
+ * manager returns the mode assignment for the next interval.
+ */
+class GlobalManager
+{
+  public:
+    /**
+     * @param dvfs        mode table
+     * @param policy      decision policy (owned)
+     * @param explore_us  explore-interval length [us]
+     * @param idle_power  predictor's power charge for finished cores
+     */
+    GlobalManager(const DvfsTable &dvfs,
+                  std::unique_ptr<Policy> policy, MicroSec explore_us,
+                  Watts idle_power = 0.0);
+
+    /**
+     * One control step.
+     *
+     * @param samples       measured per-core samples for the last
+     *                      interval
+     * @param budget_w      budget for the next interval [W]
+     * @param oracle_matrix exact future matrices; required when the
+     *                      policy wantsOracle(), ignored otherwise
+     * @return the mode per core for the next interval
+     */
+    std::vector<PowerMode>
+    atExplore(const std::vector<CoreSample> &samples, Watts budget_w,
+              const ModeMatrix *oracle_matrix = nullptr);
+
+    /** True when the policy needs future matrices. */
+    bool wantsOracle() const { return policy->wantsOracle(); }
+
+    /** The policy in use. */
+    const Policy &currentPolicy() const { return *policy; }
+
+    /** Prediction-accuracy tracker (paper Section 5.5 numbers). */
+    const ModePredictor &predictor() const { return pred; }
+
+    /** Decision statistics. */
+    const ManagerStats &stats() const { return stats_; }
+
+  private:
+    const DvfsTable &dvfs;
+    std::unique_ptr<Policy> policy;
+    ModePredictor pred;
+    ManagerStats stats_;
+
+    /** Previous prediction, scored against the next measurement. */
+    std::optional<ModeMatrix> lastPrediction;
+    std::vector<PowerMode> lastChosen;
+    Watts lastBudgetW = 0.0;
+};
+
+} // namespace gpm
+
+#endif // GPM_CORE_GLOBAL_MANAGER_HH

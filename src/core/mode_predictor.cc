@@ -1,0 +1,97 @@
+#include "mode_predictor.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+ModePredictor::ModePredictor(const DvfsTable &dvfs_,
+                             MicroSec explore_us, Watts idle_power)
+    : dvfs(dvfs_), exploreUs(explore_us), idlePowerW(idle_power)
+{
+    GPM_ASSERT(explore_us > 0.0);
+}
+
+double
+ModePredictor::transitionFactor(PowerMode from, PowerMode to) const
+{
+    if (from == to)
+        return 1.0;
+    MicroSec t = dvfs.transitionUs(from, to);
+    return exploreUs / (exploreUs + t);
+}
+
+ModeMatrix
+ModePredictor::predict(const std::vector<CoreSample> &samples) const
+{
+    GPM_ASSERT(!samples.empty());
+    ModeMatrix m(samples.size(), dvfs.numModes());
+    for (std::size_t c = 0; c < samples.size(); c++) {
+        const CoreSample &s = samples[c];
+        double p_scale_cur = dvfs.powerScale(s.mode);
+        double f_scale_cur = dvfs.perfScale(s.mode);
+        for (std::size_t mi = 0; mi < dvfs.numModes(); mi++) {
+            auto to = static_cast<PowerMode>(mi);
+            if (!s.active) {
+                m.powerW(c, to) = idlePowerW * dvfs.powerScale(to);
+                m.bips(c, to) = 0.0;
+                continue;
+            }
+            double p_new =
+                s.powerW * dvfs.powerScale(to) / p_scale_cur;
+            if (to != s.mode) {
+                // The scored interval includes the transition
+                // stall, during which power is still drawn at the
+                // departing operating point: blend accordingly
+                // (mirrors the BIPS 500/(500+t) discount).
+                MicroSec tr = dvfs.transitionUs(s.mode, to);
+                p_new = (tr * s.powerW + exploreUs * p_new) /
+                    (exploreUs + tr);
+            }
+            m.powerW(c, to) = p_new;
+            m.bips(c, to) = s.bips * dvfs.perfScale(to) /
+                f_scale_cur * transitionFactor(s.mode, to);
+        }
+    }
+    return m;
+}
+
+void
+ModePredictor::recordOutcome(const ModeMatrix &predicted,
+                             const std::vector<PowerMode> &chosen,
+                             const std::vector<CoreSample> &actual)
+{
+    GPM_ASSERT(chosen.size() == predicted.numCores());
+    GPM_ASSERT(actual.size() == predicted.numCores());
+    for (std::size_t c = 0; c < chosen.size(); c++) {
+        if (!actual[c].active)
+            continue;
+        double pp = predicted.powerW(c, chosen[c]);
+        double pb = predicted.bips(c, chosen[c]);
+        if (actual[c].powerW > 0.0 && pp > 0.0) {
+            powerErr.add(
+                std::abs(pp - actual[c].powerW) / actual[c].powerW);
+        }
+        if (actual[c].bips > 0.0 && pb > 0.0) {
+            bipsErr.add(
+                std::abs(pb - actual[c].bips) / actual[c].bips);
+        }
+    }
+    nOutcomes++;
+}
+
+double
+ModePredictor::meanPowerError() const
+{
+    return powerErr.mean();
+}
+
+double
+ModePredictor::meanBipsError() const
+{
+    return bipsErr.mean();
+}
+
+} // namespace gpm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Predictive Power/BIPS matrix construction (paper Section 5.5).
+ *
+ * DVFS has the useful property that behaviour at another operating
+ * point can be estimated analytically: power scales cubically with
+ * the linear (V, f) scale and BIPS scales linearly with f. Starting
+ * from the measured (power, BIPS) of each core at its current mode,
+ * the predictor fills in every other mode's expected behaviour, and
+ * discounts BIPS for mode transitions by explore/(explore + t_trans)
+ * (e.g. 500/507, 500/513, 500/520 for the paper's parameters).
+ */
+
+#ifndef GPM_CORE_MODE_PREDICTOR_HH
+#define GPM_CORE_MODE_PREDICTOR_HH
+
+#include <vector>
+
+#include "core/types.hh"
+#include "power/dvfs.hh"
+#include "util/stats.hh"
+
+namespace gpm
+{
+
+/** Builds predicted ModeMatrices and tracks prediction accuracy. */
+class ModePredictor
+{
+  public:
+    /**
+     * @param dvfs        the mode table in force
+     * @param explore_us  explore-interval length (transition
+     *                    discounting)
+     * @param idle_power  power charged for inactive cores [W]
+     */
+    ModePredictor(const DvfsTable &dvfs, MicroSec explore_us,
+                  Watts idle_power = 0.0);
+
+    /**
+     * Predict each core's power/BIPS at every mode from its measured
+     * sample. Transition discounts apply to modes different from the
+     * sampled one.
+     */
+    ModeMatrix predict(const std::vector<CoreSample> &samples) const;
+
+    /**
+     * Record the realized outcome of the interval that followed a
+     * prediction, updating error statistics (paper Section 5.5
+     * reports 0.1-0.3% power error and 2-4% BIPS error).
+     *
+     * @param predicted matrix produced at the previous explore
+     * @param chosen    modes that were applied
+     * @param actual    measured samples after the interval
+     */
+    void recordOutcome(const ModeMatrix &predicted,
+                       const std::vector<PowerMode> &chosen,
+                       const std::vector<CoreSample> &actual);
+
+    /** Mean absolute relative power-prediction error. */
+    double meanPowerError() const;
+
+    /** Mean absolute relative BIPS-prediction error. */
+    double meanBipsError() const;
+
+    /** Number of scored predictions. */
+    std::uint64_t outcomes() const { return nOutcomes; }
+
+    /** The BIPS transition-discount factor for a mode change. */
+    double transitionFactor(PowerMode from, PowerMode to) const;
+
+  private:
+    const DvfsTable &dvfs;
+    MicroSec exploreUs;
+    Watts idlePowerW;
+    RunningStat powerErr;
+    RunningStat bipsErr;
+    std::uint64_t nOutcomes = 0;
+};
+
+} // namespace gpm
+
+#endif // GPM_CORE_MODE_PREDICTOR_HH

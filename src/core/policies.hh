@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Global CMP power-management policies (paper Section 5).
+ *
+ * Every policy receives the measured per-core samples, the predicted
+ * Power/BIPS matrices and the power budget, and returns one mode per
+ * core. All policies guarantee the returned assignment fits the
+ * budget under the predicted matrix whenever *any* assignment does;
+ * when even the all-slowest assignment exceeds the budget they
+ * return all-slowest (the best they can do).
+ */
+
+#ifndef GPM_CORE_POLICIES_HH
+#define GPM_CORE_POLICIES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "power/dvfs.hh"
+
+namespace gpm
+{
+
+/** Everything a policy may consult when deciding. */
+struct PolicyInput
+{
+    /** Measured per-core samples over the last explore interval. */
+    const std::vector<CoreSample> *samples = nullptr;
+    /** Predicted Power/BIPS matrices (always provided). */
+    const ModeMatrix *predicted = nullptr;
+    /**
+     * Exact next-interval matrices (provided only to policies whose
+     * wantsOracle() returns true; null otherwise).
+     */
+    const ModeMatrix *oracle = nullptr;
+    /** Power budget for the next interval [W]. */
+    Watts budgetW = 0.0;
+    /** Mode table in force. */
+    const DvfsTable *dvfs = nullptr;
+};
+
+/** Abstract global power-management policy. */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    /** Short policy name ("MaxBIPS", ...). */
+    virtual const char *name() const = 0;
+
+    /** True when the simulator must supply future (oracle) matrices. */
+    virtual bool wantsOracle() const { return false; }
+
+    /** Choose the mode of every core for the next explore interval. */
+    virtual std::vector<PowerMode> decide(const PolicyInput &in) = 0;
+};
+
+/**
+ * Priority policy (paper 5.2.1): tasks have fixed priorities (the
+ * highest-numbered core is most important). Starting from all-slowest,
+ * cores are upgraded in priority order as far as the budget permits;
+ * a core whose next mode would bust the budget is skipped and the
+ * next core in priority order is tried.
+ */
+class PriorityPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "Priority"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+};
+
+/**
+ * PullHiPushLo policy (paper 5.2.2): balances power across cores by
+ * slowing the highest-power core on a budget overshoot and speeding
+ * up the lowest-power core when slack is available; ties prefer
+ * memory-bound tasks for slow-down (they lose the least).
+ */
+class PullHiPushLoPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "PullHiPushLo"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+};
+
+/**
+ * MaxBIPS policy (paper 5.2.3): evaluates the predicted power and
+ * BIPS of every mode combination and picks the feasible combination
+ * with maximal chip throughput. Exhaustive for small chips; a
+ * branch-and-bound search with identical results is used when the
+ * state space (modes^cores) is large — enabling the 16-64 core
+ * scale-out studies.
+ */
+class MaxBipsPolicy : public Policy
+{
+  public:
+    /** Search strategies. */
+    enum class Search
+    {
+        Auto,       ///< exhaustive when small, branch-and-bound else
+        Exhaustive, ///< always enumerate modes^cores
+        BranchAndBound,
+    };
+
+    explicit MaxBipsPolicy(Search search = Search::Auto);
+
+    const char *name() const override { return "MaxBIPS"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+
+    /**
+     * Core search routine shared with OraclePolicy: best assignment
+     * under @p matrix within @p budget_w. Exposed for testing.
+     */
+    static std::vector<PowerMode> solve(const ModeMatrix &matrix,
+                                        Watts budget_w, Search search);
+
+    /**
+     * The dual problem (paper Section 1: "minimizing the power for
+     * a given multi-core performance target has similarly not been
+     * analyzed"): cheapest assignment whose total BIPS meets
+     * @p target_bips. Returns all-Turbo when even that misses the
+     * target (best effort).
+     */
+    static std::vector<PowerMode>
+    solveMinPower(const ModeMatrix &matrix, double target_bips,
+                  Search search);
+
+  private:
+    Search search;
+};
+
+/**
+ * Chip-wide DVFS baseline (paper 5.3): all cores share a single mode;
+ * the fastest uniform mode that fits the budget is chosen.
+ */
+class ChipWideDvfsPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "ChipWideDVFS"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+};
+
+/**
+ * Oracle upper bound (paper 5.6): MaxBIPS search on the *exact*
+ * behaviour of the next explore interval (supplied by the simulator
+ * from future knowledge), transition overheads included — the
+ * paper's "conservative oracle".
+ */
+class OraclePolicy : public Policy
+{
+  public:
+    const char *name() const override { return "Oracle"; }
+    bool wantsOracle() const override { return true; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+};
+
+/**
+ * Uniform per-core budgeting baseline (in the spirit of Merkel et
+ * al.): the chip budget is split into equal per-core slices and each
+ * core independently picks its fastest mode that fits its slice.
+ * Slack in one slice cannot help another core — the coordination
+ * failure that motivates global management.
+ */
+class UniformBudgetPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "UniformBudget"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+};
+
+/**
+ * MinPower policy — the dual objective the paper poses but leaves
+ * unexplored: minimize chip power subject to a chip throughput
+ * target, expressed as a fraction of the predicted all-Turbo BIPS.
+ * Ignores the power budget; uses the same predictive Power/BIPS
+ * matrices and MCKP search machinery as MaxBIPS.
+ */
+class MinPowerPolicy : public Policy
+{
+  public:
+    /** @param target_fraction required BIPS as a fraction of the
+     *        predicted all-Turbo chip BIPS (e.g. 0.95). */
+    explicit MinPowerPolicy(double target_fraction = 0.95);
+
+    const char *name() const override { return "MinPower"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+
+    /** The configured throughput-target fraction. */
+    double targetFraction() const { return fraction; }
+
+  private:
+    double fraction;
+};
+
+/**
+ * Exploration-based MaxBIPS (paper Section 5.5's rejected
+ * alternative #1, implemented to quantify the rejection): instead
+ * of predicting other modes analytically, the chip periodically
+ * *visits* each mode for one explore interval (uniform assignment,
+ * slowest first), records the measured per-core (power, BIPS), and
+ * then exploits the MaxBIPS solution over the measured matrix for
+ * a configurable number of intervals before re-exploring. The
+ * exploration sweeps cost real time, transitions, and budget
+ * violations — "for a heavy-handed adaptation like DVFS, this
+ * exploration approach is essentially prohibitive".
+ */
+class ExplorationPolicy : public Policy
+{
+  public:
+    /** @param exploit_intervals intervals to run the solved
+     *        assignment between exploration sweeps. */
+    explicit ExplorationPolicy(unsigned exploit_intervals = 8);
+
+    const char *name() const override { return "ExploreMaxBIPS"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+
+  private:
+    unsigned exploitIntervals;
+    unsigned phase = 0;       ///< sweep position / exploit counter
+    bool exploring = true;
+    std::size_t exploreMode = 0;
+    /** Measured (power, bips) per core per mode; negative = unset. */
+    std::vector<std::vector<std::pair<double, double>>> seen;
+    std::vector<PowerMode> lastChoice;
+};
+
+/**
+ * History-based MaxBIPS (paper Section 5.5's rejected alternative
+ * #2): assume behaviour previously observed in a mode persists.
+ * Each core keeps the last (power, BIPS) it measured at every mode;
+ * matrix entries use the remembered value when one exists and fall
+ * back to analytic scaling otherwise. Stale memories mislead the
+ * solver when phases change — "relying on past history can be
+ * misleading with temporally changing application behavior".
+ */
+class HistoryPolicy : public Policy
+{
+  public:
+    HistoryPolicy() = default;
+
+    const char *name() const override { return "HistoryMaxBIPS"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+
+  private:
+    /** last-seen (power, bips) per core per mode; negative = unset. */
+    std::vector<std::vector<std::pair<double, double>>> seen;
+};
+
+/** Factory by policy name ("MaxBIPS", "MaxBIPS-BnB", "Priority",
+ *  "PullHiPushLo", "ChipWideDVFS", "Oracle", "UniformBudget",
+ *  "MinPower" or "MinPowerNN" for an NN% target, "ExploreMaxBIPS",
+ *  "HistoryMaxBIPS"); fatal() on unknown names. */
+std::unique_ptr<Policy> makePolicy(const std::string &name);
+
+} // namespace gpm
+
+#endif // GPM_CORE_POLICIES_HH

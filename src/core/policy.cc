@@ -1,0 +1,44 @@
+#include "core/policies.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+std::unique_ptr<Policy>
+makePolicy(const std::string &name)
+{
+    if (name == "MaxBIPS")
+        return std::make_unique<MaxBipsPolicy>();
+    if (name == "MaxBIPS-BnB")
+        return std::make_unique<MaxBipsPolicy>(
+            MaxBipsPolicy::Search::BranchAndBound);
+    if (name == "Priority")
+        return std::make_unique<PriorityPolicy>();
+    if (name == "PullHiPushLo")
+        return std::make_unique<PullHiPushLoPolicy>();
+    if (name == "ChipWideDVFS")
+        return std::make_unique<ChipWideDvfsPolicy>();
+    if (name == "Oracle")
+        return std::make_unique<OraclePolicy>();
+    if (name == "UniformBudget")
+        return std::make_unique<UniformBudgetPolicy>();
+    if (name == "ExploreMaxBIPS")
+        return std::make_unique<ExplorationPolicy>();
+    if (name == "HistoryMaxBIPS")
+        return std::make_unique<HistoryPolicy>();
+    if (name.rfind("MinPower", 0) == 0) {
+        double frac = 0.95;
+        if (name.size() > 8) {
+            frac = std::atof(name.substr(8).c_str()) / 100.0;
+            if (frac <= 0.0 || frac > 1.0)
+                fatal("bad MinPower target in '%s'", name.c_str());
+        }
+        return std::make_unique<MinPowerPolicy>(frac);
+    }
+    fatal("unknown policy '%s'", name.c_str());
+}
+
+} // namespace gpm

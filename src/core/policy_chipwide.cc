@@ -1,0 +1,25 @@
+#include "core/policies.hh"
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+std::vector<PowerMode>
+ChipWideDvfsPolicy::decide(const PolicyInput &in)
+{
+    GPM_ASSERT(in.predicted != nullptr);
+    const ModeMatrix &m = *in.predicted;
+    const std::size_t n = m.numCores();
+
+    // Fastest uniform mode that fits; all-slowest as the fallback.
+    for (std::size_t mi = 0; mi < m.numModes(); mi++) {
+        auto mode = static_cast<PowerMode>(mi);
+        std::vector<PowerMode> assign(n, mode);
+        if (m.totalPowerW(assign) <= in.budgetW)
+            return assign;
+    }
+    return std::vector<PowerMode>(
+        n, static_cast<PowerMode>(m.numModes() - 1));
+}
+
+} // namespace gpm

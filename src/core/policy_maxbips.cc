@@ -1,0 +1,298 @@
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/policies.hh"
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+MaxBipsPolicy::MaxBipsPolicy(Search search_)
+    : search(search_)
+{
+}
+
+namespace
+{
+
+/** Exhaustive odometer enumeration of modes^cores. */
+std::vector<PowerMode>
+solveExhaustive(const ModeMatrix &m, Watts budget_w)
+{
+    const std::size_t n = m.numCores();
+    const std::size_t k = m.numModes();
+    std::vector<PowerMode> cur(n, 0);
+    std::vector<PowerMode> best(n,
+                                static_cast<PowerMode>(k - 1));
+    double best_bips = -1.0;
+    Watts best_power = 0.0;
+
+    for (;;) {
+        Watts p = m.totalPowerW(cur);
+        if (p <= budget_w) {
+            double b = m.totalBips(cur);
+            if (b > best_bips ||
+                (b == best_bips && p < best_power)) {
+                best_bips = b;
+                best_power = p;
+                best = cur;
+            }
+        }
+        // Odometer increment.
+        std::size_t c = 0;
+        while (c < n) {
+            if (++cur[c] < k)
+                break;
+            cur[c] = 0;
+            c++;
+        }
+        if (c == n)
+            break;
+    }
+    return best;
+}
+
+/**
+ * Depth-first branch-and-bound with the exact fractional
+ * multiple-choice-knapsack (MCKP) bound; same result as exhaustive
+ * search (up to ties in total BIPS).
+ *
+ * This is a multiple-choice knapsack: per core pick one mode. Each
+ * core's (power, BIPS) points are reduced to their efficiency
+ * frontier (upper-left convex hull); the node bound assigns every
+ * remaining core its cheapest mode and then spends the remaining
+ * budget on hull *increments* in globally decreasing BIPS-per-watt
+ * order, taking the last one fractionally — the LP relaxation of
+ * the remaining subproblem, which is a valid (and tight) upper
+ * bound. Increment lists are pre-merged per suffix so the bound is
+ * O(remaining increments) per node. A greedy incumbent (cheapest
+ * modes + best-ratio upgrades) is seeded before the search so
+ * pruning bites immediately.
+ */
+class BnbSolver
+{
+  public:
+    BnbSolver(const ModeMatrix &m, Watts budget)
+        : m(m), budget(budget), n(m.numCores()), k(m.numModes()),
+          cur(n, 0), best(n, static_cast<PowerMode>(k - 1)),
+          sufMinPower(n + 1, 0.0), sufBaseBips(n + 1, 0.0),
+          minPower(n), baseBips(n), cheapest(n), sufIncs(n + 1)
+    {
+        std::vector<std::vector<Increment>> core_incs(n);
+        for (std::size_t c = n; c-- > 0;) {
+            // Frontier: sort this core's modes by power ascending,
+            // keep only efficiency-decreasing improvements.
+            std::vector<std::pair<double, double>> pts;
+            for (std::size_t mi = 0; mi < k; mi++) {
+                auto mode = static_cast<PowerMode>(mi);
+                pts.push_back(
+                    {m.powerW(c, mode), m.bips(c, mode)});
+            }
+            std::sort(pts.begin(), pts.end());
+            std::vector<std::pair<double, double>> hull;
+            for (const auto &pt : pts) {
+                if (!hull.empty() && pt.second <= hull.back().second)
+                    continue; // dominated: dearer, no more BIPS
+                while (hull.size() >= 2) {
+                    // Keep marginal ratios decreasing.
+                    auto &a = hull[hull.size() - 2];
+                    auto &b = hull.back();
+                    double r1 = (b.second - a.second) /
+                        std::max(b.first - a.first, 1e-12);
+                    double r2 = (pt.second - b.second) /
+                        std::max(pt.first - b.first, 1e-12);
+                    if (r2 >= r1)
+                        hull.pop_back();
+                    else
+                        break;
+                }
+                hull.push_back(pt);
+            }
+            minPower[c] = hull.front().first;
+            baseBips[c] = hull.front().second;
+            for (std::size_t mi = 0; mi < k; mi++) {
+                auto mode = static_cast<PowerMode>(mi);
+                if (m.powerW(c, mode) == hull.front().first &&
+                    m.bips(c, mode) == hull.front().second) {
+                    cheapest[c] = mode;
+                    break;
+                }
+            }
+            for (std::size_t h = 1; h < hull.size(); h++) {
+                Increment inc;
+                inc.dp = hull[h].first - hull[h - 1].first;
+                inc.db = hull[h].second - hull[h - 1].second;
+                core_incs[c].push_back(inc);
+            }
+            sufMinPower[c] = sufMinPower[c + 1] + minPower[c];
+            sufBaseBips[c] = sufBaseBips[c + 1] + baseBips[c];
+        }
+        // Suffix-merged increment lists, ratio-descending.
+        for (std::size_t c = n; c-- > 0;) {
+            sufIncs[c] = sufIncs[c + 1];
+            sufIncs[c].insert(sufIncs[c].end(),
+                              core_incs[c].begin(),
+                              core_incs[c].end());
+            std::sort(sufIncs[c].begin(), sufIncs[c].end(),
+                      [](const Increment &a, const Increment &b) {
+                          return a.db * b.dp > b.db * a.dp;
+                      });
+        }
+        seedGreedyIncumbent();
+    }
+
+    std::vector<PowerMode>
+    run()
+    {
+        dfs(0, 0.0, 0.0);
+        return best;
+    }
+
+  private:
+    /** Feasible all-cheapest start plus best-ratio upgrades. */
+    void
+    seedGreedyIncumbent()
+    {
+        if (sufMinPower[0] > budget)
+            return; // nothing feasible; keep all-slowest default
+        std::vector<PowerMode> g = cheapest;
+        Watts power = sufMinPower[0];
+        double bips = sufBaseBips[0];
+        for (;;) {
+            double best_ratio = 0.0;
+            std::size_t best_c = n;
+            PowerMode best_m = 0;
+            for (std::size_t c = 0; c < n; c++) {
+                double cur_p = m.powerW(c, g[c]);
+                double cur_b = m.bips(c, g[c]);
+                for (std::size_t mi = 0; mi < k; mi++) {
+                    auto mode = static_cast<PowerMode>(mi);
+                    double dp = m.powerW(c, mode) - cur_p;
+                    double db = m.bips(c, mode) - cur_b;
+                    if (db <= 0.0 || dp <= 1e-12 ||
+                        power + dp > budget)
+                        continue;
+                    if (db / dp > best_ratio) {
+                        best_ratio = db / dp;
+                        best_c = c;
+                        best_m = mode;
+                    }
+                }
+            }
+            if (best_c == n)
+                break;
+            power += m.powerW(best_c, best_m) -
+                m.powerW(best_c, g[best_c]);
+            bips += m.bips(best_c, best_m) -
+                m.bips(best_c, g[best_c]);
+            g[best_c] = best_m;
+        }
+        best = g;
+        bestBips = bips;
+        bestPower = power;
+    }
+
+    void
+    dfs(std::size_t c, Watts power, double bips)
+    {
+        if (c == n) {
+            if (bips > bestBips ||
+                (bips == bestBips && power < bestPower)) {
+                bestBips = bips;
+                bestPower = power;
+                best = cur;
+            }
+            return;
+        }
+        Watts remaining = budget - power;
+        // Feasibility: even the cheapest remaining modes overflow.
+        if (sufMinPower[c] > remaining)
+            return;
+        // MCKP LP bound: cheapest modes everywhere, leftover budget
+        // filled with frontier increments by decreasing ratio, the
+        // last one fractionally.
+        double slack = remaining - sufMinPower[c];
+        double bound = bips + sufBaseBips[c];
+        for (const Increment &inc : sufIncs[c]) {
+            if (slack <= 0.0)
+                break;
+            if (inc.dp <= slack) {
+                bound += inc.db;
+                slack -= inc.dp;
+            } else {
+                bound += inc.db * slack / inc.dp;
+                slack = 0.0;
+            }
+        }
+        if (bound < bestBips)
+            return;
+        // Try faster modes first so good incumbents appear early.
+        for (std::size_t mi = 0; mi < k; mi++) {
+            auto mode = static_cast<PowerMode>(mi);
+            Watts p = power + m.powerW(c, mode);
+            if (p + sufMinPower[c + 1] > budget)
+                continue;
+            cur[c] = mode;
+            dfs(c + 1, p, bips + m.bips(c, mode));
+        }
+    }
+
+    /** One convex-hull upgrade step of a core. */
+    struct Increment
+    {
+        double dp = 0.0;
+        double db = 0.0;
+    };
+
+    const ModeMatrix &m;
+    const Watts budget;
+    const std::size_t n;
+    const std::size_t k;
+    std::vector<PowerMode> cur;
+    std::vector<PowerMode> best;
+    std::vector<double> sufMinPower;
+    std::vector<double> sufBaseBips;
+    std::vector<double> minPower;
+    std::vector<double> baseBips;
+    std::vector<PowerMode> cheapest;
+    /** Ratio-sorted hull increments of cores c..n-1. */
+    std::vector<std::vector<Increment>> sufIncs;
+    double bestBips = -1.0;
+    Watts bestPower = 0.0;
+};
+
+} // namespace
+
+std::vector<PowerMode>
+MaxBipsPolicy::solve(const ModeMatrix &m, Watts budget_w,
+                     Search search)
+{
+    if (search == Search::Auto) {
+        double states = std::pow(static_cast<double>(m.numModes()),
+                                 static_cast<double>(m.numCores()));
+        search = states <= 262144.0 ? Search::Exhaustive
+                                    : Search::BranchAndBound;
+    }
+    if (search == Search::Exhaustive)
+        return solveExhaustive(m, budget_w);
+    return BnbSolver(m, budget_w).run();
+}
+
+std::vector<PowerMode>
+MaxBipsPolicy::decide(const PolicyInput &in)
+{
+    GPM_ASSERT(in.predicted != nullptr);
+    return solve(*in.predicted, in.budgetW, search);
+}
+
+std::vector<PowerMode>
+OraclePolicy::decide(const PolicyInput &in)
+{
+    GPM_ASSERT(in.oracle != nullptr);
+    return MaxBipsPolicy::solve(*in.oracle, in.budgetW,
+                                MaxBipsPolicy::Search::Auto);
+}
+
+} // namespace gpm

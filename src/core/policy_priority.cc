@@ -1,0 +1,38 @@
+#include "core/policies.hh"
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+std::vector<PowerMode>
+PriorityPolicy::decide(const PolicyInput &in)
+{
+    GPM_ASSERT(in.predicted != nullptr);
+    const ModeMatrix &m = *in.predicted;
+    const std::size_t n = m.numCores();
+    const auto slowest =
+        static_cast<PowerMode>(m.numModes() - 1);
+
+    // Start everything in the cheapest mode.
+    std::vector<PowerMode> assign(n, slowest);
+    Watts total = m.totalPowerW(assign);
+
+    // Upgrade in priority order (highest core index first). A core
+    // whose next mode would exceed the budget is left behind and the
+    // next core in priority order is tried — the paper's
+    // "out-of-order" release behaviour for small budget steps.
+    for (std::size_t pc = n; pc-- > 0;) {
+        while (assign[pc] > 0) {
+            auto next = static_cast<PowerMode>(assign[pc] - 1);
+            Watts delta =
+                m.powerW(pc, next) - m.powerW(pc, assign[pc]);
+            if (total + delta > in.budgetW)
+                break;
+            total += delta;
+            assign[pc] = next;
+        }
+    }
+    return assign;
+}
+
+} // namespace gpm

@@ -1,0 +1,81 @@
+#include "core/policies.hh"
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+std::vector<PowerMode>
+PullHiPushLoPolicy::decide(const PolicyInput &in)
+{
+    GPM_ASSERT(in.predicted != nullptr && in.samples != nullptr);
+    const ModeMatrix &m = *in.predicted;
+    const std::vector<CoreSample> &samples = *in.samples;
+    const std::size_t n = m.numCores();
+    const auto slowest =
+        static_cast<PowerMode>(m.numModes() - 1);
+
+    // Start from the modes the cores are currently in.
+    std::vector<PowerMode> assign(n);
+    for (std::size_t c = 0; c < n; c++)
+        assign[c] = samples[c].mode;
+
+    Watts total = m.totalPowerW(assign);
+
+    // Phase 1 — pull the high ones: while over budget, slow down the
+    // core drawing the most power; ties prefer the more memory-bound
+    // task (it loses the least performance).
+    std::size_t guard = n * m.numModes() + 1;
+    while (total > in.budgetW && guard-- > 0) {
+        std::size_t pick = n;
+        for (std::size_t c = 0; c < n; c++) {
+            if (assign[c] == slowest)
+                continue;
+            if (pick == n)
+                pick = c;
+            else {
+                double pw_c = m.powerW(c, assign[c]);
+                double pw_p = m.powerW(pick, assign[pick]);
+                if (pw_c > pw_p ||
+                    (pw_c == pw_p &&
+                     samples[c].memIntensity >
+                         samples[pick].memIntensity)) {
+                    pick = c;
+                }
+            }
+        }
+        if (pick == n)
+            break; // everything already at the floor
+        total -= m.powerW(pick, assign[pick]);
+        assign[pick] = static_cast<PowerMode>(assign[pick] + 1);
+        total += m.powerW(pick, assign[pick]);
+    }
+
+    // Phase 2 — push the low ones: while slack remains, speed up the
+    // lowest-power core whose upgrade still fits.
+    guard = n * m.numModes() + 1;
+    while (guard-- > 0) {
+        std::size_t pick = n;
+        for (std::size_t c = 0; c < n; c++) {
+            if (assign[c] == 0)
+                continue;
+            auto next = static_cast<PowerMode>(assign[c] - 1);
+            Watts delta =
+                m.powerW(c, next) - m.powerW(c, assign[c]);
+            if (total + delta > in.budgetW)
+                continue;
+            if (pick == n ||
+                m.powerW(c, assign[c]) <
+                    m.powerW(pick, assign[pick])) {
+                pick = c;
+            }
+        }
+        if (pick == n)
+            break;
+        auto next = static_cast<PowerMode>(assign[pick] - 1);
+        total += m.powerW(pick, next) - m.powerW(pick, assign[pick]);
+        assign[pick] = next;
+    }
+    return assign;
+}
+
+} // namespace gpm

@@ -1,0 +1,34 @@
+#include "core/policies.hh"
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+std::vector<PowerMode>
+UniformBudgetPolicy::decide(const PolicyInput &in)
+{
+    GPM_ASSERT(in.predicted != nullptr);
+    const ModeMatrix &m = *in.predicted;
+    const std::size_t n = m.numCores();
+    Watts slice = in.budgetW / static_cast<double>(n);
+
+    // Each core independently picks its fastest mode fitting its
+    // equal share of the budget; no global coordination (the
+    // Merkel-style per-core budgeting baseline). Unspent slack in
+    // one core's slice is NOT transferable — that inability is
+    // exactly what global management fixes.
+    std::vector<PowerMode> assign(
+        n, static_cast<PowerMode>(m.numModes() - 1));
+    for (std::size_t c = 0; c < n; c++) {
+        for (std::size_t mi = 0; mi < m.numModes(); mi++) {
+            auto mode = static_cast<PowerMode>(mi);
+            if (m.powerW(c, mode) <= slice) {
+                assign[c] = mode;
+                break;
+            }
+        }
+    }
+    return assign;
+}
+
+} // namespace gpm

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Optimistic static mode assignment (paper Section 5.7): the lower
+ * bound for dynamic management. With oracle knowledge of each
+ * benchmark's *whole-run* behaviour at every mode, choose the fixed
+ * per-core mode combination that maximizes throughput while its
+ * average power fits the budget. The chosen combination is then
+ * simulated with no further mode changes.
+ */
+
+#ifndef GPM_CORE_STATIC_PLANNER_HH
+#define GPM_CORE_STATIC_PLANNER_HH
+
+#include <vector>
+
+#include "core/types.hh"
+#include "power/dvfs.hh"
+
+namespace gpm
+{
+
+/** Whole-run behaviour of one workload at one mode. */
+struct StaticModeStats
+{
+    /** Average power over the native run [W]. */
+    Watts avgPowerW = 0.0;
+    /**
+     * Peak explore-window power [W]. A static assignment has no
+     * controller to correct overshoots, so the budget must hold at
+     * the peak; this headroom requirement is precisely why static
+     * management trails dynamic policies (paper Section 5.7).
+     */
+    Watts peakPowerW = 0.0;
+    /** Whole-run throughput [BIPS]. */
+    double bips = 0.0;
+};
+
+/** Which power figure the static plan must fit to the budget. */
+enum class StaticFit
+{
+    Peak,    ///< worst explore window fits (sound: no controller)
+    Average, ///< whole-run average fits (optimistic ablation)
+};
+
+/**
+ * Chooses the throughput-maximal static assignment whose summed
+ * power fits the budget. Uses the same search machinery as MaxBIPS
+ * on a matrix built from native whole-run statistics.
+ *
+ * @param per_core  per core: whole-run stats at every mode
+ * @param budget_w  chip budget for the cores [W]
+ * @param fit       peak-window (default) or average fitting
+ * @return one fixed mode per core (all-slowest when nothing fits)
+ */
+std::vector<PowerMode> planStaticAssignment(
+    const std::vector<std::vector<StaticModeStats>> &per_core,
+    Watts budget_w, StaticFit fit = StaticFit::Peak);
+
+} // namespace gpm
+
+#endif // GPM_CORE_STATIC_PLANNER_HH

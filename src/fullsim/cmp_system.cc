@@ -1,0 +1,221 @@
+#include "cmp_system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+Watts
+FullSimResult::avgCorePowerW() const
+{
+    if (endUs <= 0.0)
+        return 0.0;
+    double e = 0.0;
+    for (double c : coreEnergyJ)
+        e += c;
+    return e / (endUs * 1e-6);
+}
+
+double
+FullSimResult::chipBips() const
+{
+    if (endUs <= 0.0)
+        return 0.0;
+    double insts = 0.0;
+    for (double c : coreInstructions)
+        insts += c;
+    return insts / (endUs * 1000.0);
+}
+
+/** Everything owned per core, in construction order. */
+struct CmpSystem::PerCore
+{
+    PerCore(const WorkloadSpec &spec, double length_scale,
+            const CoreConfig &ccfg, SharedL2 &l2,
+            std::uint32_t core_id, Hertz freq)
+        : gen(spec, length_scale), mem(ccfg, l2, core_id),
+          core(ccfg, mem, gen, freq)
+    {
+    }
+
+    SynthGenerator gen;
+    MemorySystem mem;
+    OooCore core;
+
+    bool done = false;
+    double energyJ = 0.0;
+    double instructions = 0.0;
+    std::uint64_t cycles = 0;
+    // Explore-window accumulators.
+    double winEnergyJ = 0.0;
+    double winInsts = 0.0;
+    std::uint64_t winMisses = 0;
+};
+
+CmpSystem::CmpSystem(const std::vector<std::string> &workload_names,
+                     const DvfsTable &dvfs_, FullSimConfig cfg_)
+    : dvfs(dvfs_), cfg(cfg_), coreCfg(),
+      power(CorePowerParams::classic(), dvfs_),
+      l2(std::make_unique<SharedL2>(
+          coreCfg, static_cast<std::uint32_t>(workload_names.size()),
+          cfg_.busServiceNs, cfg_.quantumUs * 1000.0))
+{
+    if (workload_names.empty())
+        fatal("CmpSystem requires at least one core");
+    if (cfg.useDram)
+        l2->enableDram(cfg.dram);
+    for (std::size_t c = 0; c < workload_names.size(); c++) {
+        cores.push_back(std::make_unique<PerCore>(
+            workload(workload_names[c]), cfg.lengthScale, coreCfg,
+            *l2, static_cast<std::uint32_t>(c),
+            dvfs.frequency(cfg.startMode)));
+    }
+}
+
+CmpSystem::~CmpSystem() = default;
+
+FullSimResult
+CmpSystem::runStatic(const std::vector<PowerMode> &modes)
+{
+    GPM_ASSERT(modes.size() == cores.size());
+    return runInternal(nullptr, nullptr, 0.0, modes);
+}
+
+FullSimResult
+CmpSystem::run(GlobalManager &mgr, const BudgetSchedule &budget,
+               Watts reference_power_w)
+{
+    return runInternal(
+        &mgr, &budget, reference_power_w,
+        std::vector<PowerMode>(cores.size(), cfg.startMode));
+}
+
+FullSimResult
+CmpSystem::runInternal(GlobalManager *mgr,
+                       const BudgetSchedule *budget,
+                       Watts reference_power_w,
+                       std::vector<PowerMode> mode_v)
+{
+    const std::size_t n = cores.size();
+    for (std::size_t c = 0; c < n; c++)
+        cores[c]->core.setFrequency(dvfs.frequency(mode_v[c]));
+
+    MicroSec t = 0.0;
+    MicroSec window_start = 0.0;
+    MicroSec next_explore = cfg.exploreUs;
+    std::size_t rotate = 0;
+    bool stop = false;
+
+    auto us2ps = [](MicroSec us) {
+        return static_cast<std::uint64_t>(us * 1e6 + 0.5);
+    };
+
+    while (t < cfg.maxTimeUs && !stop) {
+        MicroSec target = t + cfg.quantumUs;
+
+        for (std::size_t i = 0; i < n; i++) {
+            // Rotate service order per quantum so no core is
+            // systematically simulated (and arbitrated) last.
+            std::size_t c = (i + rotate) % n;
+            PerCore &pc = *cores[c];
+            if (pc.done)
+                continue;
+            CoreRunResult r = pc.core.runUntilPs(us2ps(target));
+            Joules e = power.energy(r.activity, mode_v[c]);
+            pc.energyJ += e;
+            pc.winEnergyJ += e;
+            pc.instructions += static_cast<double>(r.instructions);
+            pc.winInsts += static_cast<double>(r.instructions);
+            pc.cycles += r.activity.cycles;
+            pc.winMisses += r.activity.l2Misses;
+            if (r.streamEnded) {
+                pc.done = true;
+                if (cfg.stopOnFirstDone)
+                    stop = true;
+            }
+        }
+        rotate = (rotate + 1) % n;
+        t = target;
+
+        // ---- Explore boundary ------------------------------------
+        if (mgr && cfg.exploreUs > 0.0 && t + 1e-9 >= next_explore &&
+            !stop) {
+            MicroSec win = t - window_start;
+            std::vector<CoreSample> samples(n);
+            for (std::size_t c = 0; c < n; c++) {
+                PerCore &pc = *cores[c];
+                CoreSample &s = samples[c];
+                s.mode = mode_v[c];
+                s.active = !pc.done;
+                s.powerW =
+                    win > 0.0 ? pc.winEnergyJ / (win * 1e-6) : 0.0;
+                s.bips =
+                    win > 0.0 ? pc.winInsts / (win * 1000.0) : 0.0;
+                s.memIntensity = win > 0.0
+                    ? static_cast<double>(pc.winMisses) / win
+                    : 0.0;
+            }
+            Watts core_budget = budget->at(t) * reference_power_w;
+            std::vector<PowerMode> new_modes =
+                mgr->atExplore(samples, core_budget, nullptr);
+
+            // Longest transition stalls every core; power is still
+            // consumed at the (old) operating point.
+            MicroSec trans = 0.0;
+            for (std::size_t c = 0; c < n; c++)
+                if (new_modes[c] != mode_v[c])
+                    trans = std::max(trans,
+                                     dvfs.transitionUs(mode_v[c],
+                                                       new_modes[c]));
+            if (trans > 0.0) {
+                std::uint64_t stall_end = us2ps(t + trans);
+                for (std::size_t c = 0; c < n; c++) {
+                    PerCore &pc = *cores[c];
+                    Joules e = power.stallPower(mode_v[c]) * trans *
+                        1e-6;
+                    pc.energyJ += e;
+                    pc.winEnergyJ += e;
+                    pc.core.stallUntilPs(stall_end);
+                }
+                t += trans;
+            }
+            for (std::size_t c = 0; c < n; c++) {
+                if (new_modes[c] != mode_v[c]) {
+                    cores[c]->core.setFrequency(
+                        dvfs.frequency(new_modes[c]));
+                    mode_v[c] = new_modes[c];
+                }
+                cores[c]->winEnergyJ = 0.0;
+                cores[c]->winInsts = 0.0;
+                cores[c]->winMisses = 0;
+            }
+            window_start = t;
+            next_explore = t + cfg.exploreUs;
+        }
+    }
+
+    FullSimResult res;
+    res.endUs = t;
+    for (std::size_t c = 0; c < n; c++) {
+        PerCore &pc = *cores[c];
+        res.coreInstructions.push_back(pc.instructions);
+        res.coreEnergyJ.push_back(pc.energyJ);
+        res.coreIpc.push_back(
+            pc.cycles > 0
+                ? pc.instructions / static_cast<double>(pc.cycles)
+                : 0.0);
+        res.coreBips.push_back(
+            t > 0.0 ? pc.instructions / (t * 1000.0) : 0.0);
+        res.coreL2Accesses.push_back(
+            l2->traffic(static_cast<std::uint32_t>(c)).accesses);
+        res.coreL2Misses.push_back(
+            l2->traffic(static_cast<std::uint32_t>(c)).misses);
+    }
+    res.avgBusQueueNs = l2->avgQueueNs();
+    return res;
+}
+
+} // namespace gpm

@@ -1,0 +1,74 @@
+#include "dram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+WindowedQueue::WindowedQueue(double window_ns)
+    : windowNs(window_ns)
+{
+    GPM_ASSERT(window_ns > 0.0);
+}
+
+double
+WindowedQueue::enqueue(double time_ns, double service_ns)
+{
+    if (time_ns >= windowStartNs + windowNs) {
+        double windows_passed =
+            (time_ns - windowStartNs) / windowNs;
+        double skipped =
+            static_cast<double>(
+                static_cast<std::uint64_t>(windows_passed)) *
+            windowNs;
+        busyNs = std::max(0.0, busyNs - skipped);
+        windowStartNs += skipped;
+    }
+    double wait = std::max(0.0, windowStartNs + busyNs - time_ns);
+    busyNs += service_ns;
+    return wait;
+}
+
+DramModel::DramModel(DramParams p)
+    : prm(p)
+{
+    GPM_ASSERT(p.banks > 0 && (p.banks & (p.banks - 1)) == 0);
+    GPM_ASSERT(p.rowBytes > 0 &&
+               (p.rowBytes & (p.rowBytes - 1)) == 0);
+    banks.reserve(p.banks);
+    for (std::uint32_t b = 0; b < p.banks; b++)
+        banks.emplace_back(p.windowNs);
+}
+
+double
+DramModel::access(std::uint64_t addr, double time_ns)
+{
+    nAccesses++;
+    std::uint64_t row_id = addr / prm.rowBytes;
+    std::uint32_t bank =
+        static_cast<std::uint32_t>(row_id) & (prm.banks - 1);
+    std::uint64_t row = row_id / prm.banks;
+
+    Bank &bk = banks[bank];
+    bool hit = bk.openRow == row;
+    if (hit)
+        nRowHits++;
+    else
+        bk.openRow = row;
+
+    double wait = bk.queue.enqueue(time_ns, prm.bankServiceNs);
+    return wait + (hit ? prm.rowHitNs : prm.rowMissNs);
+}
+
+double
+DramModel::rowHitRate() const
+{
+    if (nAccesses == 0)
+        return 0.0;
+    return static_cast<double>(nRowHits) /
+        static_cast<double>(nAccesses);
+}
+
+} // namespace gpm

@@ -1,0 +1,72 @@
+#include "shared_l2.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+SharedL2::SharedL2(const CoreConfig &cfg, std::uint32_t num_cores,
+                   double bus_service_ns, double window_ns)
+    : l2(cfg.l2), l2LatNs(cfg.l2LatNs), memLatNs(cfg.memLatNs),
+      busServiceNs(bus_service_ns), windowNs(window_ns),
+      bus(window_ns), perCore(num_cores)
+{
+    GPM_ASSERT(num_cores > 0);
+    GPM_ASSERT(window_ns > 0.0);
+}
+
+void
+SharedL2::enableDram(DramParams p)
+{
+    p.windowNs = windowNs;
+    dramModel = std::make_unique<DramModel>(p);
+}
+
+L2Outcome
+SharedL2::access(std::uint32_t core_id, std::uint64_t addr,
+                 bool is_write, double time_ns)
+{
+    GPM_ASSERT(core_id < perCore.size());
+    CoreTraffic &tr = perCore[core_id];
+    tr.accesses++;
+
+    // Bus arbitration: windowed backlog accounting (see
+    // WindowedQueue) keeps results independent of the order cores
+    // simulate their quanta.
+    double queue = bus.enqueue(time_ns, busServiceNs);
+    tr.queueNs += queue;
+
+    auto r = l2.access(addr, is_write);
+    if (r.hit)
+        return {queue + l2LatNs, false};
+    tr.misses++;
+    if (dramModel) {
+        double lat =
+            dramModel->access(addr, time_ns + queue + l2LatNs);
+        return {queue + l2LatNs + lat, true};
+    }
+    return {queue + memLatNs, true};
+}
+
+const SharedL2::CoreTraffic &
+SharedL2::traffic(std::uint32_t core_id) const
+{
+    GPM_ASSERT(core_id < perCore.size());
+    return perCore[core_id];
+}
+
+double
+SharedL2::avgQueueNs() const
+{
+    std::uint64_t acc = 0;
+    double q = 0.0;
+    for (const auto &tr : perCore) {
+        acc += tr.accesses;
+        q += tr.queueNs;
+    }
+    return acc ? q / static_cast<double>(acc) : 0.0;
+}
+
+} // namespace gpm

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared L2 + bus model for the full-CMP configuration: one L2 tag
+ * array shared by all cores (true capacity/conflict contention) with
+ * a serializing bus in front of it (queueing contention). The L2 and
+ * bus live in a fixed clock domain, so all times are nanoseconds.
+ */
+
+#ifndef GPM_FULLSIM_SHARED_L2_HH
+#define GPM_FULLSIM_SHARED_L2_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "uarch/cache.hh"
+#include "uarch/core_config.hh"
+#include "fullsim/dram.hh"
+#include "uarch/memory.hh"
+
+namespace gpm
+{
+
+/**
+ * Arbitrated shared L2 service. Requests occupy a bus with a fixed
+ * per-request service time; a request arriving while the window's
+ * accumulated service exceeds the elapsed window time waits for the
+ * backlog. Backlog accounting is per time *window* (matched to the
+ * CMP synchronization quantum) rather than a single free-time
+ * cursor, so the result does not depend on the order in which cores
+ * simulate their quanta — only on how much traffic each window
+ * carries.
+ */
+class SharedL2 : public L2Service
+{
+  public:
+    /** Per-core traffic statistics. */
+    struct CoreTraffic
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t misses = 0;
+        double queueNs = 0.0; ///< total bus-wait incurred
+    };
+
+    /**
+     * @param cfg            L2 geometry and latencies (Table 1)
+     * @param num_cores      cores sharing the L2
+     * @param bus_service_ns bus occupancy per request [ns]
+     * @param window_ns      backlog-accounting window [ns]; should
+     *                       match the CMP synchronization quantum
+     */
+    SharedL2(const CoreConfig &cfg, std::uint32_t num_cores,
+             double bus_service_ns = 4.0, double window_ns = 1000.0);
+
+    /**
+     * Route L2 misses through a banked open-row DRAM instead of the
+     * flat Table 1 memory latency (window sizes should match).
+     */
+    void enableDram(DramParams p);
+
+    /** The DRAM model, when enabled (null otherwise). */
+    const DramModel *dram() const { return dramModel.get(); }
+
+    L2Outcome access(std::uint32_t core_id, std::uint64_t addr,
+                     bool is_write, double time_ns) override;
+
+    /** Shared-cache statistics. */
+    const CacheStats &cacheStats() const { return l2.stats(); }
+
+    /** Per-core traffic seen at the L2. */
+    const CoreTraffic &traffic(std::uint32_t core_id) const;
+
+    /** Average bus queueing delay per request [ns]. */
+    double avgQueueNs() const;
+
+  private:
+    Cache l2;
+    double l2LatNs;
+    double memLatNs;
+    double busServiceNs;
+    double windowNs;
+    WindowedQueue bus;
+    std::unique_ptr<DramModel> dramModel;
+    std::vector<CoreTraffic> perCore;
+};
+
+} // namespace gpm
+
+#endif // GPM_FULLSIM_SHARED_L2_HH

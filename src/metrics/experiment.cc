@@ -1,0 +1,152 @@
+#include "experiment.hh"
+
+#include "core/static_planner.hh"
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+ExperimentRunner::ExperimentRunner(ProfileLibrary &lib_,
+                                   const DvfsTable &dvfs_,
+                                   SimConfig cfg_)
+    : lib(lib_), dvfs(dvfs_), cfg(cfg_)
+{
+    CorePowerModel pm(CorePowerParams::classic(), dvfs);
+    idlePowerW = pm.stallPower(modes::Turbo);
+}
+
+std::string
+ExperimentRunner::keyOf(const std::vector<std::string> &combo)
+{
+    std::string key;
+    for (const auto &n : combo)
+        key += n + "|";
+    return key;
+}
+
+std::vector<const WorkloadProfile *>
+ExperimentRunner::profilesFor(const std::vector<std::string> &combo)
+{
+    GPM_ASSERT(!combo.empty());
+    std::vector<const WorkloadProfile *> ps;
+    ps.reserve(combo.size());
+    for (const auto &name : combo)
+        ps.push_back(&lib.get(name));
+    return ps;
+}
+
+ExperimentRunner::ComboCache &
+ExperimentRunner::cacheFor(const std::vector<std::string> &combo)
+{
+    std::string key = keyOf(combo);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    ComboCache cc;
+    cc.sim =
+        std::make_unique<CmpSim>(profilesFor(combo), dvfs, cfg);
+    std::vector<PowerMode> all_turbo(combo.size(), modes::Turbo);
+    cc.turboRef = cc.sim->runStatic(all_turbo);
+    cc.refW = cc.turboRef.avgCorePowerW();
+    return cache.emplace(key, std::move(cc)).first->second;
+}
+
+const SimResult &
+ExperimentRunner::reference(const std::vector<std::string> &combo)
+{
+    return cacheFor(combo).turboRef;
+}
+
+Watts
+ExperimentRunner::referencePowerW(
+    const std::vector<std::string> &combo)
+{
+    return cacheFor(combo).refW;
+}
+
+PolicyEval
+ExperimentRunner::evaluate(const std::vector<std::string> &combo,
+                           const std::string &policy,
+                           double budget_frac)
+{
+    ComboCache &cc = cacheFor(combo);
+    GlobalManager mgr(dvfs, makePolicy(policy), cfg.exploreUs,
+                      idlePowerW);
+    BudgetSchedule budget(budget_frac);
+    SimResult run = cc.sim->run(mgr, budget, cc.refW);
+
+    PolicyEval ev;
+    ev.policy = policy;
+    ev.budgetFrac = budget_frac;
+    ev.metrics =
+        computeMetrics(run, cc.turboRef, budget_frac * cc.refW);
+    ev.predPowerError = run.predPowerError;
+    ev.predBipsError = run.predBipsError;
+    ev.managerStats = run.managerStats;
+    return ev;
+}
+
+PolicyEval
+ExperimentRunner::evaluateStatic(
+    const std::vector<std::string> &combo, double budget_frac,
+    StaticFit fit)
+{
+    ComboCache &cc = cacheFor(combo);
+    auto profiles = profilesFor(combo);
+
+    // Whole-run "native" stats per core per mode: the optimistic
+    // oracle knowledge the paper grants static management.
+    std::vector<std::vector<StaticModeStats>> per_core;
+    for (const auto *p : profiles) {
+        std::vector<StaticModeStats> row;
+        for (std::size_t mi = 0; mi < dvfs.numModes(); mi++) {
+            const ModeProfile &mp =
+                p->at(static_cast<PowerMode>(mi));
+            row.push_back({mp.avgPowerW(),
+                           mp.peakPowerW(cfg.exploreUs), mp.bips()});
+        }
+        per_core.push_back(std::move(row));
+    }
+
+    Watts core_budget = budget_frac * cc.refW;
+    std::vector<PowerMode> assign =
+        planStaticAssignment(per_core, core_budget, fit);
+
+    SimResult run = cc.sim->runStatic(assign);
+    PolicyEval ev;
+    ev.policy = "Static";
+    ev.budgetFrac = budget_frac;
+    ev.metrics =
+        computeMetrics(run, cc.turboRef, budget_frac * cc.refW);
+    return ev;
+}
+
+std::vector<PolicyEval>
+ExperimentRunner::curve(const std::vector<std::string> &combo,
+                        const std::string &policy,
+                        const std::vector<double> &budget_fracs)
+{
+    std::vector<PolicyEval> evs;
+    evs.reserve(budget_fracs.size());
+    for (double b : budget_fracs) {
+        if (policy == "Static")
+            evs.push_back(evaluateStatic(combo, b));
+        else
+            evs.push_back(evaluate(combo, policy, b));
+    }
+    return evs;
+}
+
+SimResult
+ExperimentRunner::timeline(const std::vector<std::string> &combo,
+                           const std::string &policy,
+                           const BudgetSchedule &budget)
+{
+    ComboCache &cc = cacheFor(combo);
+    GlobalManager mgr(dvfs, makePolicy(policy), cfg.exploreUs,
+                      idlePowerW);
+    return cc.sim->run(mgr, budget, cc.refW);
+}
+
+} // namespace gpm

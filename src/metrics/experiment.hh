@@ -1,0 +1,119 @@
+/**
+ * @file
+ * ExperimentRunner: the harness the per-figure benchmarks drive.
+ * Binds a ProfileLibrary + DvfsTable + SimConfig, caches the
+ * all-Turbo reference run per benchmark combination, and evaluates
+ * dynamic policies, optimistic-static assignments and budget sweeps.
+ */
+
+#ifndef GPM_METRICS_EXPERIMENT_HH
+#define GPM_METRICS_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/static_planner.hh"
+#include "metrics/metrics.hh"
+#include "sim/cmp_sim.hh"
+#include "trace/phase_profile.hh"
+
+namespace gpm
+{
+
+/** One evaluated (policy, budget) point. */
+struct PolicyEval
+{
+    std::string policy;
+    double budgetFrac = 1.0;
+    RunMetrics metrics;
+    /** Prediction errors (only meaningful for predictive policies). */
+    double predPowerError = 0.0;
+    double predBipsError = 0.0;
+    ManagerStats managerStats;
+};
+
+/**
+ * Drives CmpSim for whole experiments. Not thread-safe (profiles are
+ * built lazily through the shared library).
+ */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param lib   profile library (profiles built/loaded on demand)
+     * @param dvfs  mode table
+     * @param cfg   simulator configuration for every run
+     */
+    ExperimentRunner(ProfileLibrary &lib, const DvfsTable &dvfs,
+                     SimConfig cfg = SimConfig{});
+
+    /** Profiles for a combination (built on demand). */
+    std::vector<const WorkloadProfile *>
+    profilesFor(const std::vector<std::string> &combo);
+
+    /** All-Turbo reference result for a combination (cached). */
+    const SimResult &reference(const std::vector<std::string> &combo);
+
+    /** All-Turbo average chip power — the budget base [W]. */
+    Watts referencePowerW(const std::vector<std::string> &combo);
+
+    /**
+     * Evaluate a dynamic policy at a constant budget fraction.
+     * Policy names: MaxBIPS, MaxBIPS-BnB, Priority, PullHiPushLo,
+     * ChipWideDVFS, Oracle.
+     */
+    PolicyEval evaluate(const std::vector<std::string> &combo,
+                        const std::string &policy, double budget_frac);
+
+    /**
+     * Evaluate the optimistic static assignment (paper Section 5.7):
+     * best fixed modes by whole-run oracle stats, then simulated.
+     * By default the fixed assignment must fit the budget at its
+     * peak explore window (a static configuration has no controller
+     * to correct overshoots); pass StaticFit::Average for the
+     * optimistic average-fitting ablation.
+     */
+    PolicyEval evaluateStatic(const std::vector<std::string> &combo,
+                              double budget_frac,
+                              StaticFit fit = StaticFit::Peak);
+
+    /** Policy curve: one PolicyEval per budget fraction. */
+    std::vector<PolicyEval>
+    curve(const std::vector<std::string> &combo,
+          const std::string &policy,
+          const std::vector<double> &budget_fracs);
+
+    /**
+     * Full timeline run of a policy under an arbitrary budget
+     * schedule (Figures 3 and 6).
+     */
+    SimResult timeline(const std::vector<std::string> &combo,
+                       const std::string &policy,
+                       const BudgetSchedule &budget);
+
+    /** The simulator configuration in force. */
+    const SimConfig &config() const { return cfg; }
+
+  private:
+    struct ComboCache
+    {
+        std::unique_ptr<CmpSim> sim;
+        SimResult turboRef;
+        Watts refW = 0.0;
+    };
+
+    ComboCache &cacheFor(const std::vector<std::string> &combo);
+    static std::string keyOf(const std::vector<std::string> &combo);
+
+    ProfileLibrary &lib;
+    const DvfsTable &dvfs;
+    SimConfig cfg;
+    Watts idlePowerW;
+    std::map<std::string, ComboCache> cache;
+};
+
+} // namespace gpm
+
+#endif // GPM_METRICS_EXPERIMENT_HH

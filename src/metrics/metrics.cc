@@ -1,0 +1,51 @@
+#include "metrics.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace gpm
+{
+
+std::vector<double>
+threadSpeedups(const SimResult &run, const SimResult &reference)
+{
+    GPM_ASSERT(run.coreInstructions.size() ==
+               reference.coreInstructions.size());
+    std::vector<double> run_bips = run.coreBips();
+    std::vector<double> ref_bips = reference.coreBips();
+    std::vector<double> speedups;
+    speedups.reserve(run_bips.size());
+    for (std::size_t c = 0; c < run_bips.size(); c++) {
+        if (ref_bips[c] <= 0.0) {
+            speedups.push_back(1.0);
+            continue;
+        }
+        speedups.push_back(std::max(run_bips[c] / ref_bips[c], 1e-9));
+    }
+    return speedups;
+}
+
+RunMetrics
+computeMetrics(const SimResult &run, const SimResult &reference,
+               Watts budget_w)
+{
+    RunMetrics m;
+    double ref_bips = reference.chipBips();
+    m.chipBips = run.chipBips();
+    if (ref_bips > 0.0)
+        m.perfDegradation = 1.0 - m.chipBips / ref_bips;
+
+    std::vector<double> speedups = threadSpeedups(run, reference);
+    m.weightedSlowdown = 1.0 - harmonicMeanOf(speedups);
+    m.weightedSpeedupLoss = 1.0 - meanOf(speedups);
+
+    m.avgChipPowerW = run.avgCorePowerW();
+    Watts ref_power = reference.avgCorePowerW();
+    if (ref_power > 0.0)
+        m.powerSavings = 1.0 - m.avgChipPowerW / ref_power;
+    if (budget_w > 0.0)
+        m.powerOverBudget = m.avgChipPowerW / budget_w;
+    return m;
+}
+
+} // namespace gpm

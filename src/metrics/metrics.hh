@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Evaluation metrics used across the paper's figures: chip
+ * performance degradation vs all-Turbo, weighted slowdowns from
+ * per-thread speedups (harmonic and arithmetic means), power
+ * savings, and budget-fit ratios.
+ */
+
+#ifndef GPM_METRICS_METRICS_HH
+#define GPM_METRICS_METRICS_HH
+
+#include <vector>
+
+#include "sim/cmp_sim.hh"
+
+namespace gpm
+{
+
+/** Metrics of one policy run against its all-Turbo reference. */
+struct RunMetrics
+{
+    /** 1 - chipBIPS(policy) / chipBIPS(all-Turbo). */
+    double perfDegradation = 0.0;
+    /** 100% - harmonic mean of per-thread speedups (Luo et al.). */
+    double weightedSlowdown = 0.0;
+    /** 100% - arithmetic mean of per-thread speedups (Tullsen). */
+    double weightedSpeedupLoss = 0.0;
+    /** 1 - avgCorePower(policy) / avgCorePower(all-Turbo). */
+    double powerSavings = 0.0;
+    /** avgCorePower(policy) / budget (the "budget curve" value). */
+    double powerOverBudget = 0.0;
+    /** Average core power (the budgeted quantity) [W]. */
+    Watts avgChipPowerW = 0.0;
+    /** Chip throughput [BIPS]. */
+    double chipBips = 0.0;
+};
+
+/**
+ * Reduce a policy run against its reference.
+ *
+ * @param run       the policy (or static/chip-wide/oracle) result
+ * @param reference the all-Turbo result of the same combination
+ * @param budget_w  absolute budget in force (0 = no budget ratio)
+ */
+RunMetrics computeMetrics(const SimResult &run,
+                          const SimResult &reference, Watts budget_w);
+
+/** Per-thread speedups run/reference (same core order). */
+std::vector<double> threadSpeedups(const SimResult &run,
+                                   const SimResult &reference);
+
+} // namespace gpm
+
+#endif // GPM_METRICS_METRICS_HH

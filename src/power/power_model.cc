@@ -1,0 +1,191 @@
+#include "power_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::Fetch: return "fetch";
+      case Unit::Decode: return "decode";
+      case Unit::IssueQueue: return "issueq";
+      case Unit::RegFile: return "regfile";
+      case Unit::FXU: return "fxu";
+      case Unit::FPU: return "fpu";
+      case Unit::LSU: return "lsu";
+      case Unit::L1I: return "l1i";
+      case Unit::L1D: return "l1d";
+      case Unit::Bpred: return "bpred";
+      case Unit::ClockTree: return "clock";
+      default: panic("unitName: bad unit %d", static_cast<int>(u));
+    }
+}
+
+void
+ActivitySample::merge(const ActivitySample &o)
+{
+    cycles += o.cycles;
+    fetched += o.fetched;
+    dispatched += o.dispatched;
+    issued += o.issued;
+    committed += o.committed;
+    fxuOps += o.fxuOps;
+    fpuOps += o.fpuOps;
+    lsuOps += o.lsuOps;
+    branches += o.branches;
+    l1iAccesses += o.l1iAccesses;
+    l1dAccesses += o.l1dAccesses;
+    l2Accesses += o.l2Accesses;
+    l2Misses += o.l2Misses;
+}
+
+void
+ActivitySample::reset()
+{
+    *this = ActivitySample();
+}
+
+namespace
+{
+constexpr std::size_t
+idx(Unit u)
+{
+    return static_cast<std::size_t>(u);
+}
+} // namespace
+
+CorePowerParams
+CorePowerParams::classic()
+{
+    CorePowerParams p{};
+    auto set = [&p](Unit u, Watts max_w, double ungated_frac,
+                    double full_rate) {
+        p.unitMaxW[idx(u)] = max_w;
+        p.ungated[idx(u)] = ungated_frac;
+        p.fullRate[idx(u)] = full_rate;
+    };
+    // Max W at Turbo, ungated fraction, events/cycle at 100% util.
+    set(Unit::Fetch,      2.00, 0.15, 5.0);
+    set(Unit::Decode,     2.20, 0.12, 5.0);
+    set(Unit::IssueQueue, 2.40, 0.20, 5.0);
+    set(Unit::RegFile,    2.00, 0.10, 5.0);
+    set(Unit::FXU,        2.60, 0.08, 2.0);
+    set(Unit::FPU,        3.20, 0.04, 2.0);
+    set(Unit::LSU,        2.40, 0.10, 2.0);
+    set(Unit::L1I,        1.20, 0.15, 5.0);
+    set(Unit::L1D,        1.80, 0.15, 2.0);
+    set(Unit::Bpred,      0.60, 0.20, 1.0);
+    set(Unit::ClockTree,  1.60, 1.00, 1.0); // never gated
+    p.leakageW = 0.30;
+    return p;
+}
+
+Watts
+CorePowerParams::peakW() const
+{
+    Watts sum = leakageW;
+    for (auto w : unitMaxW)
+        sum += w;
+    return sum;
+}
+
+CorePowerModel::CorePowerModel(CorePowerParams params_,
+                               const DvfsTable &dvfs_)
+    : params(params_), dvfs(dvfs_)
+{
+}
+
+double
+CorePowerModel::utilization(const ActivitySample &s, Unit u) const
+{
+    if (s.cycles == 0)
+        return 0.0;
+    double events;
+    switch (u) {
+      case Unit::Fetch: events = static_cast<double>(s.fetched); break;
+      case Unit::Decode:
+        events = static_cast<double>(s.dispatched);
+        break;
+      case Unit::IssueQueue:
+        events = static_cast<double>(s.issued);
+        break;
+      case Unit::RegFile:
+        events = static_cast<double>(s.issued);
+        break;
+      case Unit::FXU: events = static_cast<double>(s.fxuOps); break;
+      case Unit::FPU: events = static_cast<double>(s.fpuOps); break;
+      case Unit::LSU: events = static_cast<double>(s.lsuOps); break;
+      case Unit::L1I:
+        events = static_cast<double>(s.l1iAccesses);
+        break;
+      case Unit::L1D:
+        events = static_cast<double>(s.l1dAccesses);
+        break;
+      case Unit::Bpred:
+        events = static_cast<double>(s.branches);
+        break;
+      case Unit::ClockTree: return 1.0;
+      default: panic("utilization: bad unit");
+    }
+    double rate = events / static_cast<double>(s.cycles);
+    double util = rate / params.fullRate[idx(u)];
+    return std::min(util, 1.0);
+}
+
+Joules
+CorePowerModel::energy(const ActivitySample &s, PowerMode m) const
+{
+    return power(s, m) *
+        (static_cast<double>(s.cycles) / dvfs.frequency(m));
+}
+
+Watts
+CorePowerModel::power(const ActivitySample &s, PowerMode m) const
+{
+    const auto &pt = dvfs.point(m);
+    double dyn_scale = pt.vScale * pt.vScale * pt.fScale;
+    Watts dyn = 0.0;
+    for (std::size_t u = 0; u < numUnits; u++) {
+        double util = utilization(s, static_cast<Unit>(u));
+        double g = params.ungated[u];
+        dyn += params.unitMaxW[u] * (g + (1.0 - g) * util);
+    }
+    Watts leak = params.leakageW * pt.vScale;
+    return dyn * dyn_scale + leak;
+}
+
+Watts
+CorePowerModel::stallPower(PowerMode m) const
+{
+    // Ungated dynamic power (no activity) plus leakage.
+    ActivitySample idle{};
+    idle.cycles = 1;
+    return power(idle, m);
+}
+
+UncorePowerModel::UncorePowerModel()
+    : params(Params{})
+{
+}
+
+UncorePowerModel::UncorePowerModel(Params p)
+    : params(p)
+{
+}
+
+Joules
+UncorePowerModel::energy(double seconds, std::uint64_t l2_accesses,
+                         std::uint64_t l2_misses) const
+{
+    GPM_ASSERT(seconds >= 0.0);
+    return params.baseW * seconds +
+        params.l2AccessJ * static_cast<double>(l2_accesses) +
+        params.memAccessJ * static_cast<double>(l2_misses);
+}
+
+} // namespace gpm

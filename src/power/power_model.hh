@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit-level, activity-based core power model — our stand-in for
+ * IBM PowerTimer.
+ *
+ * The model divides the core into microarchitectural units (fetch,
+ * decode/dispatch, issue queues, register files, FXU, FPU, LSU, L1
+ * caches, clock tree). Each unit has a maximum power at the nominal
+ * operating point and an "ungated" fraction consumed even when idle
+ * (imperfect clock gating); the rest scales with per-interval
+ * utilization. Dynamic power scales as vScale^2 * fScale across DVFS
+ * modes; leakage scales with voltage only. With the default
+ * parameters ~2% of Turbo power is leakage, which lands the measured
+ * full-suite DVFS savings at the paper's ~14.1% / ~38.3% (slightly
+ * below the ideal cubic 14.3% / 38.6%).
+ *
+ * The L2 and memory controller live in a separate, fixed clock/voltage
+ * domain (the paper scales L2/memory *cycle* latencies with core
+ * frequency, which implies asynchronous uncore); UncorePowerModel
+ * accounts for them and is not DVFS-scaled.
+ */
+
+#ifndef GPM_POWER_POWER_MODEL_HH
+#define GPM_POWER_POWER_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "power/dvfs.hh"
+#include "util/units.hh"
+
+namespace gpm
+{
+
+/** Microarchitectural units tracked by the power model. */
+enum class Unit : std::uint8_t
+{
+    Fetch = 0,
+    Decode,
+    IssueQueue,
+    RegFile,
+    FXU,
+    FPU,
+    LSU,
+    L1I,
+    L1D,
+    Bpred,
+    ClockTree,
+    NumUnits,
+};
+
+constexpr std::size_t numUnits =
+    static_cast<std::size_t>(Unit::NumUnits);
+
+/** Printable unit name. */
+const char *unitName(Unit u);
+
+/**
+ * Per-interval activity counts produced by the core model and
+ * consumed by the power model. All counts are event totals over
+ * `cycles` core cycles.
+ */
+struct ActivitySample
+{
+    /** Core cycles in the interval. */
+    std::uint64_t cycles = 0;
+    /** Micro-ops fetched. */
+    std::uint64_t fetched = 0;
+    /** Micro-ops dispatched (decode/rename). */
+    std::uint64_t dispatched = 0;
+    /** Micro-ops issued to any FU. */
+    std::uint64_t issued = 0;
+    /** Micro-ops committed. */
+    std::uint64_t committed = 0;
+    /** Integer-unit operations executed. */
+    std::uint64_t fxuOps = 0;
+    /** Floating-point operations executed. */
+    std::uint64_t fpuOps = 0;
+    /** Load/store operations executed. */
+    std::uint64_t lsuOps = 0;
+    /** Conditional branches executed. */
+    std::uint64_t branches = 0;
+    /** L1 I-cache accesses. */
+    std::uint64_t l1iAccesses = 0;
+    /** L1 D-cache accesses. */
+    std::uint64_t l1dAccesses = 0;
+    /** L2 accesses from this core (L1 misses). */
+    std::uint64_t l2Accesses = 0;
+    /** L2 misses from this core (memory accesses). */
+    std::uint64_t l2Misses = 0;
+
+    /** Accumulate another sample into this one. */
+    void merge(const ActivitySample &o);
+
+    /** Reset all counts. */
+    void reset();
+};
+
+/**
+ * Static parameters of the core power model: per-unit maximum power
+ * at the nominal (Turbo) point, per-unit ungated fractions, issue
+ * widths used to normalize utilization, and leakage.
+ */
+struct CorePowerParams
+{
+    /** Per-unit maximum power at Turbo [W]. */
+    std::array<Watts, numUnits> unitMaxW;
+    /** Per-unit fraction consumed when idle (imperfect gating). */
+    std::array<double, numUnits> ungated;
+    /** Per-unit events-per-cycle corresponding to 100% utilization. */
+    std::array<double, numUnits> fullRate;
+    /** Core leakage power at nominal Vdd [W] (scales with vScale). */
+    Watts leakageW;
+
+    /** POWER4/5-class defaults calibrated for this study. */
+    static CorePowerParams classic();
+
+    /** Sum of unitMaxW + leakage: peak core power at Turbo [W]. */
+    Watts peakW() const;
+};
+
+/**
+ * Computes per-interval core energy from an ActivitySample at a given
+ * DVFS operating point.
+ */
+class CorePowerModel
+{
+  public:
+    /** Build from parameters and the DVFS table in force. */
+    CorePowerModel(CorePowerParams params, const DvfsTable &dvfs);
+
+    /**
+     * Energy consumed over @p s at mode @p m [J]. The interval length
+     * is s.cycles at the mode's frequency.
+     */
+    Joules energy(const ActivitySample &s, PowerMode m) const;
+
+    /** Average power over @p s at mode @p m [W]. */
+    Watts power(const ActivitySample &s, PowerMode m) const;
+
+    /**
+     * Power consumed while the core is stalled for a DVFS transition
+     * at (departing) mode @p m: clock-tree + ungated + leakage [W].
+     */
+    Watts stallPower(PowerMode m) const;
+
+    /** Peak single-core power at Turbo [W]. */
+    Watts peakW() const { return params.peakW(); }
+
+    /** Model parameters. */
+    const CorePowerParams &parameters() const { return params; }
+
+  private:
+    /** Per-unit utilization of @p u in sample @p s, in [0, 1]. */
+    double utilization(const ActivitySample &s, Unit u) const;
+
+    CorePowerParams params;
+    const DvfsTable &dvfs;
+};
+
+/**
+ * Power of the shared uncore (L2 + bus + memory controller), in its
+ * own fixed clock/voltage domain: a constant component plus per-access
+ * and per-miss energies.
+ */
+class UncorePowerModel
+{
+  public:
+    /** Parameters of the uncore power model. */
+    struct Params
+    {
+        /** Constant (leakage + clock) power [W]. */
+        Watts baseW = 1.8;
+        /** Energy per L2 access [J]. */
+        Joules l2AccessJ = 1.2e-9;
+        /** Energy per off-chip memory access [J]. */
+        Joules memAccessJ = 6.0e-9;
+    };
+
+    UncorePowerModel();
+    explicit UncorePowerModel(Params p);
+
+    /**
+     * Energy over an interval of @p seconds wall-clock time with the
+     * given total L2 traffic [J].
+     */
+    Joules energy(double seconds, std::uint64_t l2_accesses,
+                  std::uint64_t l2_misses) const;
+
+    /** Constant uncore power floor [W]. */
+    Watts baseW() const { return params.baseW; }
+
+  private:
+    Params params;
+};
+
+} // namespace gpm
+
+#endif // GPM_POWER_POWER_MODEL_HH

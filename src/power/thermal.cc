@@ -1,0 +1,82 @@
+#include "thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+ThermalNode::ThermalNode(ThermalParams p)
+    : prm(p), tempC(p.ambientC), peak(p.ambientC)
+{
+    GPM_ASSERT(p.rthKPerW > 0.0 && p.cthJPerK > 0.0);
+}
+
+double
+ThermalNode::steadyStateC(Watts power_w) const
+{
+    return prm.ambientC + power_w * prm.rthKPerW;
+}
+
+void
+ThermalNode::step(Watts power_w, MicroSec dt_us)
+{
+    GPM_ASSERT(dt_us >= 0.0);
+    double target = steadyStateC(power_w);
+    double alpha =
+        std::exp(-(dt_us * 1e-6) / prm.tauSeconds());
+    tempC = target + (tempC - target) * alpha;
+    peak = std::max(peak, tempC);
+}
+
+void
+ThermalNode::reset()
+{
+    tempC = prm.ambientC;
+    peak = prm.ambientC;
+}
+
+ChipThermalModel::ChipThermalModel(std::size_t cores,
+                                   ThermalParams p)
+    : nodes(cores, ThermalNode(p))
+{
+    GPM_ASSERT(cores > 0);
+}
+
+void
+ChipThermalModel::step(const std::vector<Watts> &core_power_w,
+                       MicroSec dt_us)
+{
+    GPM_ASSERT(core_power_w.size() == nodes.size());
+    for (std::size_t c = 0; c < nodes.size(); c++)
+        nodes[c].step(core_power_w[c], dt_us);
+}
+
+double
+ChipThermalModel::temperatureC(std::size_t c) const
+{
+    GPM_ASSERT(c < nodes.size());
+    return nodes[c].temperatureC();
+}
+
+double
+ChipThermalModel::hottestC() const
+{
+    double t = -1e300;
+    for (const auto &n : nodes)
+        t = std::max(t, n.temperatureC());
+    return t;
+}
+
+double
+ChipThermalModel::peakC() const
+{
+    double t = -1e300;
+    for (const auto &n : nodes)
+        t = std::max(t, n.peakC());
+    return t;
+}
+
+} // namespace gpm

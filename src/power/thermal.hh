@@ -1,0 +1,113 @@
+/**
+ * @file
+ * First-order lumped RC thermal model per core.
+ *
+ * The paper motivates global management with chip-level power *and
+ * thermal* constraints and evaluates PullHiPushLo, whose objective
+ * is balancing power across cores. This model makes that objective
+ * measurable: each core is a thermal node with resistance Rth to
+ * ambient and capacitance Cth, so
+ *
+ *     tau * dT/dt = P * Rth - (T - Tamb),   tau = Rth * Cth
+ *
+ * discretized exactly per interval (exponential step). Steady state
+ * is Tamb + P * Rth; the default parameters give a ~60 C steady
+ * state for a 9 W core over ambient 45 C with a ~3 ms time
+ * constant — hot spots develop within a handful of explore
+ * intervals, the paper's operative time scale.
+ */
+
+#ifndef GPM_POWER_THERMAL_HH
+#define GPM_POWER_THERMAL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace gpm
+{
+
+/** Physical parameters of one core's thermal node. */
+struct ThermalParams
+{
+    /** Junction-to-ambient thermal resistance [K/W]. */
+    double rthKPerW = 1.8;
+    /** Thermal capacitance [J/K]. */
+    double cthJPerK = 0.0017;
+    /** Ambient (heatsink base) temperature [C]. */
+    double ambientC = 45.0;
+
+    /** Time constant tau = Rth * Cth [s]. */
+    double tauSeconds() const { return rthKPerW * cthJPerK; }
+};
+
+/** Lumped RC thermal state of one core. */
+class ThermalNode
+{
+  public:
+    /** Start at ambient. */
+    explicit ThermalNode(ThermalParams p = ThermalParams{});
+
+    /**
+     * Advance the node by @p dt_us under constant power @p power_w
+     * (exact exponential update, stable for any dt).
+     */
+    void step(Watts power_w, MicroSec dt_us);
+
+    /** Current junction temperature [C]. */
+    double temperatureC() const { return tempC; }
+
+    /** Steady-state temperature under @p power_w [C]. */
+    double steadyStateC(Watts power_w) const;
+
+    /** Highest temperature seen since construction/reset [C]. */
+    double peakC() const { return peak; }
+
+    /** Reset to ambient and clear the peak. */
+    void reset();
+
+    /** Parameters in force. */
+    const ThermalParams &params() const { return prm; }
+
+  private:
+    ThermalParams prm;
+    double tempC;
+    double peak;
+};
+
+/**
+ * Convenience: per-core thermal tracking for a chip. Step all nodes
+ * from a vector of core powers; query per-core and hottest-core
+ * temperatures.
+ */
+class ChipThermalModel
+{
+  public:
+    /** @param cores number of cores; @param p shared parameters. */
+    explicit ChipThermalModel(std::size_t cores,
+                              ThermalParams p = ThermalParams{});
+
+    /** Advance every core by @p dt_us at its interval power. */
+    void step(const std::vector<Watts> &core_power_w,
+              MicroSec dt_us);
+
+    /** Temperature of core @p c [C]. */
+    double temperatureC(std::size_t c) const;
+
+    /** Hottest current core temperature [C]. */
+    double hottestC() const;
+
+    /** Highest temperature any core ever reached [C]. */
+    double peakC() const;
+
+    /** Number of cores. */
+    std::size_t numCores() const { return nodes.size(); }
+
+  private:
+    std::vector<ThermalNode> nodes;
+};
+
+} // namespace gpm
+
+#endif // GPM_POWER_THERMAL_HH

@@ -1,0 +1,363 @@
+#include "phase_profile.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "trace/profiler.hh"
+#include "trace/workload.hh"
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+std::uint64_t
+ModeProfile::totalInsts() const
+{
+    if (chunks.empty())
+        return 0;
+    return (chunks.size() - 1) * chunkInsts + lastChunkInsts;
+}
+
+std::uint64_t
+ModeProfile::totalTimePs() const
+{
+    std::uint64_t t = 0;
+    for (const auto &c : chunks)
+        t += c.timePs;
+    return t;
+}
+
+double
+ModeProfile::totalEnergyJ() const
+{
+    double e = 0.0;
+    for (const auto &c : chunks)
+        e += c.energyJ;
+    return e;
+}
+
+Watts
+ModeProfile::avgPowerW() const
+{
+    std::uint64_t t = totalTimePs();
+    if (t == 0)
+        return 0.0;
+    return totalEnergyJ() / (static_cast<double>(t) * 1e-12);
+}
+
+Watts
+ModeProfile::peakPowerW(MicroSec window_us) const
+{
+    GPM_ASSERT(window_us > 0.0);
+    const double window_ps = window_us * 1e6;
+    // Two-pointer sliding window over the chunk sequence.
+    Watts peak = 0.0;
+    double win_t = 0.0, win_e = 0.0;
+    std::size_t head = 0;
+    for (std::size_t tail = 0; tail < chunks.size(); tail++) {
+        win_t += static_cast<double>(chunks[tail].timePs);
+        win_e += chunks[tail].energyJ;
+        while (win_t > window_ps && head < tail) {
+            win_t -= static_cast<double>(chunks[head].timePs);
+            win_e -= chunks[head].energyJ;
+            head++;
+        }
+        if (win_t > 0.0)
+            peak = std::max(peak, win_e / (win_t * 1e-12));
+    }
+    return peak;
+}
+
+double
+ModeProfile::bips() const
+{
+    std::uint64_t t = totalTimePs();
+    if (t == 0)
+        return 0.0;
+    double secs = static_cast<double>(t) * 1e-12;
+    return static_cast<double>(totalInsts()) / secs / 1e9;
+}
+
+const ModeProfile &
+WorkloadProfile::at(PowerMode m) const
+{
+    GPM_ASSERT(m < modes.size());
+    return modes[m];
+}
+
+ProfileCursor::ProfileCursor(const WorkloadProfile &profile)
+    : prof(profile)
+{
+    GPM_ASSERT(!prof.modes.empty());
+}
+
+bool
+ProfileCursor::finished() const
+{
+    return cur.chunk >= prof.modes[0].chunks.size();
+}
+
+double
+ProfileCursor::instructionsDone() const
+{
+    const ModeProfile &mp = prof.modes[0];
+    if (finished())
+        return static_cast<double>(mp.totalInsts());
+    double insts =
+        static_cast<double>(cur.chunk) *
+        static_cast<double>(mp.chunkInsts);
+    std::uint64_t this_chunk = cur.chunk + 1 == mp.chunks.size()
+        ? mp.lastChunkInsts
+        : mp.chunkInsts;
+    return insts + cur.frac * static_cast<double>(this_chunk);
+}
+
+double
+ProfileCursor::progress() const
+{
+    double total = static_cast<double>(prof.modes[0].totalInsts());
+    if (total <= 0.0)
+        return 1.0;
+    return instructionsDone() / total;
+}
+
+void
+ProfileCursor::rewind()
+{
+    cur = Pos{};
+}
+
+ProfileCursor::Delta
+ProfileCursor::advanceFrom(Pos &pos, MicroSec dt_us, PowerMode m,
+                           double dilation) const
+{
+    GPM_ASSERT(m < prof.modes.size());
+    GPM_ASSERT(dilation >= 1.0);
+    const ModeProfile &mp = prof.modes[m];
+    Delta d;
+    double remaining_ps = dt_us * 1e6; // us -> ps
+
+    while (remaining_ps > 0.0 && pos.chunk < mp.chunks.size()) {
+        const ChunkRecord &c = mp.chunks[pos.chunk];
+        std::uint64_t this_chunk_insts =
+            pos.chunk + 1 == mp.chunks.size() ? mp.lastChunkInsts
+                                              : mp.chunkInsts;
+        double chunk_ps = static_cast<double>(c.timePs) * dilation;
+        double rem_frac = 1.0 - pos.frac;
+        double rem_ps = chunk_ps * rem_frac;
+
+        if (rem_ps <= remaining_ps) {
+            // Finish the chunk.
+            d.instructions +=
+                rem_frac * static_cast<double>(this_chunk_insts);
+            d.energyJ += rem_frac * c.energyJ;
+            d.l2Accesses +=
+                rem_frac * static_cast<double>(c.l2Accesses);
+            d.l2Misses += rem_frac * static_cast<double>(c.l2Misses);
+            remaining_ps -= rem_ps;
+            pos.chunk++;
+            pos.frac = 0.0;
+        } else {
+            double f = remaining_ps / chunk_ps;
+            d.instructions +=
+                f * static_cast<double>(this_chunk_insts);
+            d.energyJ += f * c.energyJ;
+            d.l2Accesses += f * static_cast<double>(c.l2Accesses);
+            d.l2Misses += f * static_cast<double>(c.l2Misses);
+            pos.frac += f;
+            remaining_ps = 0.0;
+        }
+    }
+
+    d.usedUs = dt_us - remaining_ps * 1e-6;
+    d.finished = pos.chunk >= mp.chunks.size();
+    return d;
+}
+
+ProfileCursor::Delta
+ProfileCursor::advance(MicroSec dt_us, PowerMode m, double dilation)
+{
+    return advanceFrom(cur, dt_us, m, dilation);
+}
+
+ProfileCursor::Delta
+ProfileCursor::peek(MicroSec dt_us, PowerMode m, double dilation) const
+{
+    Pos tmp = cur;
+    return advanceFrom(tmp, dt_us, m, dilation);
+}
+
+// ---------------------------------------------------------------
+// ProfileLibrary
+// ---------------------------------------------------------------
+
+namespace
+{
+constexpr std::uint32_t profileMagic = 0x47504d50; // "GPMP"
+constexpr std::uint32_t profileVersion = 3;
+} // namespace
+
+ProfileLibrary::ProfileLibrary(const DvfsTable &dvfs_,
+                               double length_scale)
+    : dvfs(dvfs_), lengthScale(length_scale)
+{
+}
+
+std::uint64_t
+ProfileLibrary::fingerprint() const
+{
+    // FNV-1a over the parameters that determine profile contents.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(profileVersion);
+    mix(static_cast<std::uint64_t>(lengthScale * 1e6));
+    mix(dvfs.numModes());
+    for (std::size_t m = 0; m < dvfs.numModes(); m++) {
+        mix(static_cast<std::uint64_t>(
+            dvfs.frequency(static_cast<PowerMode>(m))));
+        mix(static_cast<std::uint64_t>(
+            dvfs.voltage(static_cast<PowerMode>(m)) * 1e6));
+    }
+    for (const auto &w : spec2000Suite()) {
+        mix(w.seed);
+        mix(w.totalInsts);
+        mix(w.phases.size());
+        for (const auto &ph : w.phases) {
+            mix(ph.lengthInsts);
+            mix(static_cast<std::uint64_t>(ph.fracLoad * 1e6));
+            mix(static_cast<std::uint64_t>(ph.coldFrac * 1e6));
+            mix(static_cast<std::uint64_t>(ph.chainFrac * 1e6));
+            mix(static_cast<std::uint64_t>(ph.strideFrac * 1e6));
+            mix(static_cast<std::uint64_t>(ph.fracFp * 1e6));
+            mix(static_cast<std::uint64_t>(ph.branchBias * 1e6));
+        }
+    }
+    return h;
+}
+
+const WorkloadProfile &
+ProfileLibrary::get(const std::string &name)
+{
+    for (const auto &p : profiles)
+        if (p.name == name)
+            return p;
+    Profiler profiler(dvfs);
+    profiles.push_back(
+        profiler.profileWorkload(workload(name), lengthScale));
+    return profiles.back();
+}
+
+void
+ProfileLibrary::loadOrBuild(const std::string &path)
+{
+    if (load(path))
+        return;
+    inform("profile cache '%s' missing or stale; building suite "
+           "profiles (one-time)",
+           path.c_str());
+    Profiler profiler(dvfs);
+    profiles.clear();
+    for (const auto &w : spec2000Suite()) {
+        inform("  profiling %s (%llu Minsts x %zu modes)",
+               w.name.c_str(),
+               static_cast<unsigned long long>(
+                   w.totalInsts / 1'000'000),
+               dvfs.numModes());
+        profiles.push_back(profiler.profileWorkload(w, lengthScale));
+    }
+    save(path);
+}
+
+void
+ProfileLibrary::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("cannot write profile cache '%s'", path.c_str());
+        return;
+    }
+    auto w32 = [f](std::uint32_t v) { std::fwrite(&v, 4, 1, f); };
+    auto w64 = [f](std::uint64_t v) { std::fwrite(&v, 8, 1, f); };
+    w32(profileMagic);
+    w32(profileVersion);
+    w64(fingerprint());
+    w32(static_cast<std::uint32_t>(profiles.size()));
+    for (const auto &p : profiles) {
+        w32(static_cast<std::uint32_t>(p.name.size()));
+        std::fwrite(p.name.data(), 1, p.name.size(), f);
+        w32(static_cast<std::uint32_t>(p.modes.size()));
+        for (const auto &mp : p.modes) {
+            w64(mp.chunkInsts);
+            w64(mp.lastChunkInsts);
+            w32(static_cast<std::uint32_t>(mp.chunks.size()));
+            std::fwrite(mp.chunks.data(), sizeof(ChunkRecord),
+                        mp.chunks.size(), f);
+        }
+    }
+    std::fclose(f);
+}
+
+bool
+ProfileLibrary::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    auto fail = [&]() {
+        std::fclose(f);
+        return false;
+    };
+    auto r32 = [f](std::uint32_t &v) {
+        return std::fread(&v, 4, 1, f) == 1;
+    };
+    auto r64 = [f](std::uint64_t &v) {
+        return std::fread(&v, 8, 1, f) == 1;
+    };
+    std::uint32_t magic = 0, version = 0, count = 0;
+    std::uint64_t fp = 0;
+    if (!r32(magic) || magic != profileMagic)
+        return fail();
+    if (!r32(version) || version != profileVersion)
+        return fail();
+    if (!r64(fp) || fp != fingerprint())
+        return fail();
+    if (!r32(count) || count > 1024)
+        return fail();
+    std::deque<WorkloadProfile> loaded;
+    for (std::uint32_t i = 0; i < count; i++) {
+        WorkloadProfile p;
+        std::uint32_t name_len = 0;
+        if (!r32(name_len) || name_len > 256)
+            return fail();
+        p.name.resize(name_len);
+        if (std::fread(p.name.data(), 1, name_len, f) != name_len)
+            return fail();
+        std::uint32_t n_modes = 0;
+        if (!r32(n_modes) || n_modes > 64)
+            return fail();
+        for (std::uint32_t m = 0; m < n_modes; m++) {
+            ModeProfile mp;
+            std::uint32_t n_chunks = 0;
+            if (!r64(mp.chunkInsts) || !r64(mp.lastChunkInsts) ||
+                !r32(n_chunks) || n_chunks > 100'000'000)
+                return fail();
+            mp.chunks.resize(n_chunks);
+            if (std::fread(mp.chunks.data(), sizeof(ChunkRecord),
+                           n_chunks, f) != n_chunks)
+                return fail();
+            p.modes.push_back(std::move(mp));
+        }
+        loaded.push_back(std::move(p));
+    }
+    std::fclose(f);
+    profiles = std::move(loaded);
+    return true;
+}
+
+} // namespace gpm

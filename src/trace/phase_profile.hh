@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Per-(benchmark, mode) execution profiles — the data the paper's
+ * "static, trace-based CMP analysis tool" runs on.
+ *
+ * A workload is profiled once per DVFS mode on the detailed core
+ * model. The result is a sequence of fixed-instruction-count *chunks*
+ * (10K micro-ops each); for each chunk and mode we record the wall
+ * time it took, the core energy it consumed, and its L2 traffic.
+ * Because chunk boundaries are instruction positions, a core can
+ * switch modes at any point and continue from the same program
+ * position in another mode's timing/energy column — exactly the
+ * semantics of the paper's simultaneous multi-trace progression.
+ *
+ * ProfileCursor replays a profile in wall-clock time; ProfileLibrary
+ * builds or loads (disk-cached) profiles for the whole suite.
+ */
+
+#ifndef GPM_TRACE_PHASE_PROFILE_HH
+#define GPM_TRACE_PHASE_PROFILE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "power/dvfs.hh"
+#include "util/units.hh"
+
+namespace gpm
+{
+
+/** Default instructions per profile chunk. */
+constexpr std::uint64_t defaultChunkInsts = 10'000;
+
+/** One profiled chunk at one mode. */
+struct ChunkRecord
+{
+    /** Wall-clock time the chunk took at this mode [ps]. */
+    std::uint64_t timePs = 0;
+    /** Core energy consumed [J]. */
+    double energyJ = 0.0;
+    /** L2 accesses issued (L1 misses). */
+    std::uint32_t l2Accesses = 0;
+    /** L2 misses (off-chip accesses). */
+    std::uint32_t l2Misses = 0;
+};
+
+/** A workload's timing/energy behaviour at one DVFS mode. */
+struct ModeProfile
+{
+    /** Chunk records in program order. */
+    std::vector<ChunkRecord> chunks;
+    /** Instructions in every chunk except possibly the last. */
+    std::uint64_t chunkInsts = defaultChunkInsts;
+    /** Instructions in the final chunk. */
+    std::uint64_t lastChunkInsts = defaultChunkInsts;
+
+    /** Total instructions in the profile. */
+    std::uint64_t totalInsts() const;
+
+    /** End-to-end wall time [ps]. */
+    std::uint64_t totalTimePs() const;
+
+    /** End-to-end core energy [J]. */
+    double totalEnergyJ() const;
+
+    /** Whole-run average power [W]. */
+    Watts avgPowerW() const;
+
+    /**
+     * Peak power over sliding windows of @p window_us [W]: the
+     * highest average power any explore-interval-sized window of
+     * the native run exhibits. A static (uncorrectable) mode
+     * assignment must fit the budget at this level, not at the
+     * whole-run average.
+     */
+    Watts peakPowerW(MicroSec window_us) const;
+
+    /** Whole-run throughput in BIPS. */
+    double bips() const;
+};
+
+/** A workload's profiles across all modes of a DvfsTable. */
+struct WorkloadProfile
+{
+    /** Workload name. */
+    std::string name;
+    /** One ModeProfile per DVFS mode, indexed by PowerMode. */
+    std::vector<ModeProfile> modes;
+
+    /** Profile for mode @p m. */
+    const ModeProfile &at(PowerMode m) const;
+};
+
+/**
+ * Wall-clock replay of one WorkloadProfile: tracks a program
+ * position (chunk + fractional instructions) and advances it through
+ * time at a given mode, accumulating energy, instructions and L2
+ * traffic. Mode switches keep the program position.
+ */
+class ProfileCursor
+{
+  public:
+    /** What an advance()/peek() accumulated. */
+    struct Delta
+    {
+        double instructions = 0.0;
+        double energyJ = 0.0;
+        double l2Accesses = 0.0;
+        double l2Misses = 0.0;
+        /** Wall time actually consumed [us] (< requested when the
+         *  workload finishes). */
+        MicroSec usedUs = 0.0;
+        bool finished = false;
+    };
+
+    /** Bind to a profile (must outlive the cursor). */
+    explicit ProfileCursor(const WorkloadProfile &profile);
+
+    /**
+     * Advance the program position by @p dt_us of wall time at mode
+     * @p m, with an optional multiplicative time-dilation factor
+     * (used by the analytic contention model; dilation > 1 slows
+     * progress without changing energy-per-instruction).
+     */
+    Delta advance(MicroSec dt_us, PowerMode m, double dilation = 1.0);
+
+    /** Like advance() but without moving the cursor. */
+    Delta peek(MicroSec dt_us, PowerMode m, double dilation = 1.0) const;
+
+    /** True when the workload has completed. */
+    bool finished() const;
+
+    /** Instructions retired so far. */
+    double instructionsDone() const;
+
+    /** Fraction of the workload completed, in [0, 1]. */
+    double progress() const;
+
+    /** Reset to the beginning. */
+    void rewind();
+
+    /** The underlying profile. */
+    const WorkloadProfile &profile() const { return prof; }
+
+  private:
+    struct Pos
+    {
+        std::size_t chunk = 0;
+        double frac = 0.0; ///< fraction of the chunk completed
+    };
+
+    Delta advanceFrom(Pos &pos, MicroSec dt_us, PowerMode m,
+                      double dilation) const;
+
+    const WorkloadProfile &prof;
+    Pos cur;
+};
+
+/**
+ * Builds, caches, and serves WorkloadProfiles for a set of workloads
+ * under one DvfsTable. Building runs the detailed core model (see
+ * Profiler); profiles are cached in a binary file so benchmarks
+ * start quickly after the first run.
+ */
+class ProfileLibrary
+{
+  public:
+    /**
+     * @param dvfs          mode table to profile under
+     * @param length_scale  workload length scale (tests use < 1)
+     */
+    explicit ProfileLibrary(const DvfsTable &dvfs,
+                            double length_scale = 1.0);
+
+    /**
+     * Get the profile for @p name, building it on first use.
+     * The returned reference is stable for the library's lifetime.
+     */
+    const WorkloadProfile &get(const std::string &name);
+
+    /**
+     * Load cached profiles from @p path if compatible; otherwise
+     * build all suite profiles and save them to @p path.
+     */
+    void loadOrBuild(const std::string &path);
+
+    /** Serialize all currently built profiles to @p path. */
+    void save(const std::string &path) const;
+
+    /**
+     * Try to load from @p path.
+     * @retval false when missing or incompatible.
+     */
+    bool load(const std::string &path);
+
+    /** Fingerprint of suite + dvfs + scale for cache validation. */
+    std::uint64_t fingerprint() const;
+
+  private:
+    const DvfsTable &dvfs;
+    double lengthScale;
+    /** deque: growing never invalidates references handed out. */
+    std::deque<WorkloadProfile> profiles;
+};
+
+} // namespace gpm
+
+#endif // GPM_TRACE_PHASE_PROFILE_HH

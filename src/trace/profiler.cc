@@ -1,0 +1,86 @@
+#include "profiler.hh"
+
+#include "trace/synth_generator.hh"
+#include "uarch/core.hh"
+#include "uarch/memory.hh"
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+Profiler::Profiler(const DvfsTable &dvfs_, CoreConfig cfg_,
+                   CorePowerParams pwr_)
+    : dvfs(dvfs_), cfg(cfg_), pwrParams(pwr_)
+{
+}
+
+WorkloadProfile
+Profiler::profileWorkload(const WorkloadSpec &spec,
+                          double length_scale,
+                          std::uint64_t chunk_insts) const
+{
+    GPM_ASSERT(chunk_insts > 0);
+    WorkloadProfile result;
+    result.name = spec.name;
+    CorePowerModel power(pwrParams, dvfs);
+
+    for (std::size_t mi = 0; mi < dvfs.numModes(); mi++) {
+        auto m = static_cast<PowerMode>(mi);
+        PrivateL2 l2(cfg);
+        MemorySystem mem(cfg, l2);
+        SynthGenerator gen(spec, length_scale);
+        OooCore core(cfg, mem, gen, dvfs.frequency(m));
+
+        ModeProfile mp;
+        mp.chunkInsts = chunk_insts;
+        mp.lastChunkInsts = chunk_insts;
+        for (;;) {
+            CoreRunResult r = core.run(chunk_insts);
+            if (r.instructions == 0)
+                break;
+            ChunkRecord c;
+            c.timePs = r.elapsedPs;
+            c.energyJ = power.energy(r.activity, m);
+            c.l2Accesses =
+                static_cast<std::uint32_t>(r.activity.l2Accesses);
+            c.l2Misses =
+                static_cast<std::uint32_t>(r.activity.l2Misses);
+            mp.chunks.push_back(c);
+            if (r.streamEnded || r.instructions < chunk_insts) {
+                mp.lastChunkInsts = r.instructions;
+                break;
+            }
+        }
+        if (!result.modes.empty()) {
+            // All modes time the same instruction stream.
+            GPM_ASSERT(mp.chunks.size() ==
+                       result.modes.front().chunks.size());
+            GPM_ASSERT(mp.totalInsts() ==
+                       result.modes.front().totalInsts());
+        }
+        result.modes.push_back(std::move(mp));
+    }
+    return result;
+}
+
+ProfileSummary
+Profiler::summarize(const WorkloadProfile &p) const
+{
+    ProfileSummary s;
+    s.name = p.name;
+    const ModeProfile &turbo = p.at(modes::Turbo);
+    double t0 = static_cast<double>(turbo.totalTimePs());
+    double p0 = turbo.avgPowerW();
+    s.turboPowerW = p0;
+    s.turboIpc = static_cast<double>(turbo.totalInsts()) /
+        (t0 * 1e-12 * dvfs.nominalFrequency());
+    for (std::size_t mi = 1; mi < p.modes.size(); mi++) {
+        const ModeProfile &mp = p.modes[mi];
+        double t = static_cast<double>(mp.totalTimePs());
+        s.perfDegradation.push_back((t - t0) / t0);
+        s.powerSavings.push_back((p0 - mp.avgPowerW()) / p0);
+    }
+    return s;
+}
+
+} // namespace gpm

@@ -1,0 +1,304 @@
+#include "workload.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+namespace
+{
+
+/** Mostly-compute phase helper. */
+PhaseSpec
+cpuPhase(std::uint64_t len, double fp, double branch, double bias,
+         double dep_p)
+{
+    PhaseSpec p{};
+    p.lengthInsts = len;
+    p.fracLoad = 0.22;
+    p.fracStore = 0.10;
+    p.fracBranch = branch;
+    p.fracFp = fp;
+    p.depP = dep_p;
+    p.dep2Prob = 0.25;
+    p.branchBias = bias;
+    p.hotFrac = 1.0;
+    return p;
+}
+
+/** Memory-heavy phase helper. */
+PhaseSpec
+memPhase(std::uint64_t len, double fp, double cold, double chain,
+         double stride)
+{
+    PhaseSpec p{};
+    p.lengthInsts = len;
+    p.fracLoad = 0.32;
+    p.fracStore = 0.10;
+    p.fracBranch = 0.12;
+    p.fracFp = fp;
+    p.depP = 0.4;
+    p.branchBias = 0.93;
+    p.strideFrac = stride;
+    p.coldFrac = cold;
+    p.warmFrac = 0.15;
+    p.hotFrac = 1.0 - stride - cold - 0.15;
+    p.chainFrac = chain;
+    return p;
+}
+
+std::vector<WorkloadSpec>
+buildSuite()
+{
+    std::vector<WorkloadSpec> s;
+
+    // ---- Very high CPU utilization -------------------------------
+    {
+        WorkloadSpec w;
+        w.name = "sixtrack";
+        w.isFp = true;
+        w.memClass = "very high CPU, very low memory";
+        w.seed = 1001;
+        w.totalInsts = 40'000'000;
+        PhaseSpec a = cpuPhase(7'000'000, 0.70, 0.07, 0.97, 0.05);
+        a.fracFpDiv = 0.008;
+        PhaseSpec b = cpuPhase(5'400'000, 0.62, 0.08, 0.96, 0.06);
+        b.fracFpDiv = 0.008;
+        w.phases = {a, b};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "crafty";
+        w.isFp = false;
+        w.memClass = "very high CPU, very low memory";
+        w.seed = 1002;
+        w.totalInsts = 29'000'000;
+        PhaseSpec a = cpuPhase(5'400'000, 0.0, 0.16, 0.93, 0.08);
+        a.warmFrac = 0.03;
+        a.hotFrac = 0.97;
+        PhaseSpec b = cpuPhase(3'600'000, 0.0, 0.14, 0.94, 0.08);
+        w.phases = {a, b};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "perlbmk";
+        w.isFp = false;
+        w.memClass = "very high CPU, very low memory";
+        w.seed = 1003;
+        w.totalInsts = 25'000'000;
+        w.codeBytes = 96 * 1024;
+        PhaseSpec a = cpuPhase(2'500'000, 0.0, 0.18, 0.94, 0.10);
+        a.warmFrac = 0.05;
+        a.hotFrac = 0.95;
+        w.phases = {a};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "gap";
+        w.isFp = false;
+        w.memClass = "high CPU, low memory";
+        w.seed = 1004;
+        w.totalInsts = 21'000'000;
+        PhaseSpec a = cpuPhase(3'600'000, 0.0, 0.13, 0.94, 0.13);
+        a.warmFrac = 0.10;
+        a.coldFrac = 0.004;
+        a.hotFrac = 1.0 - a.warmFrac - a.coldFrac;
+        PhaseSpec b = memPhase(1'800'000, 0.0, 0.03, 0.25, 0.2);
+        w.phases = {a, b};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "wupwise";
+        w.isFp = true;
+        w.memClass = "high CPU, low memory";
+        w.seed = 1005;
+        w.totalInsts = 32'000'000;
+        w.streamBytes = 768 * 1024; // mostly L2-resident streams
+        PhaseSpec a = cpuPhase(5'200'000, 0.66, 0.06, 0.97, 0.06);
+        a.fracFpDiv = 0.01;
+        PhaseSpec b = cpuPhase(3'600'000, 0.60, 0.06, 0.97, 0.07);
+        b.fracFpDiv = 0.01;
+        b.strideFrac = 0.40;
+        b.hotFrac = 0.55;
+        b.coldFrac = 0.05;
+        w.phases = {a, b};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "facerec";
+        w.isFp = true;
+        w.memClass = "high CPU, low memory";
+        w.seed = 1006;
+        w.totalInsts = 28'000'000;
+        w.streamBytes = 1024 * 1024;
+        PhaseSpec a = cpuPhase(4'400'000, 0.58, 0.08, 0.96, 0.07);
+        a.fracFpDiv = 0.01;
+        PhaseSpec b = cpuPhase(2'700'000, 0.55, 0.08, 0.95, 0.08);
+        b.fracFpDiv = 0.01;
+        b.strideFrac = 0.30;
+        b.hotFrac = 0.64;
+        b.coldFrac = 0.06;
+        w.phases = {a, b};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "mesa";
+        w.isFp = true;
+        w.memClass = "high CPU, low memory";
+        w.seed = 1007;
+        w.totalInsts = 27'000'000;
+        PhaseSpec a = cpuPhase(2'200'000, 0.45, 0.11, 0.95, 0.08);
+        a.fracFpDiv = 0.01;
+        a.warmFrac = 0.04;
+        a.hotFrac = 0.96;
+        w.phases = {a};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "gcc";
+        w.isFp = false;
+        w.memClass = "high CPU, low memory";
+        w.seed = 1008;
+        w.totalInsts = 18'000'000;
+        w.codeBytes = 384 * 1024; // large code footprint
+        PhaseSpec a = cpuPhase(3'200'000, 0.0, 0.17, 0.92, 0.20);
+        a.warmFrac = 0.10;
+        a.coldFrac = 0.006;
+        a.hotFrac = 1.0 - a.warmFrac - a.coldFrac;
+        PhaseSpec b = memPhase(2'200'000, 0.0, 0.035, 0.30, 0.1);
+        w.phases = {a, b};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "vortex";
+        w.isFp = false;
+        w.memClass = "high CPU, low memory";
+        w.seed = 1009;
+        w.totalInsts = 21'000'000;
+        w.codeBytes = 192 * 1024;
+        PhaseSpec a = cpuPhase(2'000'000, 0.0, 0.15, 0.94, 0.11);
+        a.warmFrac = 0.09;
+        a.coldFrac = 0.003;
+        a.hotFrac = 1.0 - a.warmFrac - a.coldFrac;
+        w.phases = {a};
+        s.push_back(w);
+    }
+
+    // ---- Low CPU / high memory -----------------------------------
+    {
+        WorkloadSpec w;
+        w.name = "ammp";
+        w.isFp = true;
+        w.memClass = "low CPU, high memory";
+        w.seed = 1010;
+        w.totalInsts = 10'000'000;
+        PhaseSpec a = memPhase(3'600'000, 0.5, 0.075, 0.45, 0.10);
+        PhaseSpec b = cpuPhase(2'800'000, 0.60, 0.08, 0.95, 0.10);
+        b.warmFrac = 0.04;
+        b.hotFrac = 0.96;
+        w.phases = {a, b};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "art";
+        w.isFp = true;
+        w.memClass = "very low CPU, very high memory";
+        w.seed = 1011;
+        w.totalInsts = 6'600'000;
+        w.streamBytes = 8ULL * 1024 * 1024; // streams miss L2
+        PhaseSpec a = memPhase(2'200'000, 0.5, 0.16, 0.30, 0.35);
+        a.hotFrac = 1.0 - 0.35 - 0.16 - a.warmFrac;
+        PhaseSpec b = memPhase(1'300'000, 0.5, 0.03, 0.10, 0.40);
+        b.hotFrac = 1.0 - 0.40 - 0.03 - b.warmFrac;
+        w.phases = {a, b};
+        s.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "mcf";
+        w.isFp = false;
+        w.memClass = "very low CPU, very high memory";
+        w.seed = 1012;
+        w.totalInsts = 4'000'000;
+        w.coldBytes = 256ULL * 1024 * 1024;
+        PhaseSpec a = memPhase(1'700'000, 0.0, 0.28, 0.72, 0.0);
+        a.hotFrac = 1.0 - 0.28 - a.warmFrac;
+        PhaseSpec b = memPhase(650'000, 0.0, 0.09, 0.40, 0.0);
+        b.hotFrac = 1.0 - 0.09 - b.warmFrac;
+        w.phases = {a, b};
+        s.push_back(w);
+    }
+
+    return s;
+}
+
+std::vector<std::pair<std::string, std::vector<std::string>>>
+buildCombinations()
+{
+    return {
+        // Table 2: 2-way CMP combinations.
+        {"2way1", {"ammp", "art"}},
+        {"2way2", {"gcc", "mesa"}},
+        {"2way3", {"crafty", "facerec"}},
+        {"2way4", {"art", "mcf"}},
+        // Table 2: 4-way CMP combinations.
+        {"4way1", {"ammp", "mcf", "crafty", "art"}},
+        {"4way2", {"facerec", "gcc", "mesa", "vortex"}},
+        {"4way3", {"sixtrack", "gap", "perlbmk", "wupwise"}},
+        {"4way4", {"mcf", "mcf", "art", "art"}},
+        // Figure 10: 8-way combinations (pairs of 4-way sets).
+        {"8way1",
+         {"ammp", "mcf", "crafty", "art", "facerec", "gcc", "mesa",
+          "vortex"}},
+        {"8way2",
+         {"sixtrack", "gap", "perlbmk", "wupwise", "mcf", "mcf", "art",
+          "art"}},
+    };
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+spec2000Suite()
+{
+    static const std::vector<WorkloadSpec> suite = buildSuite();
+    return suite;
+}
+
+const WorkloadSpec &
+workload(const std::string &name)
+{
+    for (const auto &w : spec2000Suite())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+const std::vector<std::pair<std::string, std::vector<std::string>>> &
+benchmarkCombinations()
+{
+    static const auto combos = buildCombinations();
+    return combos;
+}
+
+const std::vector<std::string> &
+combination(const std::string &key)
+{
+    for (const auto &[k, v] : benchmarkCombinations())
+        if (k == key)
+            return v;
+    fatal("unknown benchmark combination '%s'", key.c_str());
+}
+
+} // namespace gpm

@@ -1,0 +1,79 @@
+#include "branch_predictor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+BranchPredictor::BranchPredictor(std::uint32_t entries)
+    : mask(entries - 1), bimodal(entries, 1), gshare(entries, 1),
+      selector(entries, 1)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        fatal("BranchPredictor: entries must be a power of two");
+}
+
+void
+BranchPredictor::bump(std::uint8_t &c, bool taken)
+{
+    if (taken) {
+        if (c < 3)
+            c++;
+    } else {
+        if (c > 0)
+            c--;
+    }
+}
+
+bool
+BranchPredictor::predictAndUpdate(std::uint64_t pc, bool taken)
+{
+    // Branches are word-aligned; drop the low bits for indexing.
+    std::uint64_t key = pc >> 2;
+    std::uint32_t bi = static_cast<std::uint32_t>(key) & mask;
+    std::uint32_t gi =
+        static_cast<std::uint32_t>(key ^ history) & mask;
+    std::uint32_t si = bi;
+
+    bool p_bim = counterTaken(bimodal[bi]);
+    bool p_gsh = counterTaken(gshare[gi]);
+    bool use_gshare = selector[si] >= 2;
+    bool pred = use_gshare ? p_gsh : p_bim;
+
+    nLookups++;
+    bool correct = (pred == taken);
+    if (!correct)
+        nMispredicts++;
+
+    // Selector trains toward the component that was right.
+    if (p_bim != p_gsh)
+        bump(selector[si], p_gsh == taken);
+    bump(bimodal[bi], taken);
+    bump(gshare[gi], taken);
+    history = ((history << 1) | (taken ? 1u : 0u)) & mask;
+    return correct;
+}
+
+double
+BranchPredictor::mispredictRate() const
+{
+    if (nLookups == 0)
+        return 0.0;
+    return static_cast<double>(nMispredicts) /
+        static_cast<double>(nLookups);
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(bimodal.begin(), bimodal.end(), 1);
+    std::fill(gshare.begin(), gshare.end(), 1);
+    std::fill(selector.begin(), selector.end(), 1);
+    history = 0;
+    nLookups = 0;
+    nMispredicts = 0;
+}
+
+} // namespace gpm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Combining (tournament) branch predictor per paper Table 1:
+ * 16K-entry bimodal + 16K-entry gshare + 16K-entry selector.
+ */
+
+#ifndef GPM_UARCH_BRANCH_PREDICTOR_HH
+#define GPM_UARCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gpm
+{
+
+/**
+ * Tournament predictor: a bimodal table indexed by PC, a gshare table
+ * indexed by PC xor global history, and a selector table (indexed by
+ * PC) of 2-bit counters choosing between them. All tables use 2-bit
+ * saturating counters.
+ */
+class BranchPredictor
+{
+  public:
+    /** Build with @p entries entries per table (power of two). */
+    explicit BranchPredictor(std::uint32_t entries = 16 * 1024);
+
+    /**
+     * Predict and update for one branch.
+     *
+     * Combines prediction and (immediate) update: the one-pass core
+     * timing model resolves outcomes in program order, which is the
+     * standard trace-driven simplification (no wrong-path predictor
+     * pollution).
+     *
+     * @param pc     branch address
+     * @param taken  actual outcome
+     * @retval true when the prediction was correct
+     */
+    bool predictAndUpdate(std::uint64_t pc, bool taken);
+
+    /** Branches observed. */
+    std::uint64_t lookups() const { return nLookups; }
+
+    /** Mispredictions observed. */
+    std::uint64_t mispredicts() const { return nMispredicts; }
+
+    /** Misprediction rate in [0, 1]; 0 when no lookups. */
+    double mispredictRate() const;
+
+    /** Reset tables and statistics. */
+    void reset();
+
+  private:
+    static bool counterTaken(std::uint8_t c) { return c >= 2; }
+    static void bump(std::uint8_t &c, bool taken);
+
+    std::uint32_t mask;
+    std::vector<std::uint8_t> bimodal;
+    std::vector<std::uint8_t> gshare;
+    std::vector<std::uint8_t> selector; ///< >=2 selects gshare
+    std::uint64_t history = 0;
+    std::uint64_t nLookups = 0;
+    std::uint64_t nMispredicts = 0;
+};
+
+} // namespace gpm
+
+#endif // GPM_UARCH_BRANCH_PREDICTOR_HH

@@ -1,0 +1,141 @@
+#include "cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+double
+CacheStats::missRate() const
+{
+    if (accesses == 0)
+        return 0.0;
+    return static_cast<double>(misses) / static_cast<double>(accesses);
+}
+
+namespace
+{
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+} // namespace
+
+Cache::Cache(const CacheConfig &cfg)
+    : ways(cfg.ways), blockBytes(cfg.blockBytes)
+{
+    if (!isPow2(cfg.sizeBytes) || !isPow2(cfg.blockBytes))
+        fatal("Cache: size and block size must be powers of two");
+    std::uint64_t n_blocks = cfg.sizeBytes / cfg.blockBytes;
+    if (cfg.ways == 0 || n_blocks % cfg.ways != 0)
+        fatal("Cache: capacity not divisible into %u ways", cfg.ways);
+    sets = static_cast<std::uint32_t>(n_blocks / cfg.ways);
+    if (!isPow2(sets))
+        fatal("Cache: set count must be a power of two");
+    blockShift =
+        static_cast<std::uint32_t>(std::countr_zero(
+            static_cast<std::uint64_t>(blockBytes)));
+    lines.resize(static_cast<std::size_t>(sets) * ways);
+    // Seed LRU ordering within each set.
+    for (std::uint32_t s = 0; s < sets; s++)
+        for (std::uint32_t w = 0; w < ways; w++)
+            lines[static_cast<std::size_t>(s) * ways + w].lru = w;
+}
+
+Cache::Line *
+Cache::set(std::uint64_t addr)
+{
+    std::uint64_t block = addr >> blockShift;
+    std::uint32_t s = static_cast<std::uint32_t>(block) & (sets - 1);
+    return &lines[static_cast<std::size_t>(s) * ways];
+}
+
+const Cache::Line *
+Cache::set(std::uint64_t addr) const
+{
+    std::uint64_t block = addr >> blockShift;
+    std::uint32_t s = static_cast<std::uint32_t>(block) & (sets - 1);
+    return &lines[static_cast<std::size_t>(s) * ways];
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return (addr >> blockShift) / sets;
+}
+
+void
+Cache::touch(Line *line_array, Line &used)
+{
+    std::uint32_t old = used.lru;
+    for (std::uint32_t w = 0; w < ways; w++) {
+        Line &l = line_array[w];
+        if (l.lru < old)
+            l.lru++;
+    }
+    used.lru = 0;
+}
+
+CacheAccessResult
+Cache::access(std::uint64_t addr, bool is_write)
+{
+    stats_.accesses++;
+    Line *s = set(addr);
+    std::uint64_t tag = tagOf(addr);
+
+    for (std::uint32_t w = 0; w < ways; w++) {
+        Line &l = s[w];
+        if (l.valid && l.tag == tag) {
+            touch(s, l);
+            if (is_write)
+                l.dirty = true;
+            return {true, false};
+        }
+    }
+
+    // Miss: fill into LRU victim.
+    stats_.misses++;
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways; w++) {
+        Line &l = s[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.lru > victim->lru)
+            victim = &l;
+    }
+    bool wb = victim->valid && victim->dirty;
+    if (wb)
+        stats_.writebacks++;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    touch(s, *victim);
+    return {false, wb};
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const Line *s = set(addr);
+    std::uint64_t tag = tagOf(addr);
+    for (std::uint32_t w = 0; w < ways; w++)
+        if (s[w].valid && s[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+} // namespace gpm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Generic set-associative cache with true-LRU replacement. Models
+ * tag state only (no data): enough for hit/miss timing, writeback
+ * traffic and capacity-contention behaviour in the shared L2.
+ */
+
+#ifndef GPM_UARCH_CACHE_HH
+#define GPM_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/core_config.hh"
+
+namespace gpm
+{
+
+/** Outcome of one cache access. */
+struct CacheAccessResult
+{
+    /** The block was present. */
+    bool hit = false;
+    /** A dirty block was evicted (writeback traffic). */
+    bool writeback = false;
+};
+
+/** Cumulative cache statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    /** Miss rate in [0, 1]; 0 when no accesses. */
+    double missRate() const;
+};
+
+/**
+ * Tag-only set-associative cache with true LRU.
+ *
+ * Thread-unsafe by design (one per core, or one shared L2 accessed
+ * from the serialized CMP loop).
+ */
+class Cache
+{
+  public:
+    /** Build from geometry; all fields must be powers of two. */
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Access the block containing @p addr.
+     *
+     * @param addr     byte address
+     * @param is_write marks the block dirty on hit/fill
+     * @return hit/miss and writeback information
+     */
+    CacheAccessResult access(std::uint64_t addr, bool is_write);
+
+    /** Probe without updating state: is the block resident? */
+    bool contains(std::uint64_t addr) const;
+
+    /** Invalidate everything (keeps statistics). */
+    void flush();
+
+    /** Statistics since construction or resetStats(). */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Clear statistics only. */
+    void resetStats() { stats_ = CacheStats(); }
+
+    /** Number of sets. */
+    std::uint32_t numSets() const { return sets; }
+
+    /** Associativity. */
+    std::uint32_t numWays() const { return ways; }
+
+    /** Block size in bytes. */
+    std::uint32_t blockSize() const { return blockBytes; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint32_t lru = 0; ///< 0 = most recently used
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Line *set(std::uint64_t addr);
+    const Line *set(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+    void touch(Line *line_array, Line &used);
+
+    std::uint32_t sets;
+    std::uint32_t ways;
+    std::uint32_t blockBytes;
+    std::uint32_t blockShift;
+    std::vector<Line> lines;
+    CacheStats stats_;
+};
+
+} // namespace gpm
+
+#endif // GPM_UARCH_CACHE_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * One-pass out-of-order core timing model (the Turandot stand-in).
+ *
+ * The model processes micro-ops strictly in program order and computes
+ * each op's fetch / dispatch / issue / complete / commit timestamps
+ * from sliding histories of the structures that constrain them:
+ *
+ *   - fetch:    fetch width per cycle, I-cache misses, branch
+ *               redirects (mispredict penalty after branch resolve)
+ *   - dispatch: dispatch width, reorder-window occupancy (freed at
+ *               commit), reservation-station occupancy per cluster
+ *               (freed at issue), rename-register pools (freed at
+ *               commit)
+ *   - issue:    register dependences (distance-encoded), FU
+ *               availability per class, MSHR occupancy for L1D misses
+ *   - complete: FU latency; loads add cache/memory latency, where L2
+ *               and memory latencies are fixed in *nanoseconds*
+ *               (asynchronous uncore) and therefore shrink in core
+ *               cycles as the core slows under DVFS
+ *   - commit:   in order, commit width per cycle
+ *
+ * All event times are held in picoseconds, so the core frequency can
+ * change between run() calls (per-core DVFS in the full-CMP model)
+ * without rebasing state. This O(1)-per-instruction formulation
+ * reproduces the throughput behaviour of a cycle-stepped OOO model
+ * for the structures listed while being fast enough to profile the
+ * whole workload suite in seconds — the property the paper's
+ * trace-based methodology depends on.
+ */
+
+#ifndef GPM_UARCH_CORE_HH
+#define GPM_UARCH_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "power/power_model.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/core_config.hh"
+#include "uarch/isa.hh"
+#include "uarch/memory.hh"
+#include "util/units.hh"
+
+namespace gpm
+{
+
+/** Result of one OooCore::run() call. */
+struct CoreRunResult
+{
+    /** Micro-ops committed during the call. */
+    std::uint64_t instructions = 0;
+    /** Wall-clock time advanced, picoseconds. */
+    std::uint64_t elapsedPs = 0;
+    /** Activity counts for the power model (cycles at the core f). */
+    ActivitySample activity;
+    /** The op stream ended during this call. */
+    bool streamEnded = false;
+};
+
+/**
+ * The out-of-order core model. Owns its branch predictor; uses an
+ * external MemorySystem (so the L2 can be shared) and an external
+ * OpSource (the workload).
+ */
+class OooCore
+{
+  public:
+    /**
+     * @param cfg    design parameters (Table 1)
+     * @param mem    this core's memory system
+     * @param src    workload micro-op stream
+     * @param freq   initial clock frequency [Hz]
+     */
+    OooCore(const CoreConfig &cfg, MemorySystem &mem, OpSource &src,
+            Hertz freq = 1.0e9);
+
+    /** Change the core clock (per-core DVFS). Takes effect for
+     *  subsequently processed ops. */
+    void setFrequency(Hertz f);
+
+    /** Current clock frequency [Hz]. */
+    Hertz frequency() const { return freq; }
+
+    /**
+     * Process up to @p max_insts micro-ops (or until the stream
+     * ends).
+     */
+    CoreRunResult run(std::uint64_t max_insts);
+
+    /**
+     * Process micro-ops until local wall-clock time reaches
+     * @p t_ps (or the stream ends). May overshoot by one op.
+     */
+    CoreRunResult runUntilPs(std::uint64_t t_ps);
+
+    /** Local wall-clock time: commit time of the newest op [ps]. */
+    std::uint64_t nowPs() const { return lastCommit; }
+
+    /** Total micro-ops committed since construction. */
+    std::uint64_t totalInstructions() const { return totalInsts; }
+
+    /** Branch predictor statistics access. */
+    const BranchPredictor &branchPredictor() const { return bpred; }
+
+    /**
+     * Inject a stall until absolute time @p t_ps (used for DVFS
+     * transition stalls in the full-CMP model): no ops execute
+     * before t_ps.
+     */
+    void stallUntilPs(std::uint64_t t_ps);
+
+  private:
+    /** Sliding ring of the last N event times; oldest() is the value
+     *  N pushes back (0 until warmed up). */
+    class TimeRing
+    {
+      public:
+        explicit TimeRing(std::size_t cap) : buf(cap, 0) {}
+        std::uint64_t oldest() const { return buf[pos]; }
+        void
+        push(std::uint64_t t)
+        {
+            buf[pos] = t;
+            pos = pos + 1 == buf.size() ? 0 : pos + 1;
+        }
+
+      private:
+        std::vector<std::uint64_t> buf;
+        std::size_t pos = 0;
+    };
+
+    /** FU clusters for reservation-station accounting. */
+    enum Cluster { ClMem = 0, ClFix, ClFp, NumClusters };
+    /** FU groups for issue-port accounting. */
+    enum FuGroup { FuLsu = 0, FuFxu, FuFpu, FuBru, NumFuGroups };
+    /** Rename destination classes. */
+    enum RegClass { RegGpr = 0, RegFpr, RegNone };
+
+    static Cluster clusterOf(OpClass c);
+    static FuGroup groupOf(OpClass c);
+    static RegClass destClassOf(OpClass c);
+
+    /** Process exactly one op; returns false at stream end. */
+    bool step();
+
+    std::uint64_t ns2ps(double ns) const
+    {
+        return static_cast<std::uint64_t>(ns * 1e3 + 0.5);
+    }
+    double ps2ns(std::uint64_t ps) const
+    {
+        return static_cast<double>(ps) * 1e-3;
+    }
+
+    CoreConfig cfg;
+    MemorySystem &mem;
+    OpSource &src;
+    BranchPredictor bpred;
+
+    Hertz freq;
+    std::uint64_t periodPs;
+
+    // Event-time state (all picoseconds).
+    std::uint64_t seq = 0;
+    std::array<std::uint64_t, 256> completeHist{};
+    TimeRing fetchRing;
+    TimeRing dispRing;
+    TimeRing commitWidthRing;
+    TimeRing windowRing;
+    std::array<TimeRing, NumClusters> rsRings;
+    std::array<TimeRing, 2> regRings;
+    TimeRing mshrRing;
+    std::vector<std::uint64_t> fuFree[NumFuGroups];
+    std::uint64_t lastDispatch = 0;
+    std::uint64_t lastCommit = 0;
+    std::uint64_t redirectPs = 0;
+    std::uint64_t curFetchBlock = ~0ULL;
+
+    // Accumulated per-run() activity.
+    ActivitySample act;
+    std::uint64_t runStartPs = 0;
+    std::uint64_t totalInsts = 0;
+    bool exhausted = false;
+};
+
+} // namespace gpm
+
+#endif // GPM_UARCH_CORE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Core and memory-hierarchy design parameters (paper Table 1).
+ */
+
+#ifndef GPM_UARCH_CORE_CONFIG_HH
+#define GPM_UARCH_CORE_CONFIG_HH
+
+#include <cstdint>
+
+namespace gpm
+{
+
+/** Parameters of one set-associative cache. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes;
+    /** Associativity (ways). */
+    std::uint32_t ways;
+    /** Line size in bytes. */
+    std::uint32_t blockBytes;
+};
+
+/**
+ * Design parameters for the POWER4/5-class out-of-order core model
+ * (paper Table 1) plus a few microarchitectural constants the paper
+ * leaves implicit (we use POWER4-typical values and document them).
+ */
+struct CoreConfig
+{
+    /** Dispatch (and commit) width in micro-ops per cycle. */
+    std::uint32_t dispatchWidth = 5;
+    /** Fetch width in micro-ops per cycle. */
+    std::uint32_t fetchWidth = 8;
+    /** Instruction queue / reorder window entries. */
+    std::uint32_t windowSize = 256;
+    /** Reservation-station entries, memory cluster (2 x 18). */
+    std::uint32_t rsMem = 36;
+    /** Reservation-station entries, fixed-point cluster (2 x 20). */
+    std::uint32_t rsFix = 40;
+    /** Reservation-station entries, floating-point cluster (2 x 5). */
+    std::uint32_t rsFp = 10;
+    /** Physical general-purpose registers. */
+    std::uint32_t physGpr = 80;
+    /** Physical floating-point registers. */
+    std::uint32_t physFpr = 72;
+    /** Architected GPRs (rename pool = phys - arch). */
+    std::uint32_t archGpr = 36;
+    /** Architected FPRs. */
+    std::uint32_t archFpr = 32;
+    /** Load/store units. */
+    std::uint32_t numLsu = 2;
+    /** Fixed-point units. */
+    std::uint32_t numFxu = 2;
+    /** Floating-point units. */
+    std::uint32_t numFpu = 2;
+    /** Branch units. */
+    std::uint32_t numBru = 1;
+    /** Outstanding L1D misses (MSHRs). */
+    std::uint32_t mshrs = 8;
+    /** Front-end depth: fetch-to-dispatch delay in cycles. */
+    std::uint32_t frontendDelay = 5;
+    /** Branch-mispredict redirect penalty in cycles. */
+    std::uint32_t redirectPenalty = 12;
+
+    /** Branch predictor table entries (bimodal/gshare/selector). */
+    std::uint32_t bpredEntries = 16 * 1024;
+
+    /** L1 D-cache: 32 KB, 2-way, 128 B blocks, 1-cycle latency. */
+    CacheConfig l1d{32 * 1024, 2, 128};
+    /** L1 I-cache: 64 KB, 2-way, 128 B blocks, 1-cycle latency. */
+    CacheConfig l1i{64 * 1024, 2, 128};
+    /** Shared L2: 2 MB, 4-way LRU, 128 B blocks, 9-cycle latency. */
+    CacheConfig l2{2 * 1024 * 1024, 4, 128};
+
+    /** L1 hit latency in core cycles (frequency-independent). */
+    std::uint32_t l1LatCycles = 1;
+    /**
+     * L2 hit latency in *nanoseconds* (9 Turbo cycles at 1 GHz).
+     * The uncore is a fixed clock domain: core-cycle latency scales
+     * with core frequency.
+     */
+    double l2LatNs = 9.0;
+    /** Memory latency in nanoseconds (77 Turbo cycles at 1 GHz). */
+    double memLatNs = 77.0;
+
+    /** FXU ALU latency [cycles]. */
+    std::uint32_t latIntAlu = 1;
+    /** FXU multiply latency [cycles]. */
+    std::uint32_t latIntMul = 7;
+    /** FPU add latency [cycles]. */
+    std::uint32_t latFpAlu = 6;
+    /** FPU multiply latency [cycles]. */
+    std::uint32_t latFpMul = 6;
+    /** FPU divide latency [cycles] (unpipelined). */
+    std::uint32_t latFpDiv = 30;
+    /** Branch resolve latency [cycles]. */
+    std::uint32_t latBranch = 1;
+    /** Load address-generation cycles before cache access. */
+    std::uint32_t latAgen = 1;
+};
+
+} // namespace gpm
+
+#endif // GPM_UARCH_CORE_CONFIG_HH

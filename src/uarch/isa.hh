@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synthetic micro-op representation.
+ *
+ * gpm does not execute a real ISA: the policies under study only
+ * depend on the *timing and activity* of the instruction stream, so
+ * workloads are streams of micro-ops carrying operation class,
+ * register-dependence distances, memory addresses and branch
+ * outcomes. This mirrors trace-driven use of Turandot where the
+ * functional path is pre-resolved.
+ */
+
+#ifndef GPM_UARCH_ISA_HH
+#define GPM_UARCH_ISA_HH
+
+#include <cstdint>
+
+namespace gpm
+{
+
+/** Operation classes, mapped onto the POWER4-like FU clusters. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu = 0, ///< 1-cycle FXU op
+    IntMul,     ///< pipelined multiply on FXU
+    FpAlu,      ///< pipelined FPU add/sub
+    FpMul,      ///< pipelined FPU multiply (FMA-class)
+    FpDiv,      ///< unpipelined FPU divide/sqrt
+    Load,       ///< LSU load
+    Store,      ///< LSU store
+    Branch,     ///< conditional branch on BRU
+    NumClasses,
+};
+
+constexpr std::size_t numOpClasses =
+    static_cast<std::size_t>(OpClass::NumClasses);
+
+/** True for FPU-executed classes. */
+constexpr bool
+isFp(OpClass c)
+{
+    return c == OpClass::FpAlu || c == OpClass::FpMul ||
+        c == OpClass::FpDiv;
+}
+
+/** True for LSU-executed classes. */
+constexpr bool
+isMem(OpClass c)
+{
+    return c == OpClass::Load || c == OpClass::Store;
+}
+
+/**
+ * One synthetic micro-op.
+ *
+ * Register dependences are encoded as *distances*: depA == k means
+ * this op reads the result of the op k positions earlier in program
+ * order (0 = no dependence). Distances are bounded by the reorder
+ * window so a sliding history suffices for timing.
+ */
+struct MicroOp
+{
+    /** Program counter (byte address in the synthetic code space). */
+    std::uint64_t pc = 0;
+    /** Data address for loads/stores. */
+    std::uint64_t addr = 0;
+    /** Operation class. */
+    OpClass cls = OpClass::IntAlu;
+    /** First source dependence distance (0 = none). */
+    std::uint8_t depA = 0;
+    /** Second source dependence distance (0 = none). */
+    std::uint8_t depB = 0;
+    /** Branch outcome (valid when cls == Branch). */
+    bool taken = false;
+};
+
+/**
+ * Abstract producer of a micro-op stream. Implemented by the
+ * synthetic workload generators.
+ */
+class OpSource
+{
+  public:
+    virtual ~OpSource() = default;
+
+    /**
+     * Produce the next op in program order.
+     * @retval false when the stream is exhausted.
+     */
+    virtual bool next(MicroOp &op) = 0;
+};
+
+} // namespace gpm
+
+#endif // GPM_UARCH_ISA_HH

@@ -1,0 +1,84 @@
+#include "memory.hh"
+
+namespace gpm
+{
+
+PrivateL2::PrivateL2(const CoreConfig &cfg)
+    : l2(cfg.l2), l2LatNs(cfg.l2LatNs), memLatNs(cfg.memLatNs)
+{
+}
+
+L2Outcome
+PrivateL2::access(std::uint32_t /*core_id*/, std::uint64_t addr,
+                  bool is_write, double /*time_ns*/)
+{
+    auto r = l2.access(addr, is_write);
+    if (r.hit)
+        return {l2LatNs, false};
+    return {memLatNs, true};
+}
+
+MemorySystem::MemorySystem(const CoreConfig &cfg, L2Service &l2_,
+                           std::uint32_t core_id)
+    : l1i(cfg.l1i), l1d(cfg.l1d), l2(l2_), coreId(core_id)
+{
+}
+
+std::uint64_t
+MemorySystem::disambiguate(std::uint64_t addr) const
+{
+    return addr | (static_cast<std::uint64_t>(coreId) << 44);
+}
+
+MemorySystem::DataResult
+MemorySystem::dataAccess(std::uint64_t addr, bool is_write,
+                         double time_ns)
+{
+    stats_.l1dAccesses++;
+    auto l1r = l1d.access(addr, is_write);
+    if (l1r.hit)
+        return {0.0, true, false};
+
+    stats_.l1dMisses++;
+    stats_.l2Accesses++;
+    auto l2r = l2.access(coreId, disambiguate(addr), is_write, time_ns);
+    if (l2r.miss)
+        stats_.l2Misses++;
+    return {l2r.latencyNs, false, l2r.miss};
+}
+
+MemorySystem::DataResult
+MemorySystem::instFetch(std::uint64_t pc, double time_ns)
+{
+    stats_.l1iAccesses++;
+    auto l1r = l1i.access(pc, false);
+    DataResult result{0.0, true, false};
+    if (!l1r.hit) {
+        stats_.l1iMisses++;
+        stats_.l2Accesses++;
+        // Tag instruction space away from data space.
+        std::uint64_t addr = disambiguate(pc) | (1ULL << 43);
+        auto l2r = l2.access(coreId, addr, false, time_ns);
+        if (l2r.miss)
+            stats_.l2Misses++;
+        result = {l2r.latencyNs, false, l2r.miss};
+    }
+
+    // Next-line instruction prefetch (POWER4-style sequential
+    // I-prefetcher): ensure the following block is resident so
+    // straight-line code does not pay a miss per 128 B block. The
+    // fill's latency is hidden; its L2 traffic is accounted.
+    std::uint64_t next = pc + l1i.blockSize();
+    if (!l1i.contains(next)) {
+        stats_.l1iPrefetches++;
+        l1i.access(next, false);
+        stats_.l2Accesses++;
+        std::uint64_t addr = disambiguate(next) | (1ULL << 43);
+        auto l2r = l2.access(coreId, addr, false, time_ns);
+        if (l2r.miss)
+            stats_.l2Misses++;
+    }
+    return result;
+}
+
+} // namespace gpm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Memory hierarchy: per-core L1I/L1D in the core clock domain, and an
+ * L2Service abstraction for everything behind them. The L2 + memory
+ * live in a fixed (asynchronous) clock domain, so their latencies are
+ * expressed in nanoseconds; the core converts to cycles at its current
+ * frequency — this is what makes memory-bound code degrade less under
+ * DVFS, the paper's central performance effect.
+ *
+ * Two L2Service implementations exist:
+ *   - PrivateL2: uncontended 2 MB L2, used when profiling one core
+ *     (the paper's single-threaded Turandot runs), and
+ *   - SharedL2 (cmp_system.hh): one L2 + bus shared by N cores with
+ *     arbitration, used by the full-CMP validation model.
+ */
+
+#ifndef GPM_UARCH_MEMORY_HH
+#define GPM_UARCH_MEMORY_HH
+
+#include <cstdint>
+
+#include "uarch/cache.hh"
+#include "uarch/core_config.hh"
+
+namespace gpm
+{
+
+/** Result of a request that missed the L1 and went to the L2 level. */
+struct L2Outcome
+{
+    /** Total latency beyond the L1, in nanoseconds. */
+    double latencyNs = 0.0;
+    /** The request also missed in the L2 (went to memory). */
+    bool miss = false;
+};
+
+/**
+ * Interface to the shared side of the hierarchy (L2 + memory).
+ * Implementations are responsible for L2 tag state, latency, and any
+ * bus/queueing delays.
+ */
+class L2Service
+{
+  public:
+    virtual ~L2Service() = default;
+
+    /**
+     * Service an L1 miss.
+     *
+     * @param core_id  requesting core
+     * @param addr     block address (already core-disambiguated)
+     * @param is_write whether the L1 miss was for a store
+     * @param time_ns  wall-clock request time (for arbitration)
+     */
+    virtual L2Outcome access(std::uint32_t core_id, std::uint64_t addr,
+                             bool is_write, double time_ns) = 0;
+};
+
+/**
+ * Uncontended private L2 + flat memory: the single-threaded profiling
+ * configuration.
+ */
+class PrivateL2 : public L2Service
+{
+  public:
+    /** Build from the core configuration's L2 geometry/latencies. */
+    explicit PrivateL2(const CoreConfig &cfg);
+
+    L2Outcome access(std::uint32_t core_id, std::uint64_t addr,
+                     bool is_write, double time_ns) override;
+
+    /** L2 statistics. */
+    const CacheStats &stats() const { return l2.stats(); }
+
+  private:
+    Cache l2;
+    double l2LatNs;
+    double memLatNs;
+};
+
+/** Per-core memory-side statistics. */
+struct MemoryStats
+{
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l1iPrefetches = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+};
+
+/**
+ * Per-core memory system: L1 caches plus a reference to the L2
+ * service. Converts nothing to cycles — that is the core's job.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * @param cfg     core configuration (cache geometries)
+     * @param l2      L2 service (private or shared)
+     * @param core_id id used for L2 arbitration and address
+     *                disambiguation in shared configurations
+     */
+    MemorySystem(const CoreConfig &cfg, L2Service &l2,
+                 std::uint32_t core_id = 0);
+
+    /**
+     * Data access from the LSU.
+     * @return latency beyond the L1 in ns (0 on L1 hit), and whether
+     *         the request left the chip.
+     */
+    struct DataResult
+    {
+        double beyondL1Ns = 0.0;
+        bool l1Hit = true;
+        bool offChip = false;
+    };
+    DataResult dataAccess(std::uint64_t addr, bool is_write,
+                          double time_ns);
+
+    /** Instruction fetch of the block containing @p pc. */
+    DataResult instFetch(std::uint64_t pc, double time_ns);
+
+    /** Running statistics. */
+    const MemoryStats &stats() const { return stats_; }
+
+    /** Clear statistics. */
+    void resetStats() { stats_ = MemoryStats(); }
+
+    /** L1D block size (for the core's block-crossing logic). */
+    std::uint32_t blockBytes() const { return l1d.blockSize(); }
+
+  private:
+    /** Give each core a disjoint physical address range. */
+    std::uint64_t disambiguate(std::uint64_t addr) const;
+
+    Cache l1i;
+    Cache l1d;
+    L2Service &l2;
+    std::uint32_t coreId;
+    MemoryStats stats_;
+};
+
+} // namespace gpm
+
+#endif // GPM_UARCH_MEMORY_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a gpm bug); aborts.
+ * fatal()  — the simulation cannot continue due to a user error
+ *            (bad configuration, invalid arguments); exits with 1.
+ * warn()   — something may not behave as the user expects.
+ * inform() — normal operating status.
+ */
+
+#ifndef GPM_UTIL_LOGGING_HH
+#define GPM_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace gpm
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Set the global log verbosity (default: Inform). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Abort with a message; use for violated internal invariants.
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit(1) with a message; use for unrecoverable user errors.
+ * Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning (suppressed below LogLevel::Warn). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational message (suppressed below LogLevel::Inform). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a debug message (only at LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like check that survives release builds.
+ * Panics with location info when cond is false.
+ */
+#define GPM_ASSERT(cond, ...)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::gpm::panic("assertion '%s' failed at %s:%d", #cond,        \
+                         __FILE__, __LINE__);                            \
+        }                                                                \
+    } while (0)
+
+} // namespace gpm
+
+#endif // GPM_UTIL_LOGGING_HH

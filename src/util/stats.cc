@@ -1,0 +1,158 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace gpm
+{
+
+void
+RunningStat::add(double x)
+{
+    addWeighted(x, 1.0);
+}
+
+void
+RunningStat::addWeighted(double x, double w)
+{
+    GPM_ASSERT(w >= 0.0);
+    if (w == 0.0)
+        return;
+    n++;
+    wSum += w;
+    xwSum += x * w;
+    double delta = x - meanV;
+    meanV += (w / wSum) * delta;
+    m2 += w * delta * (x - meanV);
+    minV = std::min(minV, x);
+    maxV = std::max(maxV, x);
+}
+
+double
+RunningStat::mean() const
+{
+    return wSum > 0.0 ? meanV : 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2 || wSum <= 0.0)
+        return 0.0;
+    return m2 / wSum;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+void
+HarmonicMean::add(double x)
+{
+    GPM_ASSERT(x > 0.0);
+    n++;
+    invSum += 1.0 / x;
+}
+
+double
+HarmonicMean::value() const
+{
+    if (n == 0 || invSum <= 0.0)
+        return 0.0;
+    return static_cast<double>(n) / invSum;
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins_)
+    : lo(lo_), hi(hi_), counts(bins_, 0)
+{
+    GPM_ASSERT(hi_ > lo_ && bins_ > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    double f = (x - lo) / (hi - lo);
+    auto i = static_cast<std::int64_t>(f * static_cast<double>(bins()));
+    i = std::clamp<std::int64_t>(i, 0,
+                                 static_cast<std::int64_t>(bins()) - 1);
+    counts[static_cast<std::size_t>(i)]++;
+    n++;
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo + (hi - lo) * static_cast<double>(i) /
+        static_cast<double>(bins());
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+    std::string out;
+    char buf[64];
+    for (std::size_t i = 0; i < bins(); i++) {
+        std::snprintf(buf, sizeof(buf), "%10.3f | ", binLo(i));
+        out += buf;
+        std::size_t stars = static_cast<std::size_t>(
+            static_cast<double>(counts[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        out.append(stars, '*');
+        std::snprintf(buf, sizeof(buf), " %llu\n",
+                      static_cast<unsigned long long>(counts[i]));
+        out += buf;
+    }
+    return out;
+}
+
+double
+meanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+harmonicMeanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        GPM_ASSERT(x > 0.0);
+        s += 1.0 / x;
+    }
+    return static_cast<double>(v.size()) / s;
+}
+
+double
+geometricMeanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        GPM_ASSERT(x > 0.0);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace gpm

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used throughout the simulator:
+ * running mean/min/max/stddev, weighted means (arithmetic and
+ * harmonic), and fixed-bin histograms.
+ */
+
+#ifndef GPM_UTIL_STATS_HH
+#define GPM_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpm
+{
+
+/**
+ * Streaming accumulator for mean / variance / extrema (Welford).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Add a sample with a weight (e.g. time-weighted power). */
+    void addWeighted(double x, double w);
+
+    /** Number of samples added. */
+    std::uint64_t count() const { return n; }
+
+    /** Total weight added (== count() when unweighted). */
+    double weight() const { return wSum; }
+
+    /** Weighted mean of the samples; 0 if empty. */
+    double mean() const;
+
+    /** Population variance; 0 if fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf if empty. */
+    double min() const { return minV; }
+
+    /** Largest sample; -inf if empty. */
+    double max() const { return maxV; }
+
+    /** Sum of x * w over all samples. */
+    double sum() const { return xwSum; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::uint64_t n = 0;
+    double wSum = 0.0;
+    double xwSum = 0.0;
+    double meanV = 0.0;
+    double m2 = 0.0;
+    double minV = 1.0e300;
+    double maxV = -1.0e300;
+};
+
+/**
+ * Harmonic mean accumulator; used for weighted-slowdown metrics
+ * (harmonic mean of per-thread speedups, Luo et al. style).
+ */
+class HarmonicMean
+{
+  public:
+    /** Add one strictly positive sample. */
+    void add(double x);
+
+    /** Harmonic mean of the samples; 0 if empty. */
+    double value() const;
+
+    /** Number of samples. */
+    std::size_t count() const { return n; }
+
+  private:
+    std::size_t n = 0;
+    double invSum = 0.0;
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); values outside are
+ * clamped into the first / last bin.
+ */
+class Histogram
+{
+  public:
+    /** Create a histogram of @p bins equal bins spanning [lo, hi). */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Count in bin i. */
+    std::uint64_t bin(std::size_t i) const { return counts.at(i); }
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts.size(); }
+
+    /** Inclusive lower edge of bin i. */
+    double binLo(std::size_t i) const;
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return n; }
+
+    /** Render a short one-line-per-bin ASCII summary. */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t n = 0;
+};
+
+/** Arithmetic mean of a vector; 0 if empty. */
+double meanOf(const std::vector<double> &v);
+
+/** Harmonic mean of a vector of positive values; 0 if empty. */
+double harmonicMeanOf(const std::vector<double> &v);
+
+/** Geometric mean of a vector of positive values; 0 if empty. */
+double geometricMeanOf(const std::vector<double> &v);
+
+} // namespace gpm
+
+#endif // GPM_UTIL_STATS_HH

@@ -1,0 +1,133 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace gpm
+{
+
+Table::Table(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> w(headers.size(), 0);
+    for (std::size_t c = 0; c < headers.size(); c++)
+        w[c] = headers[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size(); c++)
+            w[c] = std::max(w[c], r[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &r) {
+        std::string line;
+        for (std::size_t c = 0; c < headers.size(); c++) {
+            const std::string &cell = c < r.size() ? r[c] : "";
+            line += "| " + cell;
+            line.append(w[c] - cell.size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string sep;
+    for (std::size_t c = 0; c < headers.size(); c++) {
+        sep += "+";
+        sep.append(w[c] + 2, '-');
+    }
+    sep += "+\n";
+
+    std::string out = sep + renderRow(headers) + sep;
+    for (const auto &r : rows)
+        out += renderRow(r);
+    out += sep;
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    auto join = [](const std::vector<std::string> &r) {
+        std::string line;
+        for (std::size_t c = 0; c < r.size(); c++) {
+            if (c)
+                line += ",";
+            line += r[c];
+        }
+        return line + "\n";
+    };
+    std::string out = join(headers);
+    for (const auto &r : rows)
+        out += join(r);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+CsvWriter::CsvWriter(const std::string &path)
+    : f(std::fopen(path.c_str(), "w"))
+{
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+}
+
+CsvWriter::~CsvWriter()
+{
+    std::fclose(f);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t c = 0; c < cells.size(); c++) {
+        if (c)
+            std::fputc(',', f);
+        std::fputs(cells[c].c_str(), f);
+    }
+    std::fputc('\n', f);
+}
+
+void
+CsvWriter::rowNums(const std::vector<double> &cells)
+{
+    for (std::size_t c = 0; c < cells.size(); c++) {
+        if (c)
+            std::fputc(',', f);
+        std::fprintf(f, "%.6g", cells[c]);
+    }
+    std::fputc('\n', f);
+}
+
+} // namespace gpm

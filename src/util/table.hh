@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small formatted-table and CSV writers used by the benchmark
+ * harnesses to print the paper's tables and figure series.
+ */
+
+#ifndef GPM_UTIL_TABLE_HH
+#define GPM_UTIL_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gpm
+{
+
+/**
+ * Column-aligned ASCII table builder. Collects rows of strings and
+ * renders with per-column widths. Used for the paper-table benches.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row of pre-formatted cells (padded to column count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double cell with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Convenience: format a percentage cell ("12.3%"). */
+    static std::string pct(double fraction, int decimals = 1);
+
+    /** Render the table with separators. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment). */
+    std::string csv() const;
+
+    /** Print render() to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Minimal CSV file writer for exporting figure series that a plotting
+ * script can consume.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Write one row of cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Write one row of doubles. */
+    void rowNums(const std::vector<double> &cells);
+
+  private:
+    std::FILE *f;
+};
+
+} // namespace gpm
+
+#endif // GPM_UTIL_TABLE_HH

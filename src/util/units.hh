@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit conventions used across gpm.
+ *
+ * We standardize on a small set of plain typedefs plus conversion
+ * helpers rather than heavyweight unit wrappers:
+ *
+ *   - time:       microseconds (double) at the CMP-analysis level,
+ *                 picoseconds (std::uint64_t) inside the multi-clock
+ *                 full-CMP model, cycles (std::uint64_t) inside a core
+ *   - frequency:  hertz (double)
+ *   - voltage:    volts (double)
+ *   - power:      watts (double)
+ *   - energy:     joules (double)
+ */
+
+#ifndef GPM_UTIL_UNITS_HH
+#define GPM_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace gpm
+{
+
+/** Core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Global wall-clock time in picoseconds (full-CMP model). */
+using Picoseconds = std::uint64_t;
+
+/** Wall-clock time in microseconds (trace-based CMP tool). */
+using MicroSec = double;
+
+/** Frequency in hertz. */
+using Hertz = double;
+
+/** Supply voltage in volts. */
+using Volts = double;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Picoseconds per second. */
+constexpr double psPerSecond = 1e12;
+
+/** Microseconds per second. */
+constexpr double usPerSecond = 1e6;
+
+/** Convert a core-cycle count at frequency f to microseconds. */
+constexpr MicroSec
+cyclesToUs(double cycles, Hertz f)
+{
+    return cycles / f * usPerSecond;
+}
+
+/** Convert microseconds at frequency f to (fractional) cycles. */
+constexpr double
+usToCycles(MicroSec us, Hertz f)
+{
+    return us / usPerSecond * f;
+}
+
+/** Clock period in picoseconds for frequency f. */
+constexpr double
+periodPs(Hertz f)
+{
+    return psPerSecond / f;
+}
+
+} // namespace gpm
+
+#endif // GPM_UTIL_UNITS_HH

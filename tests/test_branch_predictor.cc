@@ -1,0 +1,131 @@
+/** @file Unit tests for the tournament branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "uarch/branch_predictor.hh"
+#include "util/rng.hh"
+
+namespace gpm
+{
+namespace
+{
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(1024);
+    for (int i = 0; i < 100; i++)
+        bp.predictAndUpdate(0x1000, true);
+    // After warmup, the last predictions must be correct.
+    std::uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 100; i++)
+        bp.predictAndUpdate(0x1000, true);
+    EXPECT_EQ(bp.mispredicts(), before);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp(1024);
+    for (int i = 0; i < 100; i++)
+        bp.predictAndUpdate(0x2000, false);
+    std::uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 100; i++)
+        bp.predictAndUpdate(0x2000, false);
+    EXPECT_EQ(bp.mispredicts(), before);
+}
+
+TEST(BranchPredictor, GshareLearnsAlternating)
+{
+    // A strict T/N/T/N pattern defeats bimodal but the
+    // history-indexed gshare component captures it.
+    BranchPredictor bp(1024);
+    bool taken = false;
+    for (int i = 0; i < 2000; i++) {
+        bp.predictAndUpdate(0x3000, taken);
+        taken = !taken;
+    }
+    std::uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 200; i++) {
+        bp.predictAndUpdate(0x3000, taken);
+        taken = !taken;
+    }
+    EXPECT_LE(bp.mispredicts() - before, 4u);
+}
+
+TEST(BranchPredictor, RandomStreamNearHalf)
+{
+    BranchPredictor bp(1024);
+    Rng rng(7);
+    for (int i = 0; i < 20000; i++)
+        bp.predictAndUpdate(0x4000 + (rng.below(64) << 2),
+                            rng.chance(0.5));
+    EXPECT_NEAR(bp.mispredictRate(), 0.5, 0.05);
+}
+
+TEST(BranchPredictor, BiasedStreamBeatsBias)
+{
+    BranchPredictor bp(16 * 1024);
+    Rng rng(9);
+    for (int i = 0; i < 50000; i++)
+        bp.predictAndUpdate(0x5000 + (rng.below(32) << 2),
+                            rng.chance(0.9));
+    // Should approach the 10% floor for a stationary 90% bias.
+    EXPECT_LT(bp.mispredictRate(), 0.15);
+    EXPECT_GT(bp.mispredictRate(), 0.05);
+}
+
+TEST(BranchPredictor, CountsLookups)
+{
+    BranchPredictor bp(256);
+    for (int i = 0; i < 42; i++)
+        bp.predictAndUpdate(0x100, true);
+    EXPECT_EQ(bp.lookups(), 42u);
+}
+
+TEST(BranchPredictor, ResetClearsState)
+{
+    BranchPredictor bp(256);
+    for (int i = 0; i < 100; i++)
+        bp.predictAndUpdate(0x100, true);
+    bp.reset();
+    EXPECT_EQ(bp.lookups(), 0u);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+    EXPECT_DOUBLE_EQ(bp.mispredictRate(), 0.0);
+}
+
+TEST(BranchPredictor, IndependentPcsDoNotAlias)
+{
+    // With a large table, two opposite-biased branches both train.
+    BranchPredictor bp(16 * 1024);
+    for (int i = 0; i < 200; i++) {
+        bp.predictAndUpdate(0x1000, true);
+        bp.predictAndUpdate(0x2000, false);
+    }
+    std::uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 100; i++) {
+        bp.predictAndUpdate(0x1000, true);
+        bp.predictAndUpdate(0x2000, false);
+    }
+    EXPECT_LE(bp.mispredicts() - before, 10u);
+}
+
+class PredictorSizeSweep
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(PredictorSizeSweep, BiasedStreamLearnable)
+{
+    BranchPredictor bp(GetParam());
+    Rng rng(GetParam());
+    for (int i = 0; i < 20000; i++)
+        bp.predictAndUpdate(0x100 + (rng.below(16) << 2),
+                            rng.chance(0.95));
+    EXPECT_LT(bp.mispredictRate(), 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PredictorSizeSweep,
+                         ::testing::Values(256, 1024, 4096,
+                                           16 * 1024));
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,187 @@
+/** @file Unit tests for the set-associative LRU cache model. */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.hh"
+
+namespace gpm
+{
+namespace
+{
+
+CacheConfig
+smallConfig()
+{
+    // 1 KB, 2-way, 64 B blocks: 8 sets.
+    return CacheConfig{1024, 2, 64};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallConfig());
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x13F, false).hit); // same 64 B block
+    EXPECT_FALSE(c.access(0x140, false).hit); // next block
+}
+
+TEST(Cache, StatsTrackAccessesAndMisses)
+{
+    Cache c(smallConfig());
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x40, false);
+    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_NEAR(c.stats().missRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c(smallConfig()); // 2-way, 8 sets, 64 B blocks
+    // Three blocks mapping to set 0: addresses stride 8*64 = 512.
+    c.access(0x0000, false);
+    c.access(0x0200, false);
+    // Touch first again so 0x0200 is LRU.
+    c.access(0x0000, false);
+    c.access(0x0400, false); // evicts 0x0200
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_FALSE(c.contains(0x0200));
+    EXPECT_TRUE(c.contains(0x0400));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c(smallConfig());
+    c.access(0x0000, true); // dirty
+    c.access(0x0200, false);
+    auto r = c.access(0x0400, false); // evicts dirty 0x0000
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache c(smallConfig());
+    c.access(0x0000, false);
+    c.access(0x0200, false);
+    auto r = c.access(0x0400, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache c(smallConfig());
+    c.access(0x0000, false);
+    c.access(0x0000, true); // hit, mark dirty
+    c.access(0x0200, false);
+    auto r = c.access(0x0400, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c(smallConfig());
+    c.access(0x0, false);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_FALSE(c.access(0x0, false).hit);
+}
+
+TEST(Cache, ContainsDoesNotTouchState)
+{
+    Cache c(smallConfig());
+    c.access(0x0000, false);
+    c.access(0x0200, false);
+    // Probing 0x0000 must not refresh its LRU position.
+    EXPECT_TRUE(c.contains(0x0000));
+    std::uint64_t misses = c.stats().misses;
+    EXPECT_EQ(c.stats().accesses, 2u);
+    c.access(0x0400, false); // evicts LRU = 0x0000
+    EXPECT_FALSE(c.contains(0x0000));
+    EXPECT_EQ(c.stats().misses, misses + 1);
+}
+
+TEST(Cache, GeometryAccessors)
+{
+    Cache c(CacheConfig{32 * 1024, 2, 128});
+    EXPECT_EQ(c.numSets(), 128u);
+    EXPECT_EQ(c.numWays(), 2u);
+    EXPECT_EQ(c.blockSize(), 128u);
+}
+
+TEST(Cache, Table1Geometries)
+{
+    // Paper Table 1 caches must construct cleanly.
+    Cache l1d(CacheConfig{32 * 1024, 2, 128});
+    Cache l1i(CacheConfig{64 * 1024, 2, 128});
+    Cache l2(CacheConfig{2 * 1024 * 1024, 4, 128});
+    EXPECT_EQ(l2.numSets(), 4096u);
+}
+
+TEST(Cache, CapacityRespected)
+{
+    Cache c(smallConfig()); // 16 blocks total
+    for (std::uint64_t b = 0; b < 16; b++)
+        c.access(b * 64, false);
+    // All 16 distinct blocks fit (16 blocks capacity).
+    c.resetStats();
+    for (std::uint64_t b = 0; b < 16; b++)
+        c.access(b * 64, false);
+    EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(Cache, ThrashingBeyondCapacity)
+{
+    Cache c(smallConfig());
+    // 32 distinct blocks cycled: every access misses after warmup.
+    for (int rep = 0; rep < 3; rep++)
+        for (std::uint64_t b = 0; b < 32; b++)
+            c.access(b * 64, false);
+    EXPECT_GT(c.stats().missRate(), 0.9);
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache c(smallConfig());
+    c.access(0x0, false);
+    c.resetStats();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_TRUE(c.access(0x0, false).hit);
+}
+
+struct CacheGeom
+{
+    std::uint64_t size;
+    std::uint32_t ways;
+    std::uint32_t block;
+};
+
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<CacheGeom>
+{
+};
+
+TEST_P(CacheGeometrySweep, SequentialFillThenRehitWithinCapacity)
+{
+    auto g = GetParam();
+    Cache c(CacheConfig{g.size, g.ways, g.block});
+    std::uint64_t blocks = g.size / g.block;
+    for (std::uint64_t b = 0; b < blocks; b++)
+        c.access(b * g.block, false);
+    EXPECT_EQ(c.stats().misses, blocks);
+    for (std::uint64_t b = 0; b < blocks; b++)
+        c.access(b * g.block, false);
+    EXPECT_EQ(c.stats().misses, blocks); // all re-hits
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(CacheGeom{1024, 1, 64}, CacheGeom{1024, 2, 64},
+                      CacheGeom{4096, 4, 128},
+                      CacheGeom{32 * 1024, 2, 128},
+                      CacheGeom{2 * 1024 * 1024, 4, 128},
+                      CacheGeom{8192, 8, 64}));
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,158 @@
+/** @file Unit tests for DVFS operating points and budget schedules
+ *  (validates paper Tables 3, 4 and 5 quantities). */
+
+#include <gtest/gtest.h>
+
+#include "power/dvfs.hh"
+
+namespace gpm
+{
+namespace
+{
+
+TEST(DvfsTable, Classic3ModeCount)
+{
+    auto t = DvfsTable::classic3();
+    EXPECT_EQ(t.numModes(), 3u);
+    EXPECT_EQ(t.slowest(), modes::Eff2);
+}
+
+TEST(DvfsTable, Classic3Voltages)
+{
+    // Paper Section 5.1: nominal 1.300 V; Eff1 1.235 V; Eff2 1.105 V.
+    auto t = DvfsTable::classic3();
+    EXPECT_NEAR(t.voltage(modes::Turbo), 1.300, 1e-9);
+    EXPECT_NEAR(t.voltage(modes::Eff1), 1.235, 1e-9);
+    EXPECT_NEAR(t.voltage(modes::Eff2), 1.105, 1e-9);
+}
+
+TEST(DvfsTable, Classic3Frequencies)
+{
+    auto t = DvfsTable::classic3();
+    EXPECT_NEAR(t.frequency(modes::Turbo), 1.0e9, 1);
+    EXPECT_NEAR(t.frequency(modes::Eff1), 0.95e9, 1);
+    EXPECT_NEAR(t.frequency(modes::Eff2), 0.85e9, 1);
+}
+
+TEST(DvfsTable, PowerScaleIsCubic)
+{
+    // Paper Table 4: Eff1 saves ~14.3%, Eff2 saves ~38.6% (ideal).
+    auto t = DvfsTable::classic3();
+    EXPECT_NEAR(t.powerScale(modes::Turbo), 1.0, 1e-12);
+    EXPECT_NEAR(t.powerScale(modes::Eff1), 0.857375, 1e-9);
+    EXPECT_NEAR(t.powerScale(modes::Eff2), 0.614125, 1e-9);
+}
+
+TEST(DvfsTable, PerfScaleIsLinear)
+{
+    auto t = DvfsTable::classic3();
+    EXPECT_NEAR(t.perfScale(modes::Eff1), 0.95, 1e-12);
+    EXPECT_NEAR(t.perfScale(modes::Eff2), 0.85, 1e-12);
+}
+
+TEST(DvfsTable, Table5TransitionOverheads)
+{
+    // Paper Table 5: 65 mV -> 6.5 us; 130 mV -> 13 us;
+    // 195 mV -> 19.5 us at 10 mV/us.
+    auto t = DvfsTable::classic3();
+    EXPECT_NEAR(t.transitionUs(modes::Turbo, modes::Eff1), 6.5, 1e-9);
+    EXPECT_NEAR(t.transitionUs(modes::Eff1, modes::Eff2), 13.0, 1e-9);
+    EXPECT_NEAR(t.transitionUs(modes::Turbo, modes::Eff2), 19.5,
+                1e-9);
+}
+
+TEST(DvfsTable, TransitionsSymmetric)
+{
+    auto t = DvfsTable::classic3();
+    for (PowerMode a = 0; a < 3; a++)
+        for (PowerMode b = 0; b < 3; b++)
+            EXPECT_DOUBLE_EQ(t.transitionUs(a, b),
+                             t.transitionUs(b, a));
+}
+
+TEST(DvfsTable, TransitionToSelfIsFree)
+{
+    auto t = DvfsTable::classic3();
+    for (PowerMode m = 0; m < 3; m++)
+        EXPECT_DOUBLE_EQ(t.transitionUs(m, m), 0.0);
+}
+
+TEST(DvfsTable, MaxTransition)
+{
+    auto t = DvfsTable::classic3();
+    EXPECT_NEAR(t.maxTransitionUs(), 19.5, 1e-9);
+}
+
+TEST(DvfsTable, LinearTableSpansRange)
+{
+    auto t = DvfsTable::linear(5, 0.85);
+    EXPECT_EQ(t.numModes(), 5u);
+    EXPECT_NEAR(t.point(0).fScale, 1.0, 1e-12);
+    EXPECT_NEAR(t.point(4).fScale, 0.85, 1e-12);
+    // Evenly spaced.
+    EXPECT_NEAR(t.point(2).fScale, 0.925, 1e-12);
+}
+
+TEST(DvfsTable, LinearSingleMode)
+{
+    auto t = DvfsTable::linear(1);
+    EXPECT_EQ(t.numModes(), 1u);
+    EXPECT_NEAR(t.point(0).fScale, 1.0, 1e-12);
+}
+
+TEST(DvfsTable, ValidChecksRange)
+{
+    auto t = DvfsTable::classic3();
+    EXPECT_TRUE(t.valid(0));
+    EXPECT_TRUE(t.valid(2));
+    EXPECT_FALSE(t.valid(3));
+}
+
+class DvfsModeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DvfsModeSweep, LinearTablesMonotone)
+{
+    int n = GetParam();
+    auto t = DvfsTable::linear(static_cast<std::size_t>(n), 0.7);
+    for (int m = 1; m < n; m++) {
+        auto lo = static_cast<PowerMode>(m);
+        auto hi = static_cast<PowerMode>(m - 1);
+        EXPECT_LT(t.frequency(lo), t.frequency(hi));
+        EXPECT_LT(t.powerScale(lo), t.powerScale(hi));
+        EXPECT_LT(t.perfScale(lo), t.perfScale(hi));
+        EXPECT_GT(t.transitionUs(0, lo), t.transitionUs(0, hi));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModeCounts, DvfsModeSweep,
+                         ::testing::Values(2, 3, 4, 5, 8, 16));
+
+TEST(BudgetSchedule, ConstantBudget)
+{
+    BudgetSchedule b(0.8);
+    EXPECT_DOUBLE_EQ(b.at(0.0), 0.8);
+    EXPECT_DOUBLE_EQ(b.at(1e9), 0.8);
+    EXPECT_DOUBLE_EQ(b.initial(), 0.8);
+}
+
+TEST(BudgetSchedule, StepSchedule)
+{
+    // The Figure 6 scenario: 90% dropping to 70% mid-run.
+    BudgetSchedule b({{0.0, 0.9}, {5000.0, 0.7}});
+    EXPECT_DOUBLE_EQ(b.at(0.0), 0.9);
+    EXPECT_DOUBLE_EQ(b.at(4999.0), 0.9);
+    EXPECT_DOUBLE_EQ(b.at(5000.0), 0.7);
+    EXPECT_DOUBLE_EQ(b.at(1e7), 0.7);
+}
+
+TEST(BudgetSchedule, MultiStep)
+{
+    BudgetSchedule b({{0.0, 1.0}, {100.0, 0.8}, {200.0, 0.6}});
+    EXPECT_DOUBLE_EQ(b.at(150.0), 0.8);
+    EXPECT_DOUBLE_EQ(b.at(250.0), 0.6);
+}
+
+} // namespace
+} // namespace gpm

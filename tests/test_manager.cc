@@ -1,0 +1,113 @@
+/** @file Unit tests for the GlobalManager control loop. */
+
+#include <gtest/gtest.h>
+
+#include "core/global_manager.hh"
+
+namespace gpm
+{
+namespace
+{
+
+std::vector<CoreSample>
+twoCoreSamples(double p0, double p1, PowerMode m0 = modes::Turbo,
+               PowerMode m1 = modes::Turbo)
+{
+    std::vector<CoreSample> s(2);
+    s[0].powerW = p0;
+    s[0].bips = 1.0;
+    s[0].mode = m0;
+    s[1].powerW = p1;
+    s[1].bips = 0.5;
+    s[1].mode = m1;
+    return s;
+}
+
+class ManagerTest : public ::testing::Test
+{
+  protected:
+    ManagerTest() : dvfs(DvfsTable::classic3()) {}
+
+    GlobalManager
+    make(const std::string &policy)
+    {
+        return GlobalManager(dvfs, makePolicy(policy), 500.0, 2.0);
+    }
+
+    DvfsTable dvfs;
+};
+
+TEST_F(ManagerTest, TightBudgetForcesThrottling)
+{
+    auto mgr = make("MaxBIPS");
+    auto modes_out = mgr.atExplore(twoCoreSamples(10.0, 10.0), 14.0);
+    ASSERT_EQ(modes_out.size(), 2u);
+    // 20 W at Turbo vs 14 W budget: someone must slow down.
+    bool any_slow = modes_out[0] != modes::Turbo ||
+        modes_out[1] != modes::Turbo;
+    EXPECT_TRUE(any_slow);
+}
+
+TEST_F(ManagerTest, AmpleBudgetKeepsTurbo)
+{
+    auto mgr = make("MaxBIPS");
+    auto modes_out = mgr.atExplore(twoCoreSamples(10.0, 10.0), 50.0);
+    EXPECT_EQ(modes_out[0], modes::Turbo);
+    EXPECT_EQ(modes_out[1], modes::Turbo);
+}
+
+TEST_F(ManagerTest, CountsDecisionsAndSwitches)
+{
+    auto mgr = make("MaxBIPS");
+    mgr.atExplore(twoCoreSamples(10.0, 10.0), 50.0);
+    mgr.atExplore(twoCoreSamples(10.0, 10.0), 12.0);
+    EXPECT_EQ(mgr.stats().decisions, 2u);
+    EXPECT_GT(mgr.stats().modeSwitches, 0u);
+}
+
+TEST_F(ManagerTest, DetectsOvershoot)
+{
+    auto mgr = make("MaxBIPS");
+    mgr.atExplore(twoCoreSamples(10.0, 10.0), 15.0);
+    // Next interval reports 22 W against the 15 W budget.
+    mgr.atExplore(twoCoreSamples(11.0, 11.0), 15.0);
+    EXPECT_EQ(mgr.stats().overshoots, 1u);
+}
+
+TEST_F(ManagerTest, ScoresPredictions)
+{
+    auto mgr = make("MaxBIPS");
+    mgr.atExplore(twoCoreSamples(10.0, 10.0), 50.0);
+    EXPECT_EQ(mgr.predictor().outcomes(), 0u);
+    mgr.atExplore(twoCoreSamples(10.0, 10.0), 50.0);
+    EXPECT_EQ(mgr.predictor().outcomes(), 1u);
+    // Identical behaviour at an unchanged mode: zero error.
+    EXPECT_NEAR(mgr.predictor().meanPowerError(), 0.0, 1e-12);
+}
+
+TEST_F(ManagerTest, OraclePolicyConsumesOracleMatrix)
+{
+    auto mgr = make("Oracle");
+    EXPECT_TRUE(mgr.wantsOracle());
+    ModeMatrix om(2, 3);
+    for (std::size_t c = 0; c < 2; c++) {
+        om.powerW(c, 0) = 10.0;
+        om.powerW(c, 1) = 8.5;
+        om.powerW(c, 2) = 6.0;
+        om.bips(c, 0) = 1.0;
+        om.bips(c, 1) = 0.95;
+        om.bips(c, 2) = 0.85;
+    }
+    auto modes_out =
+        mgr.atExplore(twoCoreSamples(10.0, 10.0), 17.0, &om);
+    EXPECT_LE(om.totalPowerW(modes_out), 17.0 + 1e-9);
+}
+
+TEST_F(ManagerTest, PolicyNameExposed)
+{
+    auto mgr = make("PullHiPushLo");
+    EXPECT_STREQ(mgr.currentPolicy().name(), "PullHiPushLo");
+}
+
+} // namespace
+} // namespace gpm

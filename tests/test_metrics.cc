@@ -1,0 +1,86 @@
+/** @file Unit tests for the run metrics. */
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hh"
+
+namespace gpm
+{
+namespace
+{
+
+SimResult
+makeResult(MicroSec end_us, std::vector<double> insts,
+           std::vector<double> energy)
+{
+    SimResult r;
+    r.endUs = end_us;
+    r.coreInstructions = std::move(insts);
+    r.coreEnergyJ = std::move(energy);
+    r.finished.assign(r.coreInstructions.size(), false);
+    return r;
+}
+
+TEST(Metrics, NoDegradationAgainstSelf)
+{
+    auto ref = makeResult(1000.0, {1e6, 2e6}, {1e-2, 1e-2});
+    auto m = computeMetrics(ref, ref, 20.0);
+    EXPECT_NEAR(m.perfDegradation, 0.0, 1e-12);
+    EXPECT_NEAR(m.weightedSlowdown, 0.0, 1e-12);
+    EXPECT_NEAR(m.powerSavings, 0.0, 1e-12);
+    EXPECT_NEAR(m.powerOverBudget, 20.0 / 20.0, 1e-12);
+}
+
+TEST(Metrics, ThroughputDegradation)
+{
+    auto ref = makeResult(1000.0, {1e6, 1e6}, {1e-2, 1e-2});
+    auto run = makeResult(1000.0, {0.9e6, 0.9e6}, {8e-3, 8e-3});
+    auto m = computeMetrics(run, ref, 18.0);
+    EXPECT_NEAR(m.perfDegradation, 0.10, 1e-9);
+    EXPECT_NEAR(m.powerSavings, 0.20, 1e-9);
+    // 16 W against an 18 W budget.
+    EXPECT_NEAR(m.powerOverBudget, 16.0 / 18.0, 1e-9);
+}
+
+TEST(Metrics, WeightedSlowdownUsesHarmonicMean)
+{
+    auto ref = makeResult(1000.0, {1e6, 1e6}, {1e-2, 1e-2});
+    // Thread 0 halves, thread 1 unchanged.
+    auto run = makeResult(1000.0, {0.5e6, 1e6}, {1e-2, 1e-2});
+    auto m = computeMetrics(run, ref, 0.0);
+    double hmean = 2.0 / (1.0 / 0.5 + 1.0 / 1.0);
+    EXPECT_NEAR(m.weightedSlowdown, 1.0 - hmean, 1e-9);
+    EXPECT_NEAR(m.weightedSpeedupLoss, 1.0 - 0.75, 1e-9);
+    // Harmonic mean punishes imbalance more than arithmetic.
+    EXPECT_GT(m.weightedSlowdown, m.weightedSpeedupLoss);
+}
+
+TEST(Metrics, ThreadSpeedupsPerCore)
+{
+    auto ref = makeResult(1000.0, {1e6, 2e6}, {1e-2, 1e-2});
+    auto run = makeResult(2000.0, {1e6, 4e6}, {1e-2, 1e-2});
+    auto s = threadSpeedups(run, ref);
+    EXPECT_NEAR(s[0], 0.5, 1e-9);
+    EXPECT_NEAR(s[1], 1.0, 1e-9);
+}
+
+TEST(Metrics, ZeroBudgetSkipsRatio)
+{
+    auto ref = makeResult(1000.0, {1e6}, {1e-2});
+    auto m = computeMetrics(ref, ref, 0.0);
+    EXPECT_DOUBLE_EQ(m.powerOverBudget, 0.0);
+}
+
+TEST(Metrics, DifferentWindowsNormalizedByTime)
+{
+    // Run takes twice as long for the same instructions: half BIPS.
+    auto ref = makeResult(1000.0, {1e6}, {1e-2});
+    auto run = makeResult(2000.0, {1e6}, {2e-2});
+    auto m = computeMetrics(run, ref, 0.0);
+    EXPECT_NEAR(m.perfDegradation, 0.5, 1e-9);
+    // Same average power.
+    EXPECT_NEAR(m.powerSavings, 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,378 @@
+/** @file Unit and property tests for the global management policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hh"
+#include "helpers.hh"
+
+namespace gpm
+{
+namespace
+{
+
+using test::randomMatrix;
+
+/** Brute-force optimum for cross-checking MaxBIPS. */
+std::pair<double, double>
+bruteForceBest(const ModeMatrix &m, Watts budget)
+{
+    const std::size_t n = m.numCores();
+    const std::size_t k = m.numModes();
+    std::vector<PowerMode> cur(n, 0);
+    double best_bips = -1.0, best_power = 0.0;
+    for (;;) {
+        double p = m.totalPowerW(cur);
+        if (p <= budget) {
+            double b = m.totalBips(cur);
+            if (b > best_bips ||
+                (b == best_bips && p < best_power)) {
+                best_bips = b;
+                best_power = p;
+            }
+        }
+        std::size_t c = 0;
+        while (c < n && ++cur[c] == k)
+            cur[c++] = 0;
+        if (c == n)
+            break;
+    }
+    return {best_bips, best_power};
+}
+
+PolicyInput
+makeInput(const ModeMatrix &m, const std::vector<CoreSample> &s,
+          Watts budget, const DvfsTable &dvfs)
+{
+    PolicyInput in;
+    in.predicted = &m;
+    in.samples = &s;
+    in.budgetW = budget;
+    in.dvfs = &dvfs;
+    return in;
+}
+
+std::vector<CoreSample>
+samplesFromMatrix(const ModeMatrix &m, PowerMode cur = 0)
+{
+    std::vector<CoreSample> s(m.numCores());
+    for (std::size_t c = 0; c < s.size(); c++) {
+        s[c].mode = cur;
+        s[c].powerW = m.powerW(c, cur);
+        s[c].bips = m.bips(c, cur);
+        s[c].memIntensity = 1.0 / (1.0 + m.bips(c, cur));
+    }
+    return s;
+}
+
+class PolicyBudgetSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+  protected:
+    DvfsTable dvfs = DvfsTable::classic3();
+};
+
+TEST_P(PolicyBudgetSweep, AllPoliciesFitBudgetWhenFeasible)
+{
+    auto [seed, budget_frac] = GetParam();
+    ModeMatrix m = randomMatrix(4, 3, seed);
+    // Budget between the all-slowest floor and all-fastest total.
+    std::vector<PowerMode> floor_assign(4, 2), turbo_assign(4, 0);
+    Watts lo = m.totalPowerW(floor_assign);
+    Watts hi = m.totalPowerW(turbo_assign);
+    Watts budget = lo + budget_frac * (hi - lo);
+
+    auto samples = samplesFromMatrix(m);
+    for (const char *name :
+         {"MaxBIPS", "Priority", "PullHiPushLo", "ChipWideDVFS"}) {
+        auto policy = makePolicy(name);
+        auto in = makeInput(m, samples, budget, dvfs);
+        auto assign = policy->decide(in);
+        ASSERT_EQ(assign.size(), 4u) << name;
+        EXPECT_LE(m.totalPowerW(assign), budget + 1e-9)
+            << name << " busts the budget";
+    }
+}
+
+TEST_P(PolicyBudgetSweep, MaxBipsMatchesBruteForce)
+{
+    auto [seed, budget_frac] = GetParam();
+    ModeMatrix m = randomMatrix(5, 3, seed + 1000);
+    std::vector<PowerMode> floor_assign(5, 2), turbo_assign(5, 0);
+    Watts lo = m.totalPowerW(floor_assign);
+    Watts hi = m.totalPowerW(turbo_assign);
+    Watts budget = lo + budget_frac * (hi - lo);
+
+    auto best = bruteForceBest(m, budget);
+    auto assign = MaxBipsPolicy::solve(
+        m, budget, MaxBipsPolicy::Search::Exhaustive);
+    EXPECT_NEAR(m.totalBips(assign), best.first, 1e-12);
+}
+
+TEST_P(PolicyBudgetSweep, BranchAndBoundEqualsExhaustive)
+{
+    auto [seed, budget_frac] = GetParam();
+    ModeMatrix m = randomMatrix(7, 3, seed + 2000);
+    std::vector<PowerMode> floor_assign(7, 2), turbo_assign(7, 0);
+    Watts lo = m.totalPowerW(floor_assign);
+    Watts hi = m.totalPowerW(turbo_assign);
+    Watts budget = lo + budget_frac * (hi - lo);
+
+    auto ex = MaxBipsPolicy::solve(
+        m, budget, MaxBipsPolicy::Search::Exhaustive);
+    auto bb = MaxBipsPolicy::solve(
+        m, budget, MaxBipsPolicy::Search::BranchAndBound);
+    EXPECT_NEAR(m.totalBips(ex), m.totalBips(bb), 1e-12);
+    EXPECT_NEAR(m.totalPowerW(ex), m.totalPowerW(bb), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyBudgetSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(0.05, 0.3, 0.6, 0.9)));
+
+TEST(MaxBipsPolicy, InfeasibleBudgetYieldsAllSlowest)
+{
+    ModeMatrix m = randomMatrix(4, 3, 9);
+    auto assign = MaxBipsPolicy::solve(
+        m, 0.0, MaxBipsPolicy::Search::Exhaustive);
+    for (auto a : assign)
+        EXPECT_EQ(a, 2);
+}
+
+TEST(MaxBipsPolicy, UnlimitedBudgetYieldsAllTurbo)
+{
+    ModeMatrix m = randomMatrix(4, 3, 10);
+    auto assign = MaxBipsPolicy::solve(
+        m, 1e9, MaxBipsPolicy::Search::Exhaustive);
+    for (auto a : assign)
+        EXPECT_EQ(a, 0);
+}
+
+TEST(MaxBipsPolicy, PrefersHighBipsPerWatt)
+{
+    // Two cores; budget allows exactly one at Turbo. The one with
+    // more BIPS to gain must get it.
+    ModeMatrix m(2, 2);
+    m.powerW(0, 0) = 10.0;
+    m.powerW(0, 1) = 6.0;
+    m.bips(0, 0) = 2.0;
+    m.bips(0, 1) = 1.7;
+    m.powerW(1, 0) = 10.0;
+    m.powerW(1, 1) = 6.0;
+    m.bips(1, 0) = 1.0;
+    m.bips(1, 1) = 0.98; // memory-bound: loses almost nothing
+    auto assign = MaxBipsPolicy::solve(
+        m, 16.0, MaxBipsPolicy::Search::Exhaustive);
+    EXPECT_EQ(assign[0], 0); // CPU-bound gets Turbo
+    EXPECT_EQ(assign[1], 1); // memory-bound throttled
+}
+
+TEST(MaxBipsPolicy, BnbScalesTo32Cores)
+{
+    ModeMatrix m = randomMatrix(32, 3, 77);
+    std::vector<PowerMode> floor_assign(32, 2), turbo_assign(32, 0);
+    Watts budget = 0.5 * (m.totalPowerW(floor_assign) +
+                          m.totalPowerW(turbo_assign));
+    auto assign = MaxBipsPolicy::solve(
+        m, budget, MaxBipsPolicy::Search::BranchAndBound);
+    EXPECT_EQ(assign.size(), 32u);
+    EXPECT_LE(m.totalPowerW(assign), budget + 1e-9);
+    // Must beat the trivial all-slowest solution.
+    EXPECT_GT(m.totalBips(assign), m.totalBips(floor_assign));
+}
+
+TEST(ChipWidePolicy, UniformAssignment)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    ModeMatrix m = randomMatrix(4, 3, 11);
+    auto samples = samplesFromMatrix(m);
+    ChipWideDvfsPolicy policy;
+    for (double f : {0.0, 0.5, 1.0}) {
+        std::vector<PowerMode> floor_assign(4, 2), turbo_assign(4, 0);
+        Watts lo = m.totalPowerW(floor_assign);
+        Watts hi = m.totalPowerW(turbo_assign);
+        auto in = makeInput(m, samples, lo + f * (hi - lo), dvfs);
+        auto assign = policy.decide(in);
+        for (auto a : assign)
+            EXPECT_EQ(a, assign[0]);
+    }
+}
+
+TEST(ChipWidePolicy, PicksFastestFittingMode)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    ModeMatrix m(2, 3);
+    for (std::size_t c = 0; c < 2; c++) {
+        m.powerW(c, 0) = 10.0;
+        m.powerW(c, 1) = 8.0;
+        m.powerW(c, 2) = 6.0;
+        m.bips(c, 0) = 1.0;
+        m.bips(c, 1) = 0.95;
+        m.bips(c, 2) = 0.85;
+    }
+    auto samples = samplesFromMatrix(m);
+    ChipWideDvfsPolicy policy;
+    auto in = makeInput(m, samples, 17.0, dvfs);
+    auto assign = policy.decide(in);
+    EXPECT_EQ(assign[0], 1); // 2x8=16 fits; 2x10=20 does not
+}
+
+TEST(PriorityPolicy, HighestCoreFavored)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    // Identical cores, budget for exactly one Turbo upgrade.
+    ModeMatrix m(3, 3);
+    for (std::size_t c = 0; c < 3; c++) {
+        m.powerW(c, 0) = 10.0;
+        m.powerW(c, 1) = 8.5;
+        m.powerW(c, 2) = 6.0;
+        m.bips(c, 0) = 1.0;
+        m.bips(c, 1) = 0.95;
+        m.bips(c, 2) = 0.85;
+    }
+    auto samples = samplesFromMatrix(m);
+    PriorityPolicy policy;
+    auto in = makeInput(m, samples, 22.0, dvfs);
+    auto assign = policy.decide(in);
+    // Core 2 (highest priority) gets the fastest mode the budget
+    // allows; lower-priority cores stay slow.
+    EXPECT_LT(assign[2], assign[0]);
+    EXPECT_LE(assign[2], assign[1]);
+    EXPECT_LE(m.totalPowerW(assign), 22.0 + 1e-9);
+}
+
+TEST(PriorityPolicy, SkipsUnaffordableUpgradeAndContinues)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    // Core 1 (higher priority) is expensive to upgrade; core 0 is
+    // cheap. Budget affords only the cheap upgrade: priority must
+    // release it "out of order".
+    ModeMatrix m(2, 2);
+    m.powerW(0, 0) = 6.5;
+    m.powerW(0, 1) = 6.0;
+    m.bips(0, 0) = 1.0;
+    m.bips(0, 1) = 0.9;
+    m.powerW(1, 0) = 12.0;
+    m.powerW(1, 1) = 6.0;
+    m.bips(1, 0) = 1.0;
+    m.bips(1, 1) = 0.9;
+    auto samples = samplesFromMatrix(m);
+    PriorityPolicy policy;
+    auto in = makeInput(m, samples, 13.0, dvfs);
+    auto assign = policy.decide(in);
+    EXPECT_EQ(assign[1], 1); // can't afford 12 + 6 = 18
+    EXPECT_EQ(assign[0], 0); // 6.5 + 6 = 12.5 fits
+}
+
+TEST(PullHiPushLoPolicy, SlowsHottestOnOvershoot)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    ModeMatrix m(2, 3);
+    // Core 0 hot, core 1 cool.
+    m.powerW(0, 0) = 12.0;
+    m.powerW(0, 1) = 10.0;
+    m.powerW(0, 2) = 7.0;
+    m.powerW(1, 0) = 6.0;
+    m.powerW(1, 1) = 5.0;
+    m.powerW(1, 2) = 4.0;
+    for (std::size_t c = 0; c < 2; c++) {
+        m.bips(c, 0) = 1.0;
+        m.bips(c, 1) = 0.95;
+        m.bips(c, 2) = 0.85;
+    }
+    auto samples = samplesFromMatrix(m, 0); // both at Turbo: 18 W
+    PullHiPushLoPolicy policy;
+    auto in = makeInput(m, samples, 16.5, dvfs);
+    auto assign = policy.decide(in);
+    EXPECT_GT(assign[0], 0); // hot core slowed
+    EXPECT_LE(m.totalPowerW(assign), 16.5 + 1e-9);
+}
+
+TEST(PullHiPushLoPolicy, SpeedsCoolestOnSlack)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    ModeMatrix m(2, 3);
+    m.powerW(0, 0) = 12.0;
+    m.powerW(0, 1) = 10.0;
+    m.powerW(0, 2) = 7.0;
+    m.powerW(1, 0) = 6.0;
+    m.powerW(1, 1) = 5.0;
+    m.powerW(1, 2) = 4.0;
+    for (std::size_t c = 0; c < 2; c++) {
+        m.bips(c, 0) = 1.0;
+        m.bips(c, 1) = 0.95;
+        m.bips(c, 2) = 0.85;
+    }
+    auto samples = samplesFromMatrix(m, 2); // both at Eff2: 11 W
+    PullHiPushLoPolicy policy;
+    auto in = makeInput(m, samples, 30.0, dvfs);
+    auto assign = policy.decide(in);
+    // Ample slack: both cores end up at Turbo.
+    EXPECT_EQ(assign[0], 0);
+    EXPECT_EQ(assign[1], 0);
+}
+
+TEST(PullHiPushLoPolicy, StartsFromCurrentModes)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    ModeMatrix m = randomMatrix(4, 3, 21);
+    auto samples = samplesFromMatrix(m, 1);
+    PullHiPushLoPolicy policy;
+    // Budget exactly at the current (all-Eff1) total: no change
+    // should be needed, and result must still fit.
+    std::vector<PowerMode> eff1(4, 1);
+    auto in = makeInput(m, samples, m.totalPowerW(eff1), dvfs);
+    auto assign = policy.decide(in);
+    EXPECT_LE(m.totalPowerW(assign), m.totalPowerW(eff1) + 1e-9);
+}
+
+TEST(OraclePolicy, UsesOracleMatrix)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    ModeMatrix predicted = randomMatrix(3, 3, 31);
+    ModeMatrix oracle = randomMatrix(3, 3, 32);
+    auto samples = samplesFromMatrix(predicted);
+    OraclePolicy policy;
+    EXPECT_TRUE(policy.wantsOracle());
+    PolicyInput in;
+    in.predicted = &predicted;
+    in.oracle = &oracle;
+    in.samples = &samples;
+    in.dvfs = &dvfs;
+    std::vector<PowerMode> floor_assign(3, 2);
+    in.budgetW = oracle.totalPowerW(floor_assign) * 1.2;
+    auto assign = policy.decide(in);
+    EXPECT_LE(oracle.totalPowerW(assign), in.budgetW + 1e-9);
+}
+
+TEST(PolicyFactory, KnownNames)
+{
+    for (const char *name :
+         {"MaxBIPS", "MaxBIPS-BnB", "Priority", "PullHiPushLo",
+          "ChipWideDVFS", "Oracle", "UniformBudget"}) {
+        auto p = makePolicy(name);
+        ASSERT_NE(p, nullptr);
+    }
+    EXPECT_STREQ(makePolicy("MaxBIPS")->name(), "MaxBIPS");
+    EXPECT_STREQ(makePolicy("Oracle")->name(), "Oracle");
+}
+
+TEST(ModeMatrixTest, TotalsMatchManualSum)
+{
+    ModeMatrix m(2, 2);
+    m.powerW(0, 0) = 1.0;
+    m.powerW(0, 1) = 0.5;
+    m.powerW(1, 0) = 2.0;
+    m.powerW(1, 1) = 1.0;
+    m.bips(0, 0) = 3.0;
+    m.bips(1, 1) = 4.0;
+    std::vector<PowerMode> assign{0, 1};
+    EXPECT_DOUBLE_EQ(m.totalPowerW(assign), 2.0);
+    EXPECT_DOUBLE_EQ(m.totalBips(assign), 7.0);
+    EXPECT_EQ(m.numCores(), 2u);
+    EXPECT_EQ(m.numModes(), 2u);
+}
+
+} // namespace
+} // namespace gpm

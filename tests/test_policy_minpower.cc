@@ -1,0 +1,174 @@
+/** @file Unit and property tests for the MinPower dual policy. */
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hh"
+#include "helpers.hh"
+
+namespace gpm
+{
+namespace
+{
+
+using test::randomMatrix;
+
+/** Brute-force dual optimum for cross-checking. */
+std::pair<double, double>
+bruteForceMinPower(const ModeMatrix &m, double target)
+{
+    const std::size_t n = m.numCores();
+    const std::size_t k = m.numModes();
+    std::vector<PowerMode> cur(n, 0);
+    double best_power = 1e300, best_bips = -1.0;
+    for (;;) {
+        double b = m.totalBips(cur);
+        if (b + 1e-12 >= target) {
+            double p = m.totalPowerW(cur);
+            if (p < best_power ||
+                (p == best_power && b > best_bips)) {
+                best_power = p;
+                best_bips = b;
+            }
+        }
+        std::size_t c = 0;
+        while (c < n && ++cur[c] == k)
+            cur[c++] = 0;
+        if (c == n)
+            break;
+    }
+    return {best_power, best_bips};
+}
+
+class MinPowerSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(MinPowerSweep, ExhaustiveMatchesBruteForce)
+{
+    auto [seed, frac] = GetParam();
+    ModeMatrix m = randomMatrix(5, 3, seed + 100);
+    std::vector<PowerMode> turbo(5, 0), slow(5, 2);
+    double target = m.totalBips(slow) +
+        frac * (m.totalBips(turbo) - m.totalBips(slow));
+    auto best = bruteForceMinPower(m, target);
+    auto assign = MaxBipsPolicy::solveMinPower(
+        m, target, MaxBipsPolicy::Search::Exhaustive);
+    EXPECT_GE(m.totalBips(assign) + 1e-9, target);
+    EXPECT_NEAR(m.totalPowerW(assign), best.first, 1e-9);
+}
+
+TEST_P(MinPowerSweep, BnbMatchesExhaustive)
+{
+    auto [seed, frac] = GetParam();
+    ModeMatrix m = randomMatrix(7, 3, seed + 200);
+    std::vector<PowerMode> turbo(7, 0), slow(7, 2);
+    double target = m.totalBips(slow) +
+        frac * (m.totalBips(turbo) - m.totalBips(slow));
+    auto ex = MaxBipsPolicy::solveMinPower(
+        m, target, MaxBipsPolicy::Search::Exhaustive);
+    auto bb = MaxBipsPolicy::solveMinPower(
+        m, target, MaxBipsPolicy::Search::BranchAndBound);
+    EXPECT_NEAR(m.totalPowerW(ex), m.totalPowerW(bb), 1e-9);
+    EXPECT_GE(m.totalBips(bb) + 1e-9, target);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinPowerSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(0.1, 0.5, 0.9, 1.0)));
+
+TEST(MinPowerPolicy, TrivialTargetAllSlowest)
+{
+    ModeMatrix m = randomMatrix(4, 3, 31);
+    auto assign = MaxBipsPolicy::solveMinPower(
+        m, 0.0, MaxBipsPolicy::Search::Exhaustive);
+    // Zero target: cheapest possible = all-slowest (monotone).
+    for (auto a : assign)
+        EXPECT_EQ(a, 2);
+}
+
+TEST(MinPowerPolicy, UnreachableTargetBestEffortTurbo)
+{
+    ModeMatrix m = randomMatrix(4, 3, 32);
+    auto assign = MaxBipsPolicy::solveMinPower(
+        m, 1e9, MaxBipsPolicy::Search::Exhaustive);
+    for (auto a : assign)
+        EXPECT_EQ(a, 0);
+    auto bb = MaxBipsPolicy::solveMinPower(
+        m, 1e9, MaxBipsPolicy::Search::BranchAndBound);
+    for (auto a : bb)
+        EXPECT_EQ(a, 0);
+}
+
+TEST(MinPowerPolicy, FullTargetNeedsAllTurbo)
+{
+    ModeMatrix m = randomMatrix(4, 3, 33);
+    std::vector<PowerMode> turbo(4, 0);
+    auto assign = MaxBipsPolicy::solveMinPower(
+        m, m.totalBips(turbo) - 1e-9,
+        MaxBipsPolicy::Search::Exhaustive);
+    for (auto a : assign)
+        EXPECT_EQ(a, 0);
+}
+
+TEST(MinPowerPolicy, BnbScalesTo64Cores)
+{
+    ModeMatrix m = randomMatrix(64, 3, 55);
+    std::vector<PowerMode> turbo(64, 0);
+    double target = 0.95 * m.totalBips(turbo);
+    auto assign = MaxBipsPolicy::solveMinPower(
+        m, target, MaxBipsPolicy::Search::BranchAndBound);
+    EXPECT_GE(m.totalBips(assign) + 1e-9, target);
+    EXPECT_LT(m.totalPowerW(assign), m.totalPowerW(turbo));
+}
+
+TEST(MinPowerPolicy, DecideUsesPredictedMatrix)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    ModeMatrix m = randomMatrix(4, 3, 41);
+    std::vector<CoreSample> samples(4);
+    for (std::size_t c = 0; c < 4; c++) {
+        samples[c].mode = modes::Turbo;
+        samples[c].powerW = m.powerW(c, modes::Turbo);
+        samples[c].bips = m.bips(c, modes::Turbo);
+    }
+    MinPowerPolicy policy(0.9);
+    EXPECT_DOUBLE_EQ(policy.targetFraction(), 0.9);
+    PolicyInput in;
+    in.predicted = &m;
+    in.samples = &samples;
+    in.dvfs = &dvfs;
+    auto assign = policy.decide(in);
+    std::vector<PowerMode> turbo(4, 0);
+    EXPECT_GE(m.totalBips(assign) + 1e-9,
+              0.9 * m.totalBips(turbo));
+    EXPECT_LE(m.totalPowerW(assign), m.totalPowerW(turbo));
+}
+
+TEST(MinPowerPolicy, DualityWithMaxBips)
+{
+    // Weak duality: MaxBIPS at budget P* (the power MinPower paid)
+    // must achieve at least MinPower's BIPS.
+    ModeMatrix m = randomMatrix(5, 3, 61);
+    std::vector<PowerMode> turbo(5, 0);
+    double target = 0.92 * m.totalBips(turbo);
+    auto mp = MaxBipsPolicy::solveMinPower(
+        m, target, MaxBipsPolicy::Search::Exhaustive);
+    auto mb = MaxBipsPolicy::solve(
+        m, m.totalPowerW(mp), MaxBipsPolicy::Search::Exhaustive);
+    EXPECT_GE(m.totalBips(mb) + 1e-9, m.totalBips(mp));
+}
+
+TEST(MinPowerPolicy, FactoryParsesTargets)
+{
+    auto p = makePolicy("MinPower");
+    EXPECT_STREQ(p->name(), "MinPower");
+    auto q = makePolicy("MinPower85");
+    auto *mp = dynamic_cast<MinPowerPolicy *>(q.get());
+    ASSERT_NE(mp, nullptr);
+    EXPECT_NEAR(mp->targetFraction(), 0.85, 1e-12);
+}
+
+} // namespace
+} // namespace gpm

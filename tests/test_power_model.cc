@@ -1,0 +1,195 @@
+/** @file Unit tests for the activity-based core power model. */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace gpm
+{
+namespace
+{
+
+ActivitySample
+busySample(std::uint64_t cycles)
+{
+    ActivitySample s;
+    s.cycles = cycles;
+    s.fetched = cycles * 4;
+    s.dispatched = cycles * 4;
+    s.issued = cycles * 4;
+    s.committed = cycles * 4;
+    s.fxuOps = cycles;
+    s.fpuOps = cycles;
+    s.lsuOps = cycles;
+    s.branches = cycles / 2;
+    s.l1iAccesses = cycles;
+    s.l1dAccesses = cycles;
+    return s;
+}
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    PowerModelTest()
+        : dvfs(DvfsTable::classic3()),
+          model(CorePowerParams::classic(), dvfs)
+    {
+    }
+
+    DvfsTable dvfs;
+    CorePowerModel model;
+};
+
+TEST_F(PowerModelTest, IdleLessThanBusy)
+{
+    ActivitySample idle;
+    idle.cycles = 1000;
+    EXPECT_LT(model.power(idle, modes::Turbo),
+              model.power(busySample(1000), modes::Turbo));
+}
+
+TEST_F(PowerModelTest, PowerBoundedByPeak)
+{
+    EXPECT_LE(model.power(busySample(1000), modes::Turbo),
+              model.peakW());
+}
+
+TEST_F(PowerModelTest, UtilizationMonotone)
+{
+    ActivitySample half = busySample(1000);
+    half.fxuOps /= 2;
+    half.fpuOps /= 2;
+    half.lsuOps /= 2;
+    EXPECT_LT(model.power(half, modes::Turbo),
+              model.power(busySample(1000), modes::Turbo));
+}
+
+TEST_F(PowerModelTest, DvfsScalingNearCubic)
+{
+    // Dynamic power scales exactly cubically; leakage (linear in V)
+    // pulls measured savings slightly below the ideal 14.26%/38.6%.
+    ActivitySample s = busySample(1000);
+    double p0 = model.power(s, modes::Turbo);
+    double p1 = model.power(s, modes::Eff1);
+    double p2 = model.power(s, modes::Eff2);
+    double save1 = 1.0 - p1 / p0;
+    double save2 = 1.0 - p2 / p0;
+    EXPECT_NEAR(save1, 0.1426, 0.01);
+    EXPECT_NEAR(save2, 0.3859, 0.02);
+    EXPECT_LT(save1, 0.1427);
+    EXPECT_LT(save2, 0.3859);
+}
+
+TEST_F(PowerModelTest, EnergyIsPowerTimesTime)
+{
+    ActivitySample s = busySample(1'000'000);
+    double p = model.power(s, modes::Turbo);
+    double e = model.energy(s, modes::Turbo);
+    double secs = 1'000'000 / dvfs.frequency(modes::Turbo);
+    EXPECT_NEAR(e, p * secs, 1e-12);
+}
+
+TEST_F(PowerModelTest, SameCyclesTakeLongerAtLowerFrequency)
+{
+    // Same cycle count = more seconds at lower f; energy reflects
+    // power scale x time scale.
+    ActivitySample s = busySample(1'000'000);
+    double e0 = model.energy(s, modes::Turbo);
+    double e2 = model.energy(s, modes::Eff2);
+    // e2/e0 = pscale / fscale = 0.614 / 0.85.
+    EXPECT_NEAR(e2 / e0, 0.614125 / 0.85, 0.02);
+}
+
+TEST_F(PowerModelTest, StallPowerBetweenZeroAndIdleCeiling)
+{
+    double stall = model.stallPower(modes::Turbo);
+    EXPECT_GT(stall, 0.0);
+    EXPECT_LT(stall, model.peakW() / 2);
+    // Stall power scales down with mode too.
+    EXPECT_LT(model.stallPower(modes::Eff2), stall);
+}
+
+TEST_F(PowerModelTest, ZeroCycleSampleHasNoUtilization)
+{
+    ActivitySample s;
+    double p = model.power(s, modes::Turbo);
+    EXPECT_NEAR(p, model.stallPower(modes::Turbo), 1e-9);
+}
+
+TEST(ActivitySample, MergeAccumulates)
+{
+    ActivitySample a, b;
+    a.cycles = 10;
+    a.fxuOps = 5;
+    b.cycles = 20;
+    b.fxuOps = 7;
+    b.l2Misses = 3;
+    a.merge(b);
+    EXPECT_EQ(a.cycles, 30u);
+    EXPECT_EQ(a.fxuOps, 12u);
+    EXPECT_EQ(a.l2Misses, 3u);
+}
+
+TEST(ActivitySample, ResetClears)
+{
+    ActivitySample a;
+    a.cycles = 10;
+    a.branches = 2;
+    a.reset();
+    EXPECT_EQ(a.cycles, 0u);
+    EXPECT_EQ(a.branches, 0u);
+}
+
+TEST(CorePowerParams, PeakIsSumOfUnitsPlusLeakage)
+{
+    auto p = CorePowerParams::classic();
+    double sum = p.leakageW;
+    for (auto w : p.unitMaxW)
+        sum += w;
+    EXPECT_DOUBLE_EQ(p.peakW(), sum);
+    EXPECT_GT(p.peakW(), 10.0);
+}
+
+TEST(UncorePowerModel, BasePlusTraffic)
+{
+    UncorePowerModel::Params prm;
+    prm.baseW = 2.0;
+    prm.l2AccessJ = 1e-9;
+    prm.memAccessJ = 5e-9;
+    UncorePowerModel u(prm);
+    EXPECT_DOUBLE_EQ(u.energy(1.0, 0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(u.energy(1.0, 1000, 100),
+                     2.0 + 1000e-9 + 500e-9);
+    EXPECT_DOUBLE_EQ(u.baseW(), 2.0);
+}
+
+TEST(UnitName, AllUnitsNamed)
+{
+    for (std::size_t u = 0; u < numUnits; u++)
+        EXPECT_NE(unitName(static_cast<Unit>(u)), nullptr);
+}
+
+class ModeSweepPower
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ModeSweepPower, PowerMonotoneAcrossModes)
+{
+    auto dvfs = DvfsTable::linear(6, 0.75);
+    CorePowerModel model(CorePowerParams::classic(), dvfs);
+    ActivitySample s = busySample(GetParam());
+    double prev = 1e300;
+    for (std::size_t m = 0; m < dvfs.numModes(); m++) {
+        double p = model.power(s, static_cast<PowerMode>(m));
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CycleCounts, ModeSweepPower,
+                         ::testing::Values(1, 100, 10'000,
+                                           1'000'000));
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,175 @@
+/** @file Unit tests for the Power/BIPS matrix mode predictor
+ *  (paper Section 5.5). */
+
+#include <gtest/gtest.h>
+
+#include "core/mode_predictor.hh"
+
+namespace gpm
+{
+namespace
+{
+
+class PredictorTest : public ::testing::Test
+{
+  protected:
+    PredictorTest()
+        : dvfs(DvfsTable::classic3()), pred(dvfs, 500.0)
+    {
+    }
+
+    DvfsTable dvfs;
+    ModePredictor pred;
+};
+
+TEST_F(PredictorTest, TransitionFactorsMatchPaper)
+{
+    // Paper Section 5.5: scale factors 500/507, 500/513, 500/520
+    // (with ~7/13/20 us transitions; ours are exactly 6.5/13/19.5).
+    EXPECT_NEAR(pred.transitionFactor(modes::Turbo, modes::Eff1),
+                500.0 / 506.5, 1e-9);
+    EXPECT_NEAR(pred.transitionFactor(modes::Eff1, modes::Eff2),
+                500.0 / 513.0, 1e-9);
+    EXPECT_NEAR(pred.transitionFactor(modes::Turbo, modes::Eff2),
+                500.0 / 519.5, 1e-9);
+    EXPECT_DOUBLE_EQ(
+        pred.transitionFactor(modes::Eff1, modes::Eff1), 1.0);
+}
+
+TEST_F(PredictorTest, CubicPowerPrediction)
+{
+    // Paper's worked example: core in Eff1 with P1E1; then
+    // P1T = P1E1 / 0.95^3 and P1E2 = P1T * 0.85^3 — blended with
+    // the departing power over the transition stall, since the
+    // scored interval includes the stall.
+    std::vector<CoreSample> s(1);
+    s[0].powerW = 8.0;
+    s[0].bips = 1.0;
+    s[0].mode = modes::Eff1;
+    ModeMatrix m = pred.predict(s);
+    double p1t = 8.0 / (0.95 * 0.95 * 0.95);
+    double p1e2 = p1t * 0.85 * 0.85 * 0.85;
+    EXPECT_NEAR(m.powerW(0, modes::Turbo),
+                (6.5 * 8.0 + 500.0 * p1t) / 506.5, 1e-9);
+    EXPECT_NEAR(m.powerW(0, modes::Eff2),
+                (13.0 * 8.0 + 500.0 * p1e2) / 513.0, 1e-9);
+    EXPECT_NEAR(m.powerW(0, modes::Eff1), 8.0, 1e-9);
+}
+
+TEST_F(PredictorTest, LinearBipsPredictionWithTransitionCost)
+{
+    // B1E2 = B1T * 0.85 * (500 / 519.5) from Turbo.
+    std::vector<CoreSample> s(1);
+    s[0].powerW = 10.0;
+    s[0].bips = 2.0;
+    s[0].mode = modes::Turbo;
+    ModeMatrix m = pred.predict(s);
+    EXPECT_NEAR(m.bips(0, modes::Eff2),
+                2.0 * 0.85 * (500.0 / 519.5), 1e-9);
+    EXPECT_NEAR(m.bips(0, modes::Eff1),
+                2.0 * 0.95 * (500.0 / 506.5), 1e-9);
+    // Same-mode prediction is the measurement itself.
+    EXPECT_NEAR(m.bips(0, modes::Turbo), 2.0, 1e-12);
+}
+
+TEST_F(PredictorTest, SameModePowerIsMeasurement)
+{
+    // No transition, no blend: the same-mode column is exactly the
+    // measured value, at any mode.
+    for (PowerMode mode = 0; mode < 3; mode++) {
+        std::vector<CoreSample> s(1);
+        s[0].powerW = 5.0;
+        s[0].bips = 0.6;
+        s[0].mode = mode;
+        ModeMatrix m = pred.predict(s);
+        EXPECT_NEAR(m.powerW(0, mode), 5.0, 1e-12);
+        EXPECT_NEAR(m.bips(0, mode), 0.6, 1e-12);
+    }
+}
+
+TEST_F(PredictorTest, InactiveCoresGetIdlePower)
+{
+    ModePredictor p2(dvfs, 500.0, 3.0);
+    std::vector<CoreSample> s(2);
+    s[0].powerW = 10.0;
+    s[0].bips = 1.0;
+    s[0].mode = modes::Turbo;
+    s[1].active = false;
+    s[1].mode = modes::Turbo;
+    ModeMatrix m = p2.predict(s);
+    EXPECT_NEAR(m.powerW(1, modes::Turbo), 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.bips(1, modes::Turbo), 0.0);
+    EXPECT_LT(m.powerW(1, modes::Eff2), 3.0);
+}
+
+TEST_F(PredictorTest, OutcomeScoringComputesRelativeError)
+{
+    std::vector<CoreSample> s(1);
+    s[0].powerW = 10.0;
+    s[0].bips = 1.0;
+    s[0].mode = modes::Turbo;
+    ModeMatrix m = pred.predict(s);
+    std::vector<PowerMode> chosen{modes::Turbo};
+    std::vector<CoreSample> actual(1);
+    actual[0].powerW = 9.5; // 5.26% under prediction of 10
+    actual[0].bips = 1.1;
+    actual[0].mode = modes::Turbo;
+    pred.recordOutcome(m, chosen, actual);
+    EXPECT_EQ(pred.outcomes(), 1u);
+    EXPECT_NEAR(pred.meanPowerError(), 0.5 / 9.5, 1e-9);
+    EXPECT_NEAR(pred.meanBipsError(), 0.1 / 1.1, 1e-9);
+}
+
+TEST_F(PredictorTest, InactiveOutcomesIgnored)
+{
+    std::vector<CoreSample> s(1);
+    s[0].powerW = 10.0;
+    s[0].bips = 1.0;
+    s[0].mode = modes::Turbo;
+    ModeMatrix m = pred.predict(s);
+    std::vector<CoreSample> actual(1);
+    actual[0].active = false;
+    pred.recordOutcome(m, {modes::Turbo}, actual);
+    EXPECT_DOUBLE_EQ(pred.meanPowerError(), 0.0);
+}
+
+TEST_F(PredictorTest, PerfectPredictionZeroError)
+{
+    std::vector<CoreSample> s(1);
+    s[0].powerW = 10.0;
+    s[0].bips = 1.0;
+    s[0].mode = modes::Turbo;
+    ModeMatrix m = pred.predict(s);
+    std::vector<CoreSample> actual = s;
+    pred.recordOutcome(m, {modes::Turbo}, actual);
+    EXPECT_DOUBLE_EQ(pred.meanPowerError(), 0.0);
+    EXPECT_DOUBLE_EQ(pred.meanBipsError(), 0.0);
+}
+
+class PredictorModeSweep
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PredictorModeSweep, PredictionsMonotoneInMode)
+{
+    auto dvfs = DvfsTable::linear(GetParam(), 0.8);
+    ModePredictor pred(dvfs, 500.0);
+    std::vector<CoreSample> s(1);
+    s[0].powerW = 10.0;
+    s[0].bips = 1.5;
+    s[0].mode = 0;
+    ModeMatrix m = pred.predict(s);
+    for (std::size_t mi = 1; mi < dvfs.numModes(); mi++) {
+        EXPECT_LT(m.powerW(0, static_cast<PowerMode>(mi)),
+                  m.powerW(0, static_cast<PowerMode>(mi - 1)));
+        EXPECT_LT(m.bips(0, static_cast<PowerMode>(mi)),
+                  m.bips(0, static_cast<PowerMode>(mi - 1)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModeCounts, PredictorModeSweep,
+                         ::testing::Values(2, 3, 5, 8));
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,219 @@
+/** @file Unit tests for profiles, cursors and the profile library. */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "trace/phase_profile.hh"
+
+namespace gpm
+{
+namespace
+{
+
+using test::classicSyntheticProfile;
+using test::syntheticProfile;
+
+TEST(ModeProfile, Totals)
+{
+    auto p = classicSyntheticProfile(10, 10.0, 1e-4);
+    const ModeProfile &mp = p.at(modes::Turbo);
+    EXPECT_EQ(mp.totalInsts(), 100'000u);
+    EXPECT_EQ(mp.totalTimePs(), 100'000'000u); // 10 x 10 us
+    EXPECT_NEAR(mp.totalEnergyJ(), 1e-3, 1e-12);
+    EXPECT_NEAR(mp.avgPowerW(), 1e-3 / 100e-6, 1e-6);
+    EXPECT_NEAR(mp.bips(), 100'000 / (100e-6 * 1e9), 1e-9);
+}
+
+TEST(ModeProfile, SlowerModesTakeLonger)
+{
+    auto p = classicSyntheticProfile();
+    EXPECT_GT(p.at(modes::Eff1).totalTimePs(),
+              p.at(modes::Turbo).totalTimePs());
+    EXPECT_GT(p.at(modes::Eff2).totalTimePs(),
+              p.at(modes::Eff1).totalTimePs());
+    EXPECT_LT(p.at(modes::Eff2).avgPowerW(),
+              p.at(modes::Turbo).avgPowerW());
+}
+
+TEST(ProfileCursor, AdvanceConsumesTime)
+{
+    auto p = classicSyntheticProfile(10, 10.0, 1e-4);
+    ProfileCursor cur(p);
+    auto d = cur.advance(25.0, modes::Turbo); // 2.5 chunks
+    EXPECT_NEAR(d.instructions, 25'000, 1);
+    EXPECT_NEAR(d.usedUs, 25.0, 1e-9);
+    EXPECT_FALSE(d.finished);
+    EXPECT_NEAR(cur.progress(), 0.25, 1e-9);
+}
+
+TEST(ProfileCursor, FinishesAndReportsPartialUse)
+{
+    auto p = classicSyntheticProfile(10, 10.0, 1e-4);
+    ProfileCursor cur(p);
+    auto d = cur.advance(1000.0, modes::Turbo);
+    EXPECT_TRUE(d.finished);
+    EXPECT_NEAR(d.usedUs, 100.0, 1e-6);
+    EXPECT_NEAR(d.instructions, 100'000, 1);
+    EXPECT_TRUE(cur.finished());
+    // Advancing further yields nothing.
+    auto d2 = cur.advance(50.0, modes::Turbo);
+    EXPECT_NEAR(d2.instructions, 0.0, 1e-9);
+    EXPECT_NEAR(d2.usedUs, 0.0, 1e-9);
+}
+
+TEST(ProfileCursor, PeekDoesNotMove)
+{
+    auto p = classicSyntheticProfile();
+    ProfileCursor cur(p);
+    auto d1 = cur.peek(30.0, modes::Turbo);
+    auto d2 = cur.peek(30.0, modes::Turbo);
+    EXPECT_NEAR(d1.instructions, d2.instructions, 1e-9);
+    EXPECT_NEAR(cur.progress(), 0.0, 1e-12);
+}
+
+TEST(ProfileCursor, ModeSwitchPreservesInstructionPosition)
+{
+    auto p = classicSyntheticProfile(10, 10.0, 1e-4);
+    ProfileCursor a(p), b(p);
+    // a: all Turbo. b: half Turbo then Eff2 — instructions conserve.
+    double insts_a = 0.0;
+    insts_a += a.advance(50.0, modes::Turbo).instructions;
+    double insts_b = 0.0;
+    insts_b += b.advance(50.0, modes::Turbo).instructions;
+    EXPECT_NEAR(a.instructionsDone(), b.instructionsDone(), 1e-6);
+    // Continue b at Eff2: it needs 1/0.85 more time per chunk.
+    auto d = b.advance(10.0 / 0.85, modes::Eff2);
+    EXPECT_NEAR(d.instructions, 10'000, 1);
+}
+
+TEST(ProfileCursor, SlowerModeYieldsFewerInstructionsPerTime)
+{
+    auto p = classicSyntheticProfile();
+    ProfileCursor cur(p);
+    auto turbo = cur.peek(40.0, modes::Turbo);
+    auto eff2 = cur.peek(40.0, modes::Eff2);
+    EXPECT_NEAR(eff2.instructions / turbo.instructions, 0.85, 1e-6);
+}
+
+TEST(ProfileCursor, DilationSlowsProgress)
+{
+    auto p = classicSyntheticProfile();
+    ProfileCursor cur(p);
+    auto plain = cur.peek(40.0, modes::Turbo, 1.0);
+    auto dilated = cur.peek(40.0, modes::Turbo, 1.25);
+    EXPECT_NEAR(dilated.instructions / plain.instructions,
+                1.0 / 1.25, 1e-6);
+}
+
+TEST(ProfileCursor, RewindRestarts)
+{
+    auto p = classicSyntheticProfile();
+    ProfileCursor cur(p);
+    cur.advance(1e6, modes::Turbo);
+    EXPECT_TRUE(cur.finished());
+    cur.rewind();
+    EXPECT_FALSE(cur.finished());
+    EXPECT_NEAR(cur.progress(), 0.0, 1e-12);
+}
+
+TEST(ProfileCursor, EnergyProportionalToProgress)
+{
+    auto p = classicSyntheticProfile(10, 10.0, 1e-4);
+    ProfileCursor cur(p);
+    auto d = cur.advance(50.0, modes::Turbo);
+    EXPECT_NEAR(d.energyJ, 5e-4, 1e-10);
+}
+
+TEST(ProfileCursor, L2TrafficAccumulates)
+{
+    auto p = syntheticProfile(10, 10'000, 10.0, 1e-4,
+                              {1.0, 1.0 / 0.85},
+                              {1.0, 0.614}, 500);
+    ProfileCursor cur(p);
+    auto d = cur.advance(35.0, static_cast<PowerMode>(0));
+    EXPECT_NEAR(d.l2Misses, 3.5 * 500, 1);
+    EXPECT_NEAR(d.l2Accesses, 3.5 * 1000, 2);
+}
+
+TEST(WorkloadProfile, AtChecksBounds)
+{
+    auto p = classicSyntheticProfile();
+    EXPECT_EQ(&p.at(modes::Turbo), &p.modes[0]);
+}
+
+TEST(ProfileLibrary, SaveLoadRoundTrip)
+{
+    auto dvfs = DvfsTable::classic3();
+    std::string path =
+        ::testing::TempDir() + "/gpm_profiles_test.bin";
+    ProfileLibrary lib(dvfs, 0.002);
+    const WorkloadProfile &p = lib.get("mcf");
+    std::uint64_t insts = p.at(modes::Turbo).totalInsts();
+    lib.save(path);
+
+    ProfileLibrary lib2(dvfs, 0.002);
+    ASSERT_TRUE(lib2.load(path));
+    const WorkloadProfile &q = lib2.get("mcf");
+    EXPECT_EQ(q.at(modes::Turbo).totalInsts(), insts);
+    EXPECT_EQ(q.at(modes::Turbo).chunks.size(),
+              p.at(modes::Turbo).chunks.size());
+    EXPECT_NEAR(q.at(modes::Eff2).totalEnergyJ(),
+                p.at(modes::Eff2).totalEnergyJ(), 1e-12);
+    std::remove(path.c_str());
+}
+
+TEST(ProfileLibrary, LoadRejectsWrongScale)
+{
+    auto dvfs = DvfsTable::classic3();
+    std::string path =
+        ::testing::TempDir() + "/gpm_profiles_scale.bin";
+    ProfileLibrary lib(dvfs, 0.002);
+    lib.get("mcf");
+    lib.save(path);
+
+    ProfileLibrary other(dvfs, 0.004);
+    EXPECT_FALSE(other.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(ProfileLibrary, LoadRejectsGarbage)
+{
+    std::string path = ::testing::TempDir() + "/gpm_garbage.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a profile file", f);
+    std::fclose(f);
+    auto dvfs = DvfsTable::classic3();
+    ProfileLibrary lib(dvfs, 1.0);
+    EXPECT_FALSE(lib.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(ProfileLibrary, LoadMissingFileFails)
+{
+    auto dvfs = DvfsTable::classic3();
+    ProfileLibrary lib(dvfs, 1.0);
+    EXPECT_FALSE(lib.load("/nonexistent/path/profiles.bin"));
+}
+
+TEST(ProfileLibrary, GetIsStableAcrossGrowth)
+{
+    auto dvfs = DvfsTable::classic3();
+    ProfileLibrary lib(dvfs, 0.002);
+    const WorkloadProfile *first = &lib.get("mcf");
+    lib.get("art");
+    lib.get("ammp");
+    EXPECT_EQ(first, &lib.get("mcf"));
+}
+
+TEST(ProfileLibrary, FingerprintStable)
+{
+    auto dvfs = DvfsTable::classic3();
+    ProfileLibrary a(dvfs, 0.5), b(dvfs, 0.5), c(dvfs, 0.25);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,115 @@
+/** @file Integration tests: profiling real workloads on the core
+ *  model (small length scales). */
+
+#include <gtest/gtest.h>
+
+#include "trace/profiler.hh"
+#include "trace/workload.hh"
+
+namespace gpm
+{
+namespace
+{
+
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    ProfilerTest() : dvfs(DvfsTable::classic3()), prof(dvfs) {}
+
+    DvfsTable dvfs;
+    Profiler prof;
+};
+
+TEST_F(ProfilerTest, ChunkStructureConsistentAcrossModes)
+{
+    auto p = prof.profileWorkload(workload("ammp"), 0.01);
+    ASSERT_EQ(p.modes.size(), 3u);
+    EXPECT_EQ(p.at(0).chunks.size(), p.at(1).chunks.size());
+    EXPECT_EQ(p.at(0).chunks.size(), p.at(2).chunks.size());
+    EXPECT_EQ(p.at(0).totalInsts(), p.at(2).totalInsts());
+}
+
+TEST_F(ProfilerTest, SlowerModesSlowerAndCheaper)
+{
+    auto p = prof.profileWorkload(workload("crafty"), 0.01);
+    EXPECT_GT(p.at(modes::Eff1).totalTimePs(),
+              p.at(modes::Turbo).totalTimePs());
+    EXPECT_GT(p.at(modes::Eff2).totalTimePs(),
+              p.at(modes::Eff1).totalTimePs());
+    EXPECT_LT(p.at(modes::Eff1).avgPowerW(),
+              p.at(modes::Turbo).avgPowerW());
+    EXPECT_LT(p.at(modes::Eff2).avgPowerW(),
+              p.at(modes::Eff1).avgPowerW());
+}
+
+TEST_F(ProfilerTest, MemoryBoundDegradesLessThanComputeBound)
+{
+    auto cpu = prof.profileWorkload(workload("sixtrack"), 0.01);
+    auto mem = prof.profileWorkload(workload("mcf"), 0.01);
+    auto slow = [](const WorkloadProfile &p) {
+        return static_cast<double>(
+                   p.at(modes::Eff2).totalTimePs()) /
+            static_cast<double>(p.at(modes::Turbo).totalTimePs());
+    };
+    EXPECT_GT(slow(cpu), 1.12);
+    EXPECT_LT(slow(mem), 1.06);
+}
+
+TEST_F(ProfilerTest, PowerSavingsNearCubic)
+{
+    auto p = prof.profileWorkload(workload("gcc"), 0.01);
+    auto s = prof.summarize(p);
+    // Within a couple of points of the ideal 14.26% / 38.59%.
+    EXPECT_NEAR(s.powerSavings[0], 0.1426, 0.02);
+    EXPECT_NEAR(s.powerSavings[1], 0.3859, 0.03);
+}
+
+TEST_F(ProfilerTest, SummaryDegradationBounds)
+{
+    auto p = prof.profileWorkload(workload("mesa"), 0.01);
+    auto s = prof.summarize(p);
+    // Eff1 elapsed-time increase within (0, 1/0.95-1];
+    // Eff2 within (0, 1/0.85-1].
+    EXPECT_GT(s.perfDegradation[0], 0.0);
+    EXPECT_LE(s.perfDegradation[0], 1.0 / 0.95 - 1.0 + 1e-9);
+    EXPECT_GT(s.perfDegradation[1], 0.0);
+    EXPECT_LE(s.perfDegradation[1], 1.0 / 0.85 - 1.0 + 1e-9);
+}
+
+TEST_F(ProfilerTest, L2TrafficComparableAcrossModes)
+{
+    // The same instruction stream produces (nearly) the same misses
+    // regardless of frequency.
+    auto p = prof.profileWorkload(workload("art"), 0.01);
+    auto misses = [](const ModeProfile &mp) {
+        double m = 0;
+        for (const auto &c : mp.chunks)
+            m += c.l2Misses;
+        return m;
+    };
+    double m0 = misses(p.at(modes::Turbo));
+    double m2 = misses(p.at(modes::Eff2));
+    EXPECT_GT(m0, 0.0);
+    EXPECT_NEAR(m2 / m0, 1.0, 0.02);
+}
+
+TEST_F(ProfilerTest, CustomChunkSize)
+{
+    auto p1 =
+        prof.profileWorkload(workload("mcf"), 0.01, 5'000);
+    auto p2 =
+        prof.profileWorkload(workload("mcf"), 0.01, 20'000);
+    EXPECT_EQ(p1.at(0).totalInsts(), p2.at(0).totalInsts());
+    EXPECT_GT(p1.at(0).chunks.size(), p2.at(0).chunks.size());
+}
+
+TEST_F(ProfilerTest, MemoryBoundHasLowerPower)
+{
+    auto cpu = prof.profileWorkload(workload("sixtrack"), 0.01);
+    auto mem = prof.profileWorkload(workload("mcf"), 0.01);
+    EXPECT_GT(cpu.at(modes::Turbo).avgPowerW(),
+              mem.at(modes::Turbo).avgPowerW() * 1.4);
+}
+
+} // namespace
+} // namespace gpm

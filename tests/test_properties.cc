@@ -1,0 +1,201 @@
+/** @file Cross-cutting property tests: invariants that must hold
+ *  for random op streams, random profiles and random matrices. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "trace/phase_profile.hh"
+#include "trace/profiler.hh"
+#include "trace/synth_generator.hh"
+#include "trace/workload.hh"
+#include "uarch/core.hh"
+#include "uarch/memory.hh"
+#include "util/rng.hh"
+
+namespace gpm
+{
+namespace
+{
+
+/** Random-but-valid micro-op stream. */
+std::vector<MicroOp>
+randomOps(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<MicroOp> ops(n);
+    std::uint64_t pc = 0x1000;
+    for (std::size_t i = 0; i < n; i++) {
+        MicroOp &op = ops[i];
+        double r = rng.uniform();
+        if (r < 0.25) {
+            op.cls = OpClass::Load;
+            op.addr = rng.next64() % (64ULL << 20);
+        } else if (r < 0.35) {
+            op.cls = OpClass::Store;
+            op.addr = rng.next64() % (64ULL << 20);
+        } else if (r < 0.45) {
+            op.cls = OpClass::Branch;
+            op.taken = rng.chance(0.6);
+        } else if (r < 0.60) {
+            op.cls = OpClass::FpAlu;
+        } else if (r < 0.65) {
+            op.cls = OpClass::FpMul;
+        } else if (r < 0.67) {
+            op.cls = OpClass::FpDiv;
+        } else if (r < 0.72) {
+            op.cls = OpClass::IntMul;
+        } else {
+            op.cls = OpClass::IntAlu;
+        }
+        op.depA =
+            static_cast<std::uint8_t>(rng.below(64));
+        op.depB = rng.chance(0.3)
+            ? static_cast<std::uint8_t>(rng.below(64))
+            : 0;
+        op.pc = pc;
+        pc += 4;
+        if (op.cls == OpClass::Branch && op.taken)
+            pc = 0x1000 + (rng.next64() % 8192) * 4;
+    }
+    return ops;
+}
+
+class CorePropertySweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CorePropertySweep, CommitsEveryOpExactlyOnce)
+{
+    auto ops = randomOps(GetParam(), 20'000);
+    CoreConfig cfg;
+    PrivateL2 l2(cfg);
+    MemorySystem mem(cfg, l2);
+    test::ScriptedSource src(ops);
+    OooCore core(cfg, mem, src);
+    auto r = core.run(1'000'000);
+    EXPECT_EQ(r.instructions, 20'000u);
+    EXPECT_EQ(r.activity.committed, 20'000u);
+    EXPECT_EQ(r.activity.issued, 20'000u);
+    EXPECT_TRUE(r.streamEnded);
+}
+
+TEST_P(CorePropertySweep, IpcBoundedByDispatchWidth)
+{
+    auto ops = randomOps(GetParam() + 100, 20'000);
+    CoreConfig cfg;
+    PrivateL2 l2(cfg);
+    MemorySystem mem(cfg, l2);
+    test::ScriptedSource src(ops);
+    OooCore core(cfg, mem, src);
+    auto r = core.run(1'000'000);
+    double cycles =
+        static_cast<double>(r.elapsedPs) * 1e-12 * 1e9;
+    EXPECT_LE(20'000.0 / cycles,
+              static_cast<double>(cfg.dispatchWidth));
+    EXPECT_GT(20'000.0 / cycles, 0.0);
+}
+
+TEST_P(CorePropertySweep, TimeMonotoneAcrossRuns)
+{
+    auto ops = randomOps(GetParam() + 200, 30'000);
+    CoreConfig cfg;
+    PrivateL2 l2(cfg);
+    MemorySystem mem(cfg, l2);
+    test::ScriptedSource src(ops);
+    OooCore core(cfg, mem, src);
+    std::uint64_t prev = 0;
+    for (int chunk = 0; chunk < 6; chunk++) {
+        core.run(5'000);
+        EXPECT_GE(core.nowPs(), prev);
+        prev = core.nowPs();
+    }
+}
+
+TEST_P(CorePropertySweep, SlowerClockNeverFasterWallClock)
+{
+    auto ops = randomOps(GetParam() + 300, 15'000);
+    auto run_at = [&](Hertz f) {
+        CoreConfig cfg;
+        PrivateL2 l2(cfg);
+        MemorySystem mem(cfg, l2);
+        test::ScriptedSource src(ops);
+        OooCore core(cfg, mem, src, f);
+        return core.run(1'000'000).elapsedPs;
+    };
+    std::uint64_t turbo = run_at(1.0e9);
+    std::uint64_t eff2 = run_at(0.85e9);
+    EXPECT_GE(eff2, turbo);
+    // And never slower than the pure-frequency bound.
+    EXPECT_LE(static_cast<double>(eff2),
+              static_cast<double>(turbo) / 0.85 * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorePropertySweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+class GeneratorConservation
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GeneratorConservation, ProfilerChunksConserveInstructions)
+{
+    // Profile a real workload at tiny scale and verify the chunked
+    // representation conserves instruction counts across modes.
+    DvfsTable dvfs = DvfsTable::classic3();
+    Profiler prof(dvfs);
+    auto p = prof.profileWorkload(workload(GetParam()), 0.004);
+    std::uint64_t total = p.at(0).totalInsts();
+    for (std::size_t m = 1; m < p.modes.size(); m++)
+        EXPECT_EQ(p.at(static_cast<PowerMode>(m)).totalInsts(),
+                  total);
+
+    // Cursor replay, any mode, any step size: instructions conserve.
+    for (PowerMode m = 0; m < 3; m++) {
+        ProfileCursor cur(p);
+        double insts = 0.0;
+        while (!cur.finished())
+            insts += cur.advance(37.0, m).instructions;
+        EXPECT_NEAR(insts, static_cast<double>(total),
+                    total * 1e-9);
+    }
+}
+
+TEST_P(GeneratorConservation, CursorEnergyConserves)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    Profiler prof(dvfs);
+    auto p = prof.profileWorkload(workload(GetParam()), 0.004);
+    for (PowerMode m = 0; m < 3; m++) {
+        double want = p.at(m).totalEnergyJ();
+        ProfileCursor cur(p);
+        double got = 0.0;
+        while (!cur.finished())
+            got += cur.advance(53.0, m).energyJ;
+        EXPECT_NEAR(got, want, want * 1e-9);
+    }
+}
+
+TEST_P(GeneratorConservation, ModeSwitchingConservesInstructions)
+{
+    DvfsTable dvfs = DvfsTable::classic3();
+    Profiler prof(dvfs);
+    auto p = prof.profileWorkload(workload(GetParam()), 0.004);
+    std::uint64_t total = p.at(0).totalInsts();
+    ProfileCursor cur(p);
+    Rng rng(99);
+    double insts = 0.0;
+    while (!cur.finished()) {
+        auto m = static_cast<PowerMode>(rng.below(3));
+        insts += cur.advance(41.0, m).instructions;
+    }
+    EXPECT_NEAR(insts, static_cast<double>(total), total * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GeneratorConservation,
+                         ::testing::Values("mcf", "ammp", "gcc",
+                                           "crafty"));
+
+} // namespace
+} // namespace gpm

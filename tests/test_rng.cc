@@ -1,0 +1,225 @@
+/** @file Unit tests for the deterministic PCG32 RNG. */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace gpm
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next32() == b.next32())
+            same++;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, DifferentStreamsDiffer)
+{
+    Rng a(7, 1), b(7, 2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next32() == b.next32())
+            same++;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; i++) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(5);
+    double s = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        s += r.uniform();
+    EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; i++) {
+        double u = r.uniform(-3.0, 7.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsZero)
+{
+    Rng r(1);
+    EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng r(13);
+    const std::uint32_t n = 10;
+    std::vector<int> counts(n, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; i++)
+        counts[r.below(n)]++;
+    for (auto c : counts)
+        EXPECT_NEAR(c, draws / static_cast<int>(n), draws / 100);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(15);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; i++) {
+        auto v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-0.5));
+        EXPECT_TRUE(r.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        if (r.chance(0.3))
+            hits++;
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(21);
+    double s = 0.0;
+    const int n = 100000;
+    const double p = 0.25;
+    for (int i = 0; i < n; i++)
+        s += r.geometric(p);
+    // Mean failures before success = (1-p)/p = 3.
+    EXPECT_NEAR(s / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricPOneIsZero)
+{
+    Rng r(23);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(25);
+    double s = 0.0, s2 = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++) {
+        double g = r.gaussian();
+        s += g;
+        s2 += g * g;
+    }
+    EXPECT_NEAR(s / n, 0.0, 0.02);
+    EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng r(27);
+    double s = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++)
+        s += r.gaussian(10.0, 2.0);
+    EXPECT_NEAR(s / n, 10.0, 0.1);
+}
+
+TEST(Rng, ZipfInRange)
+{
+    Rng r(29);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(r.zipf(100, 1.0), 100u);
+}
+
+TEST(Rng, ZipfSkewsLow)
+{
+    Rng r(31);
+    int low = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; i++)
+        if (r.zipf(1000, 1.2) < 10)
+            low++;
+    // Heavily skewed: the first 1% of items get far more than 1%.
+    EXPECT_GT(low, n / 10);
+}
+
+TEST(Rng, ZipfSingleton)
+{
+    Rng r(33);
+    EXPECT_EQ(r.zipf(1, 1.0), 0u);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, UniformMeanStable)
+{
+    Rng r(GetParam());
+    double s = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        s += r.uniform();
+    EXPECT_NEAR(s / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, GeometricWithinBounds)
+{
+    Rng r(GetParam());
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LE(r.geometric(0.01), 4'000'000'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 10, 99, 12345,
+                                           999983));
+
+} // namespace
+} // namespace gpm

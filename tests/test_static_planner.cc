@@ -1,0 +1,94 @@
+/** @file Unit tests for the optimistic static mode planner. */
+
+#include <gtest/gtest.h>
+
+#include "core/static_planner.hh"
+
+namespace gpm
+{
+namespace
+{
+
+std::vector<std::vector<StaticModeStats>>
+twoCores()
+{
+    // Core 0: CPU-bound (loses BIPS when slowed).
+    // Core 1: memory-bound (barely loses BIPS).
+    return {
+        {{10.0, 10.0, 2.0}, {8.6, 8.6, 1.9}, {6.1, 6.1, 1.7}},
+        {{8.0, 8.0, 0.5}, {6.9, 6.9, 0.495}, {4.9, 4.9, 0.48}},
+    };
+}
+
+TEST(StaticPlanner, UnlimitedBudgetAllTurbo)
+{
+    auto assign = planStaticAssignment(twoCores(), 100.0);
+    EXPECT_EQ(assign[0], 0);
+    EXPECT_EQ(assign[1], 0);
+}
+
+TEST(StaticPlanner, ZeroBudgetAllSlowest)
+{
+    auto assign = planStaticAssignment(twoCores(), 0.0);
+    EXPECT_EQ(assign[0], 2);
+    EXPECT_EQ(assign[1], 2);
+}
+
+TEST(StaticPlanner, ThrottlesMemoryBoundFirst)
+{
+    // Budget 16 W: Turbo+Turbo = 18 W doesn't fit. Best throughput
+    // keeps the CPU-bound core fast and slows the memory-bound one.
+    auto assign = planStaticAssignment(twoCores(), 16.0);
+    EXPECT_EQ(assign[0], 0);
+    EXPECT_GT(assign[1], 0);
+}
+
+TEST(StaticPlanner, RespectsBudget)
+{
+    auto per_core = twoCores();
+    for (double budget : {11.0, 13.0, 15.0, 17.0, 19.0}) {
+        auto assign = planStaticAssignment(per_core, budget);
+        double total = 0.0;
+        for (std::size_t c = 0; c < assign.size(); c++)
+            total += per_core[c][assign[c]].avgPowerW;
+        EXPECT_LE(total, budget + 1e-9) << "budget " << budget;
+    }
+}
+
+TEST(StaticPlanner, PeakFitIsMoreConservative)
+{
+    // Peak 20% above average: with the budget between the two, the
+    // peak-fitting plan must back off while average-fitting stays.
+    std::vector<std::vector<StaticModeStats>> cores = {
+        {{10.0, 12.0, 2.0}, {8.6, 10.3, 1.9}, {6.1, 7.3, 1.7}},
+        {{10.0, 12.0, 2.0}, {8.6, 10.3, 1.9}, {6.1, 7.3, 1.7}},
+    };
+    auto avg = planStaticAssignment(cores, 21.0,
+                                    StaticFit::Average);
+    auto peak = planStaticAssignment(cores, 21.0,
+                                     StaticFit::Peak);
+    double avg_b = 0.0, peak_b = 0.0;
+    for (std::size_t c = 0; c < 2; c++) {
+        avg_b += cores[c][avg[c]].bips;
+        peak_b += cores[c][peak[c]].bips;
+        EXPECT_GE(peak[c], avg[c]); // never faster than avg-fit
+    }
+    EXPECT_LT(peak_b, avg_b);
+    // And the peak plan really fits at peak level.
+    double peak_pw = 0.0;
+    for (std::size_t c = 0; c < 2; c++)
+        peak_pw += cores[c][peak[c]].peakPowerW;
+    EXPECT_LE(peak_pw, 21.0 + 1e-9);
+}
+
+TEST(StaticPlanner, SingleCore)
+{
+    std::vector<std::vector<StaticModeStats>> one = {
+        {{10.0, 10.0, 2.0}, {8.6, 8.6, 1.9}, {6.1, 6.1, 1.7}}};
+    EXPECT_EQ(planStaticAssignment(one, 9.0)[0], 1);
+    EXPECT_EQ(planStaticAssignment(one, 7.0)[0], 2);
+    EXPECT_EQ(planStaticAssignment(one, 20.0)[0], 0);
+}
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,161 @@
+/** @file Unit tests for the statistics accumulators. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace gpm
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MeanOfKnownValues)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, VarianceMatchesDefinition)
+{
+    RunningStat s;
+    std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs)
+        s.add(x);
+    // Classic example: population variance 4.
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStat, WeightedMean)
+{
+    RunningStat s;
+    s.addWeighted(10.0, 1.0);
+    s.addWeighted(20.0, 3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 17.5);
+    EXPECT_DOUBLE_EQ(s.weight(), 4.0);
+}
+
+TEST(RunningStat, ZeroWeightIgnored)
+{
+    RunningStat s;
+    s.addWeighted(100.0, 0.0);
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HarmonicMean, SingleValue)
+{
+    HarmonicMean h;
+    h.add(4.0);
+    EXPECT_DOUBLE_EQ(h.value(), 4.0);
+}
+
+TEST(HarmonicMean, KnownValues)
+{
+    HarmonicMean h;
+    h.add(1.0);
+    h.add(2.0);
+    h.add(4.0);
+    EXPECT_NEAR(h.value(), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(HarmonicMean, EmptyIsZero)
+{
+    HarmonicMean h;
+    EXPECT_DOUBLE_EQ(h.value(), 0.0);
+}
+
+TEST(HarmonicMean, DominatedBySmallest)
+{
+    HarmonicMean h;
+    h.add(0.01);
+    for (int i = 0; i < 9; i++)
+        h.add(100.0);
+    EXPECT_LT(h.value(), 0.11);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.5);   // bin 9
+    h.add(-5.0);  // clamped to 0
+    h.add(100.0); // clamped to 9
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLo(5), 5.0);
+}
+
+TEST(Histogram, RenderIncludesCounts)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.1);
+    h.add(0.9);
+    std::string out = h.render();
+    EXPECT_NE(out.find('2'), std::string::npos);
+    EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(VectorMeans, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(meanOf({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+}
+
+TEST(VectorMeans, Harmonic)
+{
+    EXPECT_NEAR(harmonicMeanOf({1.0, 2.0, 4.0}),
+                3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMeanOf({}), 0.0);
+}
+
+TEST(VectorMeans, Geometric)
+{
+    EXPECT_NEAR(geometricMeanOf({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMeanOf({}), 0.0);
+}
+
+TEST(VectorMeans, HarmonicLEArithmetic)
+{
+    std::vector<double> v{0.3, 1.7, 2.5, 0.9};
+    EXPECT_LE(harmonicMeanOf(v), meanOf(v));
+    EXPECT_LE(geometricMeanOf(v), meanOf(v));
+    EXPECT_GE(geometricMeanOf(v), harmonicMeanOf(v));
+}
+
+} // namespace
+} // namespace gpm

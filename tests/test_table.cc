@@ -1,0 +1,89 @@
+/** @file Unit tests for table/CSV output helpers. */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace gpm
+{
+namespace
+{
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"x"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"h"});
+    t.addRow({"longercell"});
+    std::string out = t.render();
+    // Every line should have the same length.
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        std::size_t next = out.find('\n', pos);
+        if (next == std::string::npos)
+            break;
+        EXPECT_EQ(next - pos, first_len);
+        pos = next + 1;
+    }
+}
+
+TEST(Table, NumFormatsDecimals)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, PctFormatsFraction)
+{
+    EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, CsvHasCommas)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, WritesRows)
+{
+    std::string path = ::testing::TempDir() + "/gpm_csv_test.csv";
+    {
+        CsvWriter w(path);
+        w.row({"x", "y"});
+        w.rowNums({1.5, 2.5});
+    }
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[256];
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "x,y\n");
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "1.5,2.5\n");
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace gpm

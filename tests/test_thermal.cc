@@ -1,0 +1,107 @@
+/** @file Unit tests for the lumped RC thermal model. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "power/thermal.hh"
+
+namespace gpm
+{
+namespace
+{
+
+TEST(ThermalNode, StartsAtAmbient)
+{
+    ThermalParams p;
+    ThermalNode node(p);
+    EXPECT_DOUBLE_EQ(node.temperatureC(), p.ambientC);
+    EXPECT_DOUBLE_EQ(node.peakC(), p.ambientC);
+}
+
+TEST(ThermalNode, SteadyStateIsAmbientPlusPR)
+{
+    ThermalParams p;
+    ThermalNode node(p);
+    // Integrate far past the time constant.
+    for (int i = 0; i < 1000; i++)
+        node.step(9.0, 100.0);
+    EXPECT_NEAR(node.temperatureC(),
+                p.ambientC + 9.0 * p.rthKPerW, 1e-6);
+    EXPECT_NEAR(node.steadyStateC(9.0),
+                p.ambientC + 9.0 * p.rthKPerW, 1e-12);
+}
+
+TEST(ThermalNode, ExponentialTimeConstant)
+{
+    ThermalParams p;
+    ThermalNode node(p);
+    double target = node.steadyStateC(10.0);
+    double tau_us = p.tauSeconds() * 1e6;
+    node.step(10.0, tau_us);
+    // After one tau: 1 - 1/e of the way to steady state.
+    double expect = target +
+        (p.ambientC - target) * std::exp(-1.0);
+    EXPECT_NEAR(node.temperatureC(), expect, 1e-9);
+}
+
+TEST(ThermalNode, StepSizeInvariance)
+{
+    // One 1000 us step equals ten 100 us steps (exact exponential
+    // discretization).
+    ThermalNode a, b;
+    a.step(8.0, 1000.0);
+    for (int i = 0; i < 10; i++)
+        b.step(8.0, 100.0);
+    EXPECT_NEAR(a.temperatureC(), b.temperatureC(), 1e-9);
+}
+
+TEST(ThermalNode, CoolsBackTowardAmbient)
+{
+    ThermalParams p;
+    ThermalNode node(p);
+    for (int i = 0; i < 100; i++)
+        node.step(10.0, 1000.0);
+    double hot = node.temperatureC();
+    for (int i = 0; i < 100; i++)
+        node.step(0.0, 1000.0);
+    EXPECT_LT(node.temperatureC(), hot);
+    EXPECT_NEAR(node.temperatureC(), p.ambientC, 0.01);
+    // Peak remembers the excursion.
+    EXPECT_NEAR(node.peakC(), hot, 1e-9);
+}
+
+TEST(ThermalNode, ResetClears)
+{
+    ThermalNode node;
+    node.step(10.0, 10'000.0);
+    node.reset();
+    EXPECT_DOUBLE_EQ(node.temperatureC(),
+                     node.params().ambientC);
+}
+
+TEST(ChipThermalModel, TracksHottestCore)
+{
+    ChipThermalModel chip(3);
+    for (int i = 0; i < 500; i++)
+        chip.step({3.0, 9.0, 6.0}, 100.0);
+    EXPECT_GT(chip.temperatureC(1), chip.temperatureC(2));
+    EXPECT_GT(chip.temperatureC(2), chip.temperatureC(0));
+    EXPECT_NEAR(chip.hottestC(), chip.temperatureC(1), 1e-12);
+    EXPECT_GE(chip.peakC(), chip.hottestC());
+}
+
+TEST(ChipThermalModel, BalancedPowerLowersPeak)
+{
+    // Same total power, balanced vs skewed: the skewed chip's
+    // hottest core runs hotter — the PullHiPushLo rationale.
+    ChipThermalModel balanced(2), skewed(2);
+    for (int i = 0; i < 1000; i++) {
+        balanced.step({6.0, 6.0}, 100.0);
+        skewed.step({9.0, 3.0}, 100.0);
+    }
+    EXPECT_LT(balanced.peakC(), skewed.peakC());
+}
+
+} // namespace
+} // namespace gpm
