@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dram"
+  "../bench/bench_ablation_dram.pdb"
+  "CMakeFiles/bench_ablation_dram.dir/bench_ablation_dram.cc.o"
+  "CMakeFiles/bench_ablation_dram.dir/bench_ablation_dram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cmp_validation"
+  "../bench/bench_cmp_validation.pdb"
+  "CMakeFiles/bench_cmp_validation.dir/bench_cmp_validation.cc.o"
+  "CMakeFiles/bench_cmp_validation.dir/bench_cmp_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmp_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_mode_characterization"
+  "../bench/bench_fig2_mode_characterization.pdb"
+  "CMakeFiles/bench_fig2_mode_characterization.dir/bench_fig2_mode_characterization.cc.o"
+  "CMakeFiles/bench_fig2_mode_characterization.dir/bench_fig2_mode_characterization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mode_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

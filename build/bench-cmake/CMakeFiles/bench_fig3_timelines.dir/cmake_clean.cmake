@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_timelines"
+  "../bench/bench_fig3_timelines.pdb"
+  "CMakeFiles/bench_fig3_timelines.dir/bench_fig3_timelines.cc.o"
+  "CMakeFiles/bench_fig3_timelines.dir/bench_fig3_timelines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_budget_drop"
+  "../bench/bench_fig6_budget_drop.pdb"
+  "CMakeFiles/bench_fig6_budget_drop.dir/bench_fig6_budget_drop.cc.o"
+  "CMakeFiles/bench_fig6_budget_drop.dir/bench_fig6_budget_drop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_budget_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_2way"
+  "../bench/bench_fig8_2way.pdb"
+  "CMakeFiles/bench_fig8_2way.dir/bench_scaling_curves.cc.o"
+  "CMakeFiles/bench_fig8_2way.dir/bench_scaling_curves.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_2way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

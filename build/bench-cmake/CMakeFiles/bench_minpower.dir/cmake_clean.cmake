@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_minpower"
+  "../bench/bench_minpower.pdb"
+  "CMakeFiles/bench_minpower.dir/bench_minpower.cc.o"
+  "CMakeFiles/bench_minpower.dir/bench_minpower.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

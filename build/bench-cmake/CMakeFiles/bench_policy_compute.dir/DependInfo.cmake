@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_policy_compute.cc" "bench-cmake/CMakeFiles/bench_policy_compute.dir/bench_policy_compute.cc.o" "gcc" "bench-cmake/CMakeFiles/bench_policy_compute.dir/bench_policy_compute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/gpm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fullsim/CMakeFiles/gpm_fullsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/gpm_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_policy_compute"
+  "../bench/bench_policy_compute.pdb"
+  "CMakeFiles/bench_policy_compute.dir/bench_policy_compute.cc.o"
+  "CMakeFiles/bench_policy_compute.dir/bench_policy_compute.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

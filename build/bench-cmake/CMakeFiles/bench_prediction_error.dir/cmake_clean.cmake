@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_prediction_error"
+  "../bench/bench_prediction_error.pdb"
+  "CMakeFiles/bench_prediction_error.dir/bench_prediction_error.cc.o"
+  "CMakeFiles/bench_prediction_error.dir/bench_prediction_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_dvfs_estimates"
+  "../bench/bench_table4_dvfs_estimates.pdb"
+  "CMakeFiles/bench_table4_dvfs_estimates.dir/bench_table4_dvfs_estimates.cc.o"
+  "CMakeFiles/bench_table4_dvfs_estimates.dir/bench_table4_dvfs_estimates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dvfs_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

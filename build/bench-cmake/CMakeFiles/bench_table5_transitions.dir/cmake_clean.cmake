@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_transitions"
+  "../bench/bench_table5_transitions.pdb"
+  "CMakeFiles/bench_table5_transitions.dir/bench_table5_transitions.cc.o"
+  "CMakeFiles/bench_table5_transitions.dir/bench_table5_transitions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

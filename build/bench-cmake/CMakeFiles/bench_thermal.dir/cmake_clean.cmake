@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thermal"
+  "../bench/bench_thermal.pdb"
+  "CMakeFiles/bench_thermal.dir/bench_thermal.cc.o"
+  "CMakeFiles/bench_thermal.dir/bench_thermal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooling_failure.dir/cooling_failure.cpp.o"
+  "CMakeFiles/cooling_failure.dir/cooling_failure.cpp.o.d"
+  "cooling_failure"
+  "cooling_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooling_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

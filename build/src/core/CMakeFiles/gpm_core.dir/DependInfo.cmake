@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/global_manager.cc" "src/core/CMakeFiles/gpm_core.dir/global_manager.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/global_manager.cc.o.d"
+  "/root/repo/src/core/mode_predictor.cc" "src/core/CMakeFiles/gpm_core.dir/mode_predictor.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/mode_predictor.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/gpm_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/policy_alternatives.cc" "src/core/CMakeFiles/gpm_core.dir/policy_alternatives.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/policy_alternatives.cc.o.d"
+  "/root/repo/src/core/policy_chipwide.cc" "src/core/CMakeFiles/gpm_core.dir/policy_chipwide.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/policy_chipwide.cc.o.d"
+  "/root/repo/src/core/policy_maxbips.cc" "src/core/CMakeFiles/gpm_core.dir/policy_maxbips.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/policy_maxbips.cc.o.d"
+  "/root/repo/src/core/policy_minpower.cc" "src/core/CMakeFiles/gpm_core.dir/policy_minpower.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/policy_minpower.cc.o.d"
+  "/root/repo/src/core/policy_priority.cc" "src/core/CMakeFiles/gpm_core.dir/policy_priority.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/policy_priority.cc.o.d"
+  "/root/repo/src/core/policy_pullhipushlo.cc" "src/core/CMakeFiles/gpm_core.dir/policy_pullhipushlo.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/policy_pullhipushlo.cc.o.d"
+  "/root/repo/src/core/policy_uniform.cc" "src/core/CMakeFiles/gpm_core.dir/policy_uniform.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/policy_uniform.cc.o.d"
+  "/root/repo/src/core/static_planner.cc" "src/core/CMakeFiles/gpm_core.dir/static_planner.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/static_planner.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/gpm_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/gpm_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gpm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_core.dir/global_manager.cc.o"
+  "CMakeFiles/gpm_core.dir/global_manager.cc.o.d"
+  "CMakeFiles/gpm_core.dir/mode_predictor.cc.o"
+  "CMakeFiles/gpm_core.dir/mode_predictor.cc.o.d"
+  "CMakeFiles/gpm_core.dir/policy.cc.o"
+  "CMakeFiles/gpm_core.dir/policy.cc.o.d"
+  "CMakeFiles/gpm_core.dir/policy_alternatives.cc.o"
+  "CMakeFiles/gpm_core.dir/policy_alternatives.cc.o.d"
+  "CMakeFiles/gpm_core.dir/policy_chipwide.cc.o"
+  "CMakeFiles/gpm_core.dir/policy_chipwide.cc.o.d"
+  "CMakeFiles/gpm_core.dir/policy_maxbips.cc.o"
+  "CMakeFiles/gpm_core.dir/policy_maxbips.cc.o.d"
+  "CMakeFiles/gpm_core.dir/policy_minpower.cc.o"
+  "CMakeFiles/gpm_core.dir/policy_minpower.cc.o.d"
+  "CMakeFiles/gpm_core.dir/policy_priority.cc.o"
+  "CMakeFiles/gpm_core.dir/policy_priority.cc.o.d"
+  "CMakeFiles/gpm_core.dir/policy_pullhipushlo.cc.o"
+  "CMakeFiles/gpm_core.dir/policy_pullhipushlo.cc.o.d"
+  "CMakeFiles/gpm_core.dir/policy_uniform.cc.o"
+  "CMakeFiles/gpm_core.dir/policy_uniform.cc.o.d"
+  "CMakeFiles/gpm_core.dir/static_planner.cc.o"
+  "CMakeFiles/gpm_core.dir/static_planner.cc.o.d"
+  "CMakeFiles/gpm_core.dir/types.cc.o"
+  "CMakeFiles/gpm_core.dir/types.cc.o.d"
+  "libgpm_core.a"
+  "libgpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_fullsim.dir/cmp_system.cc.o"
+  "CMakeFiles/gpm_fullsim.dir/cmp_system.cc.o.d"
+  "CMakeFiles/gpm_fullsim.dir/dram.cc.o"
+  "CMakeFiles/gpm_fullsim.dir/dram.cc.o.d"
+  "CMakeFiles/gpm_fullsim.dir/shared_l2.cc.o"
+  "CMakeFiles/gpm_fullsim.dir/shared_l2.cc.o.d"
+  "libgpm_fullsim.a"
+  "libgpm_fullsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_fullsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

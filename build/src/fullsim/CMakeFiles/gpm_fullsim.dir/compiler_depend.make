@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpm_fullsim.
+# This may be replaced when dependencies are built.

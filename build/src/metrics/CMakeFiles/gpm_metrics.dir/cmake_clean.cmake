@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_metrics.dir/experiment.cc.o"
+  "CMakeFiles/gpm_metrics.dir/experiment.cc.o.d"
+  "CMakeFiles/gpm_metrics.dir/metrics.cc.o"
+  "CMakeFiles/gpm_metrics.dir/metrics.cc.o.d"
+  "libgpm_metrics.a"
+  "libgpm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

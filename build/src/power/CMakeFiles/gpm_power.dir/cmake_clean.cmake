@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_power.dir/dvfs.cc.o"
+  "CMakeFiles/gpm_power.dir/dvfs.cc.o.d"
+  "CMakeFiles/gpm_power.dir/power_model.cc.o"
+  "CMakeFiles/gpm_power.dir/power_model.cc.o.d"
+  "CMakeFiles/gpm_power.dir/thermal.cc.o"
+  "CMakeFiles/gpm_power.dir/thermal.cc.o.d"
+  "libgpm_power.a"
+  "libgpm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

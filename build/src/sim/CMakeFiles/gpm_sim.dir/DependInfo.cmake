@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cmp_sim.cc" "src/sim/CMakeFiles/gpm_sim.dir/cmp_sim.cc.o" "gcc" "src/sim/CMakeFiles/gpm_sim.dir/cmp_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/gpm_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

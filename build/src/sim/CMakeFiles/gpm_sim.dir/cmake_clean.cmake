@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_sim.dir/cmp_sim.cc.o"
+  "CMakeFiles/gpm_sim.dir/cmp_sim.cc.o.d"
+  "libgpm_sim.a"
+  "libgpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

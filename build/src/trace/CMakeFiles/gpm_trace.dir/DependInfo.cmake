@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/phase_profile.cc" "src/trace/CMakeFiles/gpm_trace.dir/phase_profile.cc.o" "gcc" "src/trace/CMakeFiles/gpm_trace.dir/phase_profile.cc.o.d"
+  "/root/repo/src/trace/profiler.cc" "src/trace/CMakeFiles/gpm_trace.dir/profiler.cc.o" "gcc" "src/trace/CMakeFiles/gpm_trace.dir/profiler.cc.o.d"
+  "/root/repo/src/trace/synth_generator.cc" "src/trace/CMakeFiles/gpm_trace.dir/synth_generator.cc.o" "gcc" "src/trace/CMakeFiles/gpm_trace.dir/synth_generator.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/trace/CMakeFiles/gpm_trace.dir/workload.cc.o" "gcc" "src/trace/CMakeFiles/gpm_trace.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/gpm_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_trace.dir/phase_profile.cc.o"
+  "CMakeFiles/gpm_trace.dir/phase_profile.cc.o.d"
+  "CMakeFiles/gpm_trace.dir/profiler.cc.o"
+  "CMakeFiles/gpm_trace.dir/profiler.cc.o.d"
+  "CMakeFiles/gpm_trace.dir/synth_generator.cc.o"
+  "CMakeFiles/gpm_trace.dir/synth_generator.cc.o.d"
+  "CMakeFiles/gpm_trace.dir/workload.cc.o"
+  "CMakeFiles/gpm_trace.dir/workload.cc.o.d"
+  "libgpm_trace.a"
+  "libgpm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

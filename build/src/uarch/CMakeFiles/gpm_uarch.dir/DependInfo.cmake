@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cc" "src/uarch/CMakeFiles/gpm_uarch.dir/branch_predictor.cc.o" "gcc" "src/uarch/CMakeFiles/gpm_uarch.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/gpm_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/gpm_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/uarch/CMakeFiles/gpm_uarch.dir/core.cc.o" "gcc" "src/uarch/CMakeFiles/gpm_uarch.dir/core.cc.o.d"
+  "/root/repo/src/uarch/memory.cc" "src/uarch/CMakeFiles/gpm_uarch.dir/memory.cc.o" "gcc" "src/uarch/CMakeFiles/gpm_uarch.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gpm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

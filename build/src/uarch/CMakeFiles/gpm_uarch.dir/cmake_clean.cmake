@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_uarch.dir/branch_predictor.cc.o"
+  "CMakeFiles/gpm_uarch.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/gpm_uarch.dir/cache.cc.o"
+  "CMakeFiles/gpm_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/gpm_uarch.dir/core.cc.o"
+  "CMakeFiles/gpm_uarch.dir/core.cc.o.d"
+  "CMakeFiles/gpm_uarch.dir/memory.cc.o"
+  "CMakeFiles/gpm_uarch.dir/memory.cc.o.d"
+  "libgpm_uarch.a"
+  "libgpm_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

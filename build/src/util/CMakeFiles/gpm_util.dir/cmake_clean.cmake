@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_util.dir/logging.cc.o"
+  "CMakeFiles/gpm_util.dir/logging.cc.o.d"
+  "CMakeFiles/gpm_util.dir/rng.cc.o"
+  "CMakeFiles/gpm_util.dir/rng.cc.o.d"
+  "CMakeFiles/gpm_util.dir/stats.cc.o"
+  "CMakeFiles/gpm_util.dir/stats.cc.o.d"
+  "CMakeFiles/gpm_util.dir/table.cc.o"
+  "CMakeFiles/gpm_util.dir/table.cc.o.d"
+  "libgpm_util.a"
+  "libgpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/gpm_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/gpm_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cmp_sim.cc" "tests/CMakeFiles/gpm_tests.dir/test_cmp_sim.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_cmp_sim.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/gpm_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/gpm_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_dvfs.cc" "tests/CMakeFiles/gpm_tests.dir/test_dvfs.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_dvfs.cc.o.d"
+  "/root/repo/tests/test_e2e.cc" "tests/CMakeFiles/gpm_tests.dir/test_e2e.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_e2e.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/gpm_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_fullsim.cc" "tests/CMakeFiles/gpm_tests.dir/test_fullsim.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_fullsim.cc.o.d"
+  "/root/repo/tests/test_generator.cc" "tests/CMakeFiles/gpm_tests.dir/test_generator.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_generator.cc.o.d"
+  "/root/repo/tests/test_manager.cc" "tests/CMakeFiles/gpm_tests.dir/test_manager.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_manager.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/gpm_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/gpm_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/gpm_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_policy_alternatives.cc" "tests/CMakeFiles/gpm_tests.dir/test_policy_alternatives.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_policy_alternatives.cc.o.d"
+  "/root/repo/tests/test_policy_minpower.cc" "tests/CMakeFiles/gpm_tests.dir/test_policy_minpower.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_policy_minpower.cc.o.d"
+  "/root/repo/tests/test_policy_uniform.cc" "tests/CMakeFiles/gpm_tests.dir/test_policy_uniform.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_policy_uniform.cc.o.d"
+  "/root/repo/tests/test_power_model.cc" "tests/CMakeFiles/gpm_tests.dir/test_power_model.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_power_model.cc.o.d"
+  "/root/repo/tests/test_predictor.cc" "tests/CMakeFiles/gpm_tests.dir/test_predictor.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_predictor.cc.o.d"
+  "/root/repo/tests/test_profile.cc" "tests/CMakeFiles/gpm_tests.dir/test_profile.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_profile.cc.o.d"
+  "/root/repo/tests/test_profiler.cc" "tests/CMakeFiles/gpm_tests.dir/test_profiler.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_profiler.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/gpm_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/gpm_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_shared_l2.cc" "tests/CMakeFiles/gpm_tests.dir/test_shared_l2.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_shared_l2.cc.o.d"
+  "/root/repo/tests/test_static_planner.cc" "tests/CMakeFiles/gpm_tests.dir/test_static_planner.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_static_planner.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/gpm_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/gpm_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_thermal.cc" "tests/CMakeFiles/gpm_tests.dir/test_thermal.cc.o" "gcc" "tests/CMakeFiles/gpm_tests.dir/test_thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/gpm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fullsim/CMakeFiles/gpm_fullsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/gpm_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
