@@ -7,10 +7,15 @@
  * costs by comparing stall vs execute-through runs, and how a slower
  * voltage regulator (2 mV/us instead of 10 mV/us: 5x longer
  * transitions) changes MaxBIPS behaviour — including how the policy
- * naturally switches less when switching is dearer.
+ * naturally switches less when switching is dearer. The six
+ * (scenario x budget) points are independent and fan out across the
+ * pool; runners live behind unique_ptr because each scenario has
+ * its own DVFS table and SimConfig.
  */
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "common.hh"
 #include "sim/cmp_sim.hh"
@@ -34,33 +39,55 @@ main()
         bool stall;
         double slew; // V/s
     };
-    Scenario scenarios[] = {
+    const std::vector<Scenario> scenarios{
         {"stall, 10 mV/us (paper)", true, 10e-3 * 1e6},
         {"execute-through, 10 mV/us", false, 10e-3 * 1e6},
         {"stall, 2 mV/us (slow VRM)", true, 2e-3 * 1e6},
     };
+    const std::vector<double> budgets{0.70, 0.85};
+
+    // One runner per scenario; the tables must outlive the runners
+    // that reference them, so both live in stable containers.
+    std::vector<std::unique_ptr<DvfsTable>> tables;
+    std::vector<std::unique_ptr<ExperimentRunner>> runners;
+    for (const auto &sc : scenarios) {
+        // Same operating points, different slew -> same profiles.
+        tables.push_back(std::make_unique<DvfsTable>(
+            std::vector<OperatingPoint>{{"Turbo", 1.00, 1.00},
+                                        {"Eff1", 0.95, 0.95},
+                                        {"Eff2", 0.85, 0.85}},
+            1.300, 1.0e9, sc.slew));
+        SimConfig cfg;
+        cfg.stallDuringTransitions = sc.stall;
+        runners.push_back(std::make_unique<ExperimentRunner>(
+            env.lib, *tables.back(), cfg));
+    }
+
+    const std::size_t points = scenarios.size() * budgets.size();
+    std::vector<PolicyEval> evals(points);
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer timer;
+    parallelFor(threads, points, [&](std::size_t i) {
+        std::size_t s = i / budgets.size();
+        std::size_t b = i % budgets.size();
+        evals[i] =
+            runners[s]->evaluate(combo, "MaxBIPS", budgets[b]);
+    });
+    double par_ms = timer.ms();
 
     Table t({"Scenario", "Budget", "Perf degradation",
              "Mode switches", "Power/budget"});
-    for (const auto &sc : scenarios) {
-        // Same operating points, different slew -> same profiles.
-        DvfsTable dvfs({{"Turbo", 1.00, 1.00},
-                        {"Eff1", 0.95, 0.95},
-                        {"Eff2", 0.85, 0.85}},
-                       1.300, 1.0e9, sc.slew);
-        SimConfig cfg;
-        cfg.stallDuringTransitions = sc.stall;
-        ExperimentRunner runner(env.lib, dvfs, cfg);
-        for (double b : {0.70, 0.85}) {
-            auto ev = runner.evaluate(combo, "MaxBIPS", b);
-            t.addRow({sc.name, Table::pct(b, 0),
-                      Table::pct(ev.metrics.perfDegradation),
-                      std::to_string(
-                          ev.managerStats.modeSwitches),
-                      Table::pct(ev.metrics.powerOverBudget)});
-        }
+    for (std::size_t i = 0; i < points; i++) {
+        const auto &sc = scenarios[i / budgets.size()];
+        const auto &ev = evals[i];
+        t.addRow({sc.name, Table::pct(budgets[i % budgets.size()], 0),
+                  Table::pct(ev.metrics.perfDegradation),
+                  std::to_string(ev.managerStats.modeSwitches),
+                  Table::pct(ev.metrics.powerOverBudget)});
     }
     t.print();
+    bench::appendSweepJson("ablation_transitions", points, threads,
+                           0.0, par_ms);
 
     std::printf("\nExpected shape: execute-through recovers a "
                 "fraction of a percent (transitions are 1-4%% of "

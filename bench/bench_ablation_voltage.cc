@@ -6,11 +6,15 @@
  * with sub-linear voltage scaling, per-mode power savings shrink
  * (Eff2 saves ~27% instead of ~39%), the all-Eff2 power floor rises,
  * and low budgets become unreachable — quantifying how much of the
- * paper's benefit depends on the cubic-power assumption.
+ * paper's benefit depends on the cubic-power assumption. The two
+ * scenarios (own DVFS table, own profile cache) run on separate
+ * threads; the budget sweep inside each goes through the sweep
+ * engine.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "common.hh"
 #include "util/table.hh"
@@ -28,35 +32,48 @@ main()
                   "voltage scaling, (ammp, mcf, crafty, art).");
 
     auto combo = combination("4way1");
+    auto budgets = bench::standardBudgets();
     struct Scenario
     {
         const char *name;
         DvfsTable dvfs;
         const char *cache;
+        std::vector<PolicyEval> evals;
     };
-    Scenario scenarios[] = {
-        {"linear V-f (paper)", DvfsTable::classic3(),
-         "gpm_profiles_vlin_s%g.bin"},
-        {"sub-linear voltage", DvfsTable::subLinearVoltage(),
-         "gpm_profiles_vsub_s%g.bin"},
-    };
+    std::vector<Scenario> scenarios;
+    scenarios.push_back({"linear V-f (paper)", DvfsTable::classic3(),
+                         "gpm_profiles_vlin_s%g.bin", {}});
+    scenarios.push_back({"sub-linear voltage",
+                         DvfsTable::subLinearVoltage(),
+                         "gpm_profiles_vsub_s%g.bin", {}});
 
-    for (auto &sc : scenarios) {
-        std::printf("-- %s (Eff2 ideal savings %.1f%%)\n", sc.name,
-                    (1.0 -
-                     sc.dvfs.powerScale(modes::Eff2)) *
-                        100.0);
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer timer;
+    parallelFor(threads, scenarios.size(), [&](std::size_t i) {
+        auto &sc = scenarios[i];
         ProfileLibrary lib(sc.dvfs, scale);
         char path[128];
         std::snprintf(path, sizeof(path), sc.cache, scale);
         lib.loadOrBuild(path);
         ExperimentRunner runner(lib, sc.dvfs);
+        SweepSpec spec;
+        spec.addGrid({combo}, {"MaxBIPS"}, budgets);
+        // Nested parallelFor runs inline on a pool worker, so this
+        // stays one simulation at a time per scenario thread.
+        sc.evals = runner.sweep(spec, threads);
+    });
+    double par_ms = timer.ms();
 
+    for (const auto &sc : scenarios) {
+        std::printf("-- %s (Eff2 ideal savings %.1f%%)\n", sc.name,
+                    (1.0 -
+                     sc.dvfs.powerScale(modes::Eff2)) *
+                        100.0);
         Table t({"Budget", "Perf degradation", "Power/budget",
                  "Power savings"});
-        for (double b : bench::standardBudgets()) {
-            auto ev = runner.evaluate(combo, "MaxBIPS", b);
-            t.addRow({Table::pct(b, 1),
+        for (std::size_t b = 0; b < budgets.size(); b++) {
+            const auto &ev = sc.evals[b];
+            t.addRow({Table::pct(budgets[b], 1),
                       Table::pct(ev.metrics.perfDegradation),
                       Table::pct(ev.metrics.powerOverBudget),
                       Table::pct(ev.metrics.powerSavings)});
@@ -64,6 +81,9 @@ main()
         t.print();
         std::printf("\n");
     }
+    bench::appendSweepJson("ablation_voltage",
+                           scenarios.size() * budgets.size(), threads,
+                           0.0, par_ms);
 
     std::printf("Expected shape: with sub-linear voltage the same "
                 "frequency cut buys less power, so the budget "

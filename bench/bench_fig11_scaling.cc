@@ -3,7 +3,9 @@
  * Reproduces paper Figure 11: average performance degradation of
  * MaxBIPS, optimistic static, and chip-wide DVFS *over the oracle*,
  * as a function of CMP scale (1, 2, 4, 8 cores), averaged over the
- * budget range and the experimented combinations.
+ * budget range and the experimented combinations. The whole
+ * (scale x combination x budget x method) grid — the largest of the
+ * figure benches — runs through the parallel sweep engine.
  *
  * Expected trends: MaxBIPS converges to the oracle with more cores;
  * static saturates ~2% above; chip-wide grows monotonically.
@@ -36,23 +38,32 @@ main()
     for (const auto &[key, combo] : benchmarkCombinations())
         combos[static_cast<int>(combo.size())].push_back(combo);
 
+    const std::vector<std::string> methods{"Oracle", "MaxBIPS",
+                                           "Static", "ChipWideDVFS"};
+    SweepSpec spec;
+    for (const auto &[cores, sets] : combos)
+        for (const auto &combo : sets)
+            for (double b : budgets)
+                for (const auto &m : methods)
+                    spec.add(combo, m, b);
+
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer timer;
+    auto evals = runner.sweep(spec, threads);
+    double par_ms = timer.ms();
+
+    // Consume in the exact spec order.
+    std::size_t i = 0;
     Table t({"Cores", "MaxBIPS", "Static", "ChipWideDVFS"});
-    for (auto &[cores, sets] : combos) {
+    for (const auto &[cores, sets] : combos) {
         RunningStat mb, st, cw;
-        for (const auto &combo : sets) {
-            for (double b : budgets) {
+        for (std::size_t c = 0; c < sets.size(); c++) {
+            for (std::size_t b = 0; b < budgets.size(); b++) {
                 double oracle =
-                    runner.evaluate(combo, "Oracle", b)
-                        .metrics.perfDegradation;
-                mb.add(runner.evaluate(combo, "MaxBIPS", b)
-                           .metrics.perfDegradation -
-                       oracle);
-                st.add(runner.evaluateStatic(combo, b)
-                           .metrics.perfDegradation -
-                       oracle);
-                cw.add(runner.evaluate(combo, "ChipWideDVFS", b)
-                           .metrics.perfDegradation -
-                       oracle);
+                    evals[i++].metrics.perfDegradation;
+                mb.add(evals[i++].metrics.perfDegradation - oracle);
+                st.add(evals[i++].metrics.perfDegradation - oracle);
+                cw.add(evals[i++].metrics.perfDegradation - oracle);
             }
         }
         t.addRow({std::to_string(cores), Table::pct(mb.mean()),
@@ -60,6 +71,8 @@ main()
     }
     t.print();
     bench::maybeCsv("fig11_scaling_trends", t);
+    bench::appendSweepJson("fig11_scaling", spec.size(), threads,
+                           0.0, par_ms);
 
     std::printf("\nExpected shape (paper): MaxBIPS -> 0 with more "
                 "cores; static saturates ~2%% above the oracle; "

@@ -3,7 +3,9 @@
  * Reproduces paper Figure 2: measured power savings vs performance
  * degradation of the Eff1/Eff2 modes for the corner cases (sixtrack
  * — most CPU-bound; mcf — most memory-bound) and the whole suite,
- * from single-core runs of the detailed model at each mode.
+ * from single-core runs of the detailed model at each mode. The
+ * per-benchmark summaries are computed in parallel (they are
+ * independent single-core characterizations), then reduced serially.
  */
 
 #include <cstdio>
@@ -27,17 +29,26 @@ main()
         "38.3%/12.8%.");
 
     Profiler prof(env.dvfs);
+    const auto suite = spec2000Suite();
+    std::vector<ProfileSummary> sums(suite.size());
+
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer timer;
+    parallelFor(threads, suite.size(), [&](std::size_t i) {
+        sums[i] = prof.summarize(env.lib.get(suite[i].name));
+    });
+    double par_ms = timer.ms();
+
     Table t({"Benchmark", "Eff1 savings", "Eff1 degr.",
              "Eff2 savings", "Eff2 degr.", "Eff2 ratio"});
     RunningStat s1, d1, s2, d2;
-    for (const auto &w : spec2000Suite()) {
-        const WorkloadProfile &p = env.lib.get(w.name);
-        auto sum = prof.summarize(p);
+    for (std::size_t i = 0; i < suite.size(); i++) {
+        const auto &sum = sums[i];
         s1.add(sum.powerSavings[0]);
         d1.add(sum.perfDegradation[0]);
         s2.add(sum.powerSavings[1]);
         d2.add(sum.perfDegradation[1]);
-        t.addRow({w.name, Table::pct(sum.powerSavings[0]),
+        t.addRow({suite[i].name, Table::pct(sum.powerSavings[0]),
                   Table::pct(sum.perfDegradation[0]),
                   Table::pct(sum.powerSavings[1]),
                   Table::pct(sum.perfDegradation[1]),
@@ -52,6 +63,8 @@ main()
               Table::num(s2.mean() / d2.mean(), 1) + ":1"});
     t.print();
     bench::maybeCsv("fig2_mode_characterization", t);
+    bench::appendSweepJson("fig2_mode_characterization", suite.size(),
+                           threads, 0.0, par_ms);
 
     std::printf("\nBoth modes meet or beat the 3:1 "
                 "dPowerSavings:dPerfDegradation design target.\n");

@@ -5,12 +5,15 @@
  * art) and on (ammp, crafty, art, sixtrack) — one memory-bound
  * benchmark swapped for a CPU-bound one. Chip-wide DVFS fits the
  * first combination but collapses to all-Eff2 on the second;
- * MaxBIPS tracks the budget for both.
+ * MaxBIPS tracks the budget for both. The four timeline simulations
+ * are independent, so they run in parallel; printing stays serial
+ * and in order.
  */
 
 #include <cstdio>
 
 #include "common.hh"
+#include "sim/cmp_sim.hh"
 #include "util/table.hh"
 
 namespace
@@ -18,45 +21,47 @@ namespace
 
 using namespace gpm;
 
-void
-timelineReport(bench::Env &env, const std::vector<std::string> &combo,
-               const char *policy, double budget_frac)
-{
-    auto runner = env.runner();
-    BudgetSchedule budget(budget_frac);
-    SimResult res = runner.timeline(combo, policy, budget);
-    Watts ref = runner.referencePowerW(combo);
+struct TimelineCase {
+    std::vector<std::string> combo;
+    const char *policy;
+    double budgetFrac;
+    SimResult res;
+    Watts refW = 0.0;
+};
 
-    std::printf("-- %s on (", policy);
-    for (std::size_t i = 0; i < combo.size(); i++)
-        std::printf("%s%s", i ? ", " : "", combo[i].c_str());
-    std::printf("), budget %.0f%%\n", budget_frac * 100.0);
+void
+timelineReport(const TimelineCase &tc)
+{
+    std::printf("-- %s on (", tc.policy);
+    for (std::size_t i = 0; i < tc.combo.size(); i++)
+        std::printf("%s%s", i ? ", " : "", tc.combo[i].c_str());
+    std::printf("), budget %.0f%%\n", tc.budgetFrac * 100.0);
     std::printf("%10s %12s %12s\n", "t [us]", "TOT_PWR [%]",
                 "budget [%]");
 
     // Print every 10th delta step (one line per explore interval).
-    for (std::size_t i = 0; i < res.timeline.size(); i += 10) {
-        const auto &tp = res.timeline[i];
+    for (std::size_t i = 0; i < tc.res.timeline.size(); i += 10) {
+        const auto tp = tc.res.timeline[i];
         std::printf("%10.0f %11.1f%% %11.1f%%\n", tp.tUs,
-                    tp.totalPowerW / ref * 100.0,
-                    tp.budgetW / ref * 100.0);
+                    tp.totalPowerW / tc.refW * 100.0,
+                    tp.budgetW / tc.refW * 100.0);
     }
     // Summary: time-average power and fraction of intervals within
     // the budget.
     double avg = 0.0;
     int within = 0;
-    for (const auto &tp : res.timeline) {
+    for (const auto tp : tc.res.timeline) {
         avg += tp.totalPowerW;
         if (tp.totalPowerW <= tp.budgetW * 1.02)
             within++;
     }
-    avg /= static_cast<double>(res.timeline.size());
+    avg /= static_cast<double>(tc.res.timeline.size());
     std::printf("avg power: %.1f%% of max; %.0f%% of intervals "
                 "within budget; end at %.0f us\n\n",
-                avg / ref * 100.0,
+                avg / tc.refW * 100.0,
                 100.0 * within /
-                    static_cast<double>(res.timeline.size()),
-                res.endUs);
+                    static_cast<double>(tc.res.timeline.size()),
+                tc.res.endUs);
 }
 
 } // namespace
@@ -66,6 +71,7 @@ main()
 {
     using namespace gpm;
     bench::Env env;
+    auto runner = env.runner();
     bench::banner("Figure 3 — chip-wide DVFS vs MaxBIPS timelines",
                   "Total chip power (as % of the all-Turbo maximum) "
                   "against the 83% budget.");
@@ -80,10 +86,26 @@ main()
     std::vector<std::string> combo_a{"ammp", "mcf", "crafty", "art"};
     std::vector<std::string> combo_b{"ammp", "crafty", "art",
                                      "sixtrack"};
-    timelineReport(env, combo_a, "ChipWideDVFS", 0.88);
-    timelineReport(env, combo_a, "MaxBIPS", 0.88);
-    timelineReport(env, combo_b, "ChipWideDVFS", 0.83);
-    timelineReport(env, combo_b, "MaxBIPS", 0.83);
+    std::vector<TimelineCase> cases;
+    cases.push_back({combo_a, "ChipWideDVFS", 0.88, {}, 0.0});
+    cases.push_back({combo_a, "MaxBIPS", 0.88, {}, 0.0});
+    cases.push_back({combo_b, "ChipWideDVFS", 0.83, {}, 0.0});
+    cases.push_back({combo_b, "MaxBIPS", 0.83, {}, 0.0});
+
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer timer;
+    parallelFor(threads, cases.size(), [&](std::size_t i) {
+        auto &tc = cases[i];
+        tc.res = runner.timeline(tc.combo, tc.policy,
+                                 BudgetSchedule(tc.budgetFrac));
+        tc.refW = runner.referencePowerW(tc.combo);
+    });
+    double par_ms = timer.ms();
+
+    for (const auto &tc : cases)
+        timelineReport(tc);
+    bench::appendSweepJson("fig3_timelines", cases.size(), threads,
+                           0.0, par_ms);
 
     std::printf("Expected shape (paper Fig 3): in the fitting "
                 "regime chip-wide sits at uniform Eff1 just under "

@@ -4,6 +4,11 @@
  * vs budget), budget curves (power consumed vs budget), and weighted
  * slowdowns for Priority, PullHiPushLo, MaxBIPS and chip-wide DVFS
  * on the (ammp, mcf, crafty, art) 4-way combination.
+ *
+ * Also the primary wall-clock benchmark of the parallel sweep
+ * engine: the (policy x budget) grid is evaluated once serially and
+ * once through ExperimentRunner::sweep, the results are checked
+ * identical, and both timings land in BENCH_sweep.json.
  */
 
 #include <cstdio>
@@ -27,9 +32,32 @@ main()
                   "(ammp, mcf, crafty, art), budgets as % of the "
                   "all-Turbo chip power.");
 
-    std::vector<std::vector<PolicyEval>> evals;
-    for (const auto &p : policies)
-        evals.push_back(runner.curve(combo, p, budgets));
+    SweepSpec spec;
+    spec.addGrid({combo}, policies, budgets);
+
+    // Warm the per-combo reference so both timed passes measure
+    // pure policy evaluation.
+    runner.referencePowerW(combo);
+
+    bench::WallTimer serial_t;
+    auto serial = runner.sweep(spec, 1);
+    double serial_ms = serial_t.ms();
+
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer par_t;
+    auto evals = runner.sweep(spec, threads);
+    double par_ms = par_t.ms();
+
+    // The sweep contract: thread count never changes results.
+    for (std::size_t i = 0; i < evals.size(); i++)
+        if (evals[i].metrics.chipBips !=
+            serial[i].metrics.chipBips)
+            fatal("sweep mismatch at point %zu", i);
+
+    // Spec order is policy-major (addGrid: policy, then budget).
+    auto at = [&](std::size_t p, std::size_t b) -> const PolicyEval & {
+        return evals[p * budgets.size() + b];
+    };
 
     auto header = [&]() {
         std::vector<std::string> h{"Budget"};
@@ -44,7 +72,7 @@ main()
         std::vector<std::string> row{Table::pct(budgets[b], 1)};
         for (std::size_t p = 0; p < policies.size(); p++)
             row.push_back(
-                Table::pct(evals[p][b].metrics.perfDegradation));
+                Table::pct(at(p, b).metrics.perfDegradation));
         ta.addRow(row);
     }
     ta.print();
@@ -57,7 +85,7 @@ main()
         std::vector<std::string> row{Table::pct(budgets[b], 1)};
         for (std::size_t p = 0; p < policies.size(); p++)
             row.push_back(
-                Table::pct(evals[p][b].metrics.powerOverBudget));
+                Table::pct(at(p, b).metrics.powerOverBudget));
         tb.addRow(row);
     }
     tb.print();
@@ -70,11 +98,18 @@ main()
         std::vector<std::string> row{Table::pct(budgets[b], 1)};
         for (std::size_t p = 0; p < policies.size(); p++)
             row.push_back(
-                Table::pct(evals[p][b].metrics.weightedSlowdown));
+                Table::pct(at(p, b).metrics.weightedSlowdown));
         tc.addRow(row);
     }
     tc.print();
     bench::maybeCsv("fig4c_weighted_slowdowns", tc);
+
+    std::printf("\nsweep engine: %zu points, serial %.0f ms, "
+                "%zu threads %.0f ms (%.2fx)\n",
+                spec.size(), serial_ms, threads, par_ms,
+                par_ms > 0.0 ? serial_ms / par_ms : 0.0);
+    bench::appendSweepJson("fig4_policy_curves", spec.size(),
+                           threads, serial_ms, par_ms);
 
     std::printf("\nExpected shape (paper): MaxBIPS lowest "
                 "degradation at every budget; chip-wide DVFS worst "

@@ -2,7 +2,8 @@
  * @file
  * Reproduces paper Figure 5: achieved power savings vs performance
  * degradation for each policy across the full budget range, against
- * the 3:1 design-target line.
+ * the 3:1 design-target line. The (policy x budget) grid is
+ * evaluated through the parallel sweep engine.
  */
 
 #include <cstdio>
@@ -18,29 +19,40 @@ main()
     auto runner = env.runner();
     auto combo = combination("4way1");
     auto budgets = bench::standardBudgets();
+    const std::vector<std::string> policies{
+        "Priority", "PullHiPushLo", "MaxBIPS", "ChipWideDVFS"};
 
     bench::banner("Figure 5 — power saving : performance "
                   "degradation per policy",
                   "(ammp, mcf, crafty, art); the design target is "
                   "the 3:1 line (points above it are better).");
 
-    for (const char *policy :
-         {"Priority", "PullHiPushLo", "MaxBIPS", "ChipWideDVFS"}) {
-        std::printf("-- %s\n", policy);
+    SweepSpec spec;
+    spec.addGrid({combo}, policies, budgets);
+
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer timer;
+    auto evals = runner.sweep(spec, threads);
+    double par_ms = timer.ms();
+
+    for (std::size_t p = 0; p < policies.size(); p++) {
+        std::printf("-- %s\n", policies[p].c_str());
         Table t({"Budget", "Power saving", "Perf degradation",
                  "Ratio", ">= 3:1"});
-        for (double b : budgets) {
-            auto ev = runner.evaluate(combo, policy, b);
+        for (std::size_t b = 0; b < budgets.size(); b++) {
+            const auto &ev = evals[p * budgets.size() + b];
             double save = ev.metrics.powerSavings;
             double degr = ev.metrics.perfDegradation;
             double ratio = degr > 1e-6 ? save / degr : 99.0;
-            t.addRow({Table::pct(b, 1), Table::pct(save),
+            t.addRow({Table::pct(budgets[b], 1), Table::pct(save),
                       Table::pct(degr), Table::num(ratio, 1) + ":1",
                       ratio >= 3.0 ? "yes" : "no"});
         }
         t.print();
         std::printf("\n");
     }
+    bench::appendSweepJson("fig5_savings_ratio", spec.size(),
+                           threads, 0.0, par_ms);
 
     std::printf("Expected shape (paper): all per-core policies "
                 "track ~3:1 or better; MaxBIPS significantly "

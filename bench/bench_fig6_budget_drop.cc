@@ -6,6 +6,9 @@
  * power stack, the per-application performance as % of all-Turbo
  * chip BIPS, and the average BIPS reduction in the two budget
  * regions (paper: ~1% and ~5%).
+ *
+ * This figure is one timeline simulation, so there is nothing for
+ * the sweep engine to fan out; it stays serial on purpose.
  */
 
 #include <cstdio>

@@ -4,7 +4,8 @@
  * dynamic oracle (upper) and optimistic static mode selection
  * (lower) — plus chip-wide DVFS, as policy curves and weighted
  * slowdowns on (ammp, mcf, crafty, art). Key result: MaxBIPS within
- * ~1% of the oracle at every budget.
+ * ~1% of the oracle at every budget. All four method curves fan out
+ * through the parallel sweep engine.
  */
 
 #include <cstdio>
@@ -27,23 +28,32 @@ main()
                   "static bounds",
                   "(ammp, mcf, crafty, art).");
 
-    std::vector<std::vector<PolicyEval>> evals;
-    for (const auto &m : methods)
-        evals.push_back(runner.curve(combo, m, budgets));
+    SweepSpec spec;
+    spec.addGrid({combo}, methods, budgets);
+
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer timer;
+    auto flat = runner.sweep(spec, threads);
+    double par_ms = timer.ms();
+
+    // Method-major spec order -> per-method curves.
+    auto at = [&](std::size_t m, std::size_t b) -> const PolicyEval & {
+        return flat[m * budgets.size() + b];
+    };
 
     std::printf("(a) Policy curves: performance degradation\n");
     Table ta({"Budget", "ChipWideDVFS", "Static", "MaxBIPS",
               "Oracle", "MaxBIPS-Oracle"});
     double worst_gap = 0.0;
     for (std::size_t b = 0; b < budgets.size(); b++) {
-        double gap = evals[2][b].metrics.perfDegradation -
-            evals[3][b].metrics.perfDegradation;
+        double gap = at(2, b).metrics.perfDegradation -
+            at(3, b).metrics.perfDegradation;
         worst_gap = std::max(worst_gap, gap);
         ta.addRow({Table::pct(budgets[b], 1),
-                   Table::pct(evals[0][b].metrics.perfDegradation),
-                   Table::pct(evals[1][b].metrics.perfDegradation),
-                   Table::pct(evals[2][b].metrics.perfDegradation),
-                   Table::pct(evals[3][b].metrics.perfDegradation),
+                   Table::pct(at(0, b).metrics.perfDegradation),
+                   Table::pct(at(1, b).metrics.perfDegradation),
+                   Table::pct(at(2, b).metrics.perfDegradation),
+                   Table::pct(at(3, b).metrics.perfDegradation),
                    Table::pct(gap)});
     }
     ta.print();
@@ -54,13 +64,15 @@ main()
               "Oracle"});
     for (std::size_t b = 0; b < budgets.size(); b++) {
         tb.addRow({Table::pct(budgets[b], 1),
-                   Table::pct(evals[0][b].metrics.weightedSlowdown),
-                   Table::pct(evals[1][b].metrics.weightedSlowdown),
-                   Table::pct(evals[2][b].metrics.weightedSlowdown),
-                   Table::pct(evals[3][b].metrics.weightedSlowdown)});
+                   Table::pct(at(0, b).metrics.weightedSlowdown),
+                   Table::pct(at(1, b).metrics.weightedSlowdown),
+                   Table::pct(at(2, b).metrics.weightedSlowdown),
+                   Table::pct(at(3, b).metrics.weightedSlowdown)});
     }
     tb.print();
     bench::maybeCsv("fig7b_weighted_slowdowns", tb);
+    bench::appendSweepJson("fig7_bounds", spec.size(), threads, 0.0,
+                           par_ms);
 
     std::printf("\nMaxBIPS vs oracle: worst-case gap %.2f%% "
                 "(paper: within ~1%%). Static and chip-wide sit "

@@ -3,7 +3,9 @@
  * Reproduces paper Figures 8, 9 and 10: policy curves (ChipWideDVFS,
  * Static, MaxBIPS, Oracle) for every Table 2 benchmark combination
  * at 2-, 4- and 8-way CMP scales. Built as one source compiled into
- * three binaries (GPM_FIG selects 8/9/10).
+ * three binaries (GPM_FIG selects 8/9/10). The whole
+ * (combination x method x budget) grid fans out through the parallel
+ * sweep engine in one call.
  */
 
 #include <cstdio>
@@ -38,31 +40,54 @@ main()
     char prefix[8];
     std::snprintf(prefix, sizeof(prefix), "%dway", GPM_FIG_WAYS);
 
+    std::vector<std::string> keys;
+    std::vector<std::vector<std::string>> combos;
     for (const auto &[key, combo] : benchmarkCombinations()) {
         if (key.rfind(prefix, 0) != 0)
             continue;
-        std::printf("-- %s: (", key.c_str());
-        for (std::size_t i = 0; i < combo.size(); i++)
-            std::printf("%s%s", i ? ", " : "", combo[i].c_str());
+        keys.push_back(key);
+        combos.push_back(combo);
+    }
+
+    SweepSpec spec;
+    spec.addGrid(combos, methods, budgets);
+
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer timer;
+    auto flat = runner.sweep(spec, threads);
+    double par_ms = timer.ms();
+
+    // Grid order is combo-major, then method, then budget.
+    auto at = [&](std::size_t c, std::size_t m,
+                  std::size_t b) -> const PolicyEval & {
+        return flat[(c * methods.size() + m) * budgets.size() + b];
+    };
+
+    for (std::size_t c = 0; c < keys.size(); c++) {
+        std::printf("-- %s: (", keys[c].c_str());
+        for (std::size_t i = 0; i < combos[c].size(); i++)
+            std::printf("%s%s", i ? ", " : "", combos[c][i].c_str());
         std::printf(")\n");
 
         Table t({"Budget", "ChipWideDVFS", "Static", "MaxBIPS",
                  "Oracle"});
-        for (double b : budgets) {
-            std::vector<std::string> row{Table::pct(b, 1)};
-            for (const auto &m : methods) {
-                PolicyEval ev = m == "Static"
-                    ? runner.evaluateStatic(combo, b)
-                    : runner.evaluate(combo, m, b);
+        for (std::size_t b = 0; b < budgets.size(); b++) {
+            std::vector<std::string> row{Table::pct(budgets[b], 1)};
+            for (std::size_t m = 0; m < methods.size(); m++)
                 row.push_back(
-                    Table::pct(ev.metrics.perfDegradation));
-            }
+                    Table::pct(at(c, m, b).metrics.perfDegradation));
             t.addRow(row);
         }
         t.print();
-        bench::maybeCsv("fig" + std::to_string(GPM_FIG_WAYS == 2 ? 8 : GPM_FIG_WAYS == 4 ? 9 : 10) + "_" + key, t);
+        bench::maybeCsv("fig" + std::to_string(GPM_FIG_WAYS == 2 ? 8 : GPM_FIG_WAYS == 4 ? 9 : 10) + "_" + keys[c], t);
         std::printf("\n");
     }
+    bench::appendSweepJson(std::string("fig") +
+                               (GPM_FIG_WAYS == 2       ? "8"
+                                    : GPM_FIG_WAYS == 4 ? "9"
+                                                        : "10") +
+                               "_scaling_curves",
+                           spec.size(), threads, 0.0, par_ms);
 
     std::printf(
         "Expected shape (paper): MaxBIPS ~= Oracle and below both "

@@ -5,10 +5,12 @@
  * and offers PullHiPushLo as the power-balancing policy. This bench
  * runs every policy at the same budget with the RC thermal model
  * enabled and reports hotspot temperatures: balancing buys a cooler
- * hottest core, throughput optimization concentrates heat.
+ * hottest core, throughput optimization concentrates heat. The four
+ * policies run on separate pool slots against one shared runner.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common.hh"
 #include "sim/cmp_sim.hh"
@@ -31,21 +33,33 @@ main()
     cfg.trackThermal = true;
     ExperimentRunner runner(env.lib, env.dvfs, cfg);
 
+    const std::vector<const char *> policies{
+        "MaxBIPS", "Priority", "PullHiPushLo", "ChipWideDVFS"};
+    std::vector<double> peak(policies.size());
+    std::vector<PolicyEval> evals(policies.size());
+
+    std::size_t threads = defaultConcurrency();
+    bench::WallTimer timer;
+    parallelFor(threads, policies.size(), [&](std::size_t i) {
+        // Timeline runs expose the thermal fields.
+        auto res = runner.timeline(combo, policies[i],
+                                   BudgetSchedule(0.85));
+        peak[i] = res.peakTempC;
+        evals[i] = runner.evaluate(combo, policies[i], 0.85);
+    });
+    double par_ms = timer.ms();
+
     Table t({"Policy", "Perf degradation", "Peak temp [C]",
              "Power/budget"});
-    for (const char *policy :
-         {"MaxBIPS", "Priority", "PullHiPushLo", "ChipWideDVFS"}) {
-        // Timeline runs expose the thermal fields.
-        auto res = runner.timeline(combo, policy,
-                                   BudgetSchedule(0.85));
-        auto ev = runner.evaluate(combo, policy, 0.85);
-        t.addRow({policy,
-                  Table::pct(ev.metrics.perfDegradation),
-                  Table::num(res.peakTempC, 1),
-                  Table::pct(ev.metrics.powerOverBudget)});
-    }
+    for (std::size_t i = 0; i < policies.size(); i++)
+        t.addRow({policies[i],
+                  Table::pct(evals[i].metrics.perfDegradation),
+                  Table::num(peak[i], 1),
+                  Table::pct(evals[i].metrics.powerOverBudget)});
     t.print();
     bench::maybeCsv("thermal_policies", t);
+    bench::appendSweepJson("thermal_policies", policies.size() * 2,
+                           threads, 0.0, par_ms);
 
     std::printf("\nExpected shape: PullHiPushLo (power balancing) "
                 "shows the lowest hotspot among the per-core "

@@ -13,9 +13,11 @@
 #ifndef GPM_BENCH_COMMON_HH
 #define GPM_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "metrics/experiment.hh"
@@ -23,6 +25,7 @@
 #include "trace/workload.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace gpm::bench
 {
@@ -108,6 +111,97 @@ inline void
 banner(const char *what, const char *detail)
 {
     std::printf("\n=== %s ===\n%s\n\n", what, detail);
+}
+
+/** Simple wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() : t0(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds since construction. */
+    double ms() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point t0;
+};
+
+/**
+ * Append one measurement to the machine-readable sweep-performance
+ * log so the perf trajectory is tracked across PRs. The file
+ * (BENCH_sweep.json, overridable with GPM_BENCH_JSON) is a JSON
+ * array of objects:
+ *
+ *   { "bench": ..., "points": N, "threads": T, "host_cores": C,
+ *     "scale": S, "serial_ms": ... | null, "parallel_ms": ...,
+ *     "speedup": ... | null }
+ *
+ * serial_ms/speedup are null for benches that only measure the
+ * parallel engine. Pass serial_ms <= 0 to mean "not measured".
+ */
+inline void
+appendSweepJson(const std::string &bench, std::size_t points,
+                std::size_t threads, double serial_ms,
+                double parallel_ms)
+{
+    const char *p = std::getenv("GPM_BENCH_JSON");
+    std::string path = p ? p : "BENCH_sweep.json";
+
+    std::string entry = "  { \"bench\": \"" + bench + "\"";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"points\": %zu, \"threads\": %zu, "
+                  "\"host_cores\": %u, \"scale\": %g",
+                  points, threads,
+                  std::thread::hardware_concurrency(),
+                  scaleFromEnv());
+    entry += buf;
+    if (serial_ms > 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      ", \"serial_ms\": %.1f, \"parallel_ms\": %.1f, "
+                      "\"speedup\": %.2f }",
+                      serial_ms, parallel_ms,
+                      parallel_ms > 0.0 ? serial_ms / parallel_ms
+                                        : 0.0);
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      ", \"serial_ms\": null, \"parallel_ms\": %.1f, "
+                      "\"speedup\": null }",
+                      parallel_ms);
+    }
+    entry += buf;
+
+    // Read any existing log and splice the entry before the closing
+    // bracket so the file stays one valid JSON array.
+    std::string body;
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        char chunk[4096];
+        std::size_t got;
+        while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+            body.append(chunk, got);
+        std::fclose(f);
+    }
+    std::size_t close = body.rfind(']');
+    std::size_t last_brace =
+        close != std::string::npos ? body.rfind('}', close)
+                                   : std::string::npos;
+    if (last_brace != std::string::npos)
+        body = body.substr(0, last_brace + 1) + ",\n" + entry +
+            "\n]\n";
+    else // missing, empty, or not-an-array file: start fresh
+        body = "[\n" + entry + "\n]\n";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    std::fputs(body.c_str(), f);
+    std::fclose(f);
 }
 
 } // namespace gpm::bench

@@ -114,10 +114,15 @@ main(int argc, char **argv)
     lib.loadOrBuild("gpm_quickstart_profiles.bin");
     ExperimentRunner runner(lib, dvfs);
 
-    PolicyEval ev = policy == "Static"
-        ? runner.evaluateStatic(combo, budget)
-        : runner.evaluate(combo, policy, budget);
-    PolicyEval oracle = runner.evaluate(combo, "Oracle", budget);
+    // The chosen policy and the oracle bound are independent, so
+    // they go through the sweep engine as a two-point spec (also
+    // exercising the API this tool exists to explore).
+    SweepSpec spec;
+    spec.add(combo, policy, budget);
+    spec.add(combo, "Oracle", budget);
+    auto evals = runner.sweep(spec);
+    PolicyEval ev = evals[0];
+    PolicyEval oracle = evals[1];
 
     std::printf("policy %s on %zu cores @ budget %.1f%%\n\n",
                 policy.c_str(), combo.size(), budget * 100.0);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive tests
+# (thread pool + sweep determinism). The TSan stage can be skipped
+# with GPM_SKIP_TSAN=1 (e.g. on toolchains without libtsan).
+#
+# Usage: scripts/tier1.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "== tier-1: standard build + ctest =="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+if [ "${GPM_SKIP_TSAN:-0}" = "1" ]; then
+    echo "== tier-1: TSan stage skipped (GPM_SKIP_TSAN=1) =="
+    exit 0
+fi
+
+echo "== tier-1: ThreadSanitizer build (pool + sweep tests) =="
+cmake -B "$BUILD-tsan" -S . -DGPM_SANITIZE=thread
+cmake --build "$BUILD-tsan" -j --target gpm_tests
+# Profile building under TSan is slow; the sweep tests rebuild their
+# small-scale profiles on first use, so give them a large timeout.
+"$BUILD-tsan/tests/gpm_tests" \
+    --gtest_filter='ThreadPool.*:SweepTest.*'
+
+echo "== tier-1: all stages passed =="

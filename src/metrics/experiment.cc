@@ -1,10 +1,35 @@
 #include "experiment.hh"
 
+#include <algorithm>
+
 #include "core/static_planner.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace gpm
 {
+
+void
+SweepSpec::add(std::vector<std::string> combo, std::string policy,
+               double budget_frac, StaticFit fit)
+{
+    points.push_back(
+        {std::move(combo), std::move(policy), budget_frac, fit});
+}
+
+void
+SweepSpec::addGrid(const std::vector<std::vector<std::string>> &combos,
+                   const std::vector<std::string> &policies,
+                   const std::vector<double> &budget_fracs)
+{
+    points.reserve(points.size() +
+                   combos.size() * policies.size() *
+                       budget_fracs.size());
+    for (const auto &c : combos)
+        for (const auto &p : policies)
+            for (double b : budget_fracs)
+                add(c, p, b);
+}
 
 ExperimentRunner::ExperimentRunner(ProfileLibrary &lib_,
                                    const DvfsTable &dvfs_,
@@ -39,17 +64,30 @@ ExperimentRunner::ComboCache &
 ExperimentRunner::cacheFor(const std::vector<std::string> &combo)
 {
     std::string key = keyOf(combo);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-
-    ComboCache cc;
-    cc.sim =
-        std::make_unique<CmpSim>(profilesFor(combo), dvfs, cfg);
-    std::vector<PowerMode> all_turbo(combo.size(), modes::Turbo);
-    cc.turboRef = cc.sim->runStatic(all_turbo);
-    cc.refW = cc.turboRef.avgCorePowerW();
-    return cache.emplace(key, std::move(cc)).first->second;
+    ComboCache *cc = nullptr;
+    {
+        std::shared_lock<std::shared_mutex> lock(cacheMtx);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            cc = it->second.get();
+    }
+    if (!cc) {
+        std::unique_lock<std::shared_mutex> lock(cacheMtx);
+        auto &slot = cache[key];
+        if (!slot)
+            slot = std::make_unique<ComboCache>();
+        cc = slot.get();
+    }
+    // Build outside the map lock so distinct combos initialize in
+    // parallel; threads needing *this* combo wait here.
+    std::call_once(cc->init, [&] {
+        cc->sim =
+            std::make_unique<CmpSim>(profilesFor(combo), dvfs, cfg);
+        std::vector<PowerMode> all_turbo(combo.size(), modes::Turbo);
+        cc->turboRef = cc->sim->runStatic(all_turbo, false);
+        cc->refW = cc->turboRef.avgCorePowerW();
+    });
+    return *cc;
 }
 
 const SimResult &
@@ -74,7 +112,7 @@ ExperimentRunner::evaluate(const std::vector<std::string> &combo,
     GlobalManager mgr(dvfs, makePolicy(policy), cfg.exploreUs,
                       idlePowerW);
     BudgetSchedule budget(budget_frac);
-    SimResult run = cc.sim->run(mgr, budget, cc.refW);
+    SimResult run = cc.sim->run(mgr, budget, cc.refW, false);
 
     PolicyEval ev;
     ev.policy = policy;
@@ -113,7 +151,7 @@ ExperimentRunner::evaluateStatic(
     std::vector<PowerMode> assign =
         planStaticAssignment(per_core, core_budget, fit);
 
-    SimResult run = cc.sim->runStatic(assign);
+    SimResult run = cc.sim->runStatic(assign, false);
     PolicyEval ev;
     ev.policy = "Static";
     ev.budgetFrac = budget_frac;
@@ -138,6 +176,46 @@ ExperimentRunner::curve(const std::vector<std::string> &combo,
     return evs;
 }
 
+std::vector<PolicyEval>
+ExperimentRunner::sweep(const SweepSpec &spec,
+                        std::size_t concurrency)
+{
+    std::vector<PolicyEval> out(spec.points.size());
+    if (spec.points.empty())
+        return out;
+    if (concurrency == 0)
+        concurrency = defaultConcurrency();
+
+    ThreadPool pool(concurrency);
+
+    // Warm the per-combo caches first, in parallel over *unique*
+    // combos: otherwise every thread whose point shares the first
+    // combo would pile up on one call_once while other combos wait.
+    std::vector<const SweepPoint *> unique_combos;
+    {
+        std::vector<std::string> seen;
+        for (const auto &p : spec.points) {
+            std::string key = keyOf(p.combo);
+            if (std::find(seen.begin(), seen.end(), key) ==
+                seen.end()) {
+                seen.push_back(std::move(key));
+                unique_combos.push_back(&p);
+            }
+        }
+    }
+    pool.parallelFor(unique_combos.size(), [&](std::size_t i) {
+        cacheFor(unique_combos[i]->combo);
+    });
+
+    pool.parallelFor(spec.points.size(), [&](std::size_t i) {
+        const SweepPoint &p = spec.points[i];
+        out[i] = p.policy == "Static"
+            ? evaluateStatic(p.combo, p.budgetFrac, p.staticFit)
+            : evaluate(p.combo, p.policy, p.budgetFrac);
+    });
+    return out;
+}
+
 SimResult
 ExperimentRunner::timeline(const std::vector<std::string> &combo,
                            const std::string &policy,
@@ -146,7 +224,7 @@ ExperimentRunner::timeline(const std::vector<std::string> &combo,
     ComboCache &cc = cacheFor(combo);
     GlobalManager mgr(dvfs, makePolicy(policy), cfg.exploreUs,
                       idlePowerW);
-    return cc.sim->run(mgr, budget, cc.refW);
+    return cc.sim->run(mgr, budget, cc.refW, true);
 }
 
 } // namespace gpm

@@ -3,7 +3,9 @@
  * ExperimentRunner: the harness the per-figure benchmarks drive.
  * Binds a ProfileLibrary + DvfsTable + SimConfig, caches the
  * all-Turbo reference run per benchmark combination, and evaluates
- * dynamic policies, optimistic-static assignments and budget sweeps.
+ * dynamic policies, optimistic-static assignments and budget sweeps
+ * — serially point-by-point, or fanned across a thread pool with
+ * sweep().
  */
 
 #ifndef GPM_METRICS_EXPERIMENT_HH
@@ -11,6 +13,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,9 +38,56 @@ struct PolicyEval
     ManagerStats managerStats;
 };
 
+/** One independent (combo, policy, budget) point of a sweep. */
+struct SweepPoint
+{
+    std::vector<std::string> combo;
+    /** Policy name; "Static" routes through evaluateStatic(). */
+    std::string policy;
+    double budgetFrac = 1.0;
+    /** Fitting rule when policy == "Static". */
+    StaticFit staticFit = StaticFit::Peak;
+};
+
 /**
- * Drives CmpSim for whole experiments. Not thread-safe (profiles are
- * built lazily through the shared library).
+ * An ordered list of sweep points. Results come back in exactly
+ * this order regardless of how many threads evaluate them, so a
+ * spec is also the deterministic serial-equivalence contract:
+ * sweep(spec, k) is bitwise-identical to evaluating the points one
+ * by one in spec order.
+ */
+struct SweepSpec
+{
+    std::vector<SweepPoint> points;
+
+    /** Append one point. */
+    void add(std::vector<std::string> combo, std::string policy,
+             double budget_frac, StaticFit fit = StaticFit::Peak);
+
+    /**
+     * Append the full cross product combos x policies x budgets in
+     * row-major order (combo outermost, budget innermost) — the
+     * iteration order of the pre-sweep serial benchmarks.
+     */
+    void addGrid(const std::vector<std::vector<std::string>> &combos,
+                 const std::vector<std::string> &policies,
+                 const std::vector<double> &budget_fracs);
+
+    std::size_t size() const { return points.size(); }
+    bool empty() const { return points.empty(); }
+};
+
+/**
+ * Drives CmpSim for whole experiments.
+ *
+ * Thread-safety contract: all evaluation entry points (evaluate,
+ * evaluateStatic, curve, timeline, reference, referencePowerW,
+ * sweep) may be called concurrently on one runner. The per-combo
+ * cache is a map of once-initialized entries behind a shared_mutex;
+ * each entry's CmpSim is built and its all-Turbo reference run
+ * executed exactly once under std::call_once, and CmpSim itself is
+ * reentrant (see sim/cmp_sim.hh). The ProfileLibrary performs its
+ * own locking.
  */
 class ExperimentRunner
 {
@@ -79,11 +130,26 @@ class ExperimentRunner
                               double budget_frac,
                               StaticFit fit = StaticFit::Peak);
 
-    /** Policy curve: one PolicyEval per budget fraction. */
+    /** Policy curve: one PolicyEval per budget fraction (serial). */
     std::vector<PolicyEval>
     curve(const std::vector<std::string> &combo,
           const std::string &policy,
           const std::vector<double> &budget_fracs);
+
+    /**
+     * Evaluate every point of @p spec, fanning independent points
+     * across a thread pool, and return the PolicyEvals in spec
+     * order. Results are bitwise-identical to a serial
+     * evaluate()/evaluateStatic() loop over the same points for any
+     * concurrency (every point is an independent, deterministic
+     * simulation; threads only decide *when* a point runs, never
+     * what it computes).
+     *
+     * @param concurrency thread count; 0 = GPM_THREADS env or
+     *        hardware concurrency
+     */
+    std::vector<PolicyEval> sweep(const SweepSpec &spec,
+                                  std::size_t concurrency = 0);
 
     /**
      * Full timeline run of a policy under an arbitrary budget
@@ -99,6 +165,7 @@ class ExperimentRunner
   private:
     struct ComboCache
     {
+        std::once_flag init;
         std::unique_ptr<CmpSim> sim;
         SimResult turboRef;
         Watts refW = 0.0;
@@ -111,7 +178,10 @@ class ExperimentRunner
     const DvfsTable &dvfs;
     SimConfig cfg;
     Watts idlePowerW;
-    std::map<std::string, ComboCache> cache;
+    /** Guards the cache *map*; entry initialization is per-entry
+     *  via ComboCache::init so distinct combos build in parallel. */
+    std::shared_mutex cacheMtx;
+    std::map<std::string, std::unique_ptr<ComboCache>> cache;
 };
 
 } // namespace gpm

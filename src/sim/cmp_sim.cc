@@ -70,35 +70,48 @@ CmpSim::CmpSim(std::vector<const WorkloadProfile *> profiles,
 
 SimResult
 CmpSim::run(GlobalManager &mgr, const BudgetSchedule &budget,
-            Watts reference_power_w)
+            Watts reference_power_w,
+            std::optional<bool> record_timeline)
 {
-    return runInternal(&mgr, &budget, reference_power_w, {});
+    return runInternal(&mgr, &budget, reference_power_w, {},
+                       record_timeline.value_or(cfg.recordTimeline));
 }
 
 SimResult
-CmpSim::runStatic(const std::vector<PowerMode> &modes)
+CmpSim::runStatic(const std::vector<PowerMode> &modes,
+                  std::optional<bool> record_timeline)
 {
     GPM_ASSERT(modes.size() == profs.size());
-    return runInternal(nullptr, nullptr, 0.0, modes);
+    return runInternal(nullptr, nullptr, 0.0, modes,
+                       record_timeline.value_or(cfg.recordTimeline));
 }
 
 Watts
 CmpSim::referencePowerW()
 {
-    if (cachedRefW < 0.0) {
+    // call_once makes the lazy init safe under concurrent sweeps
+    // (the old "if (cachedRefW < 0) cachedRefW = ..." was a race).
+    std::call_once(refOnce, [this] {
         std::vector<PowerMode> all_turbo(profs.size(), modes::Turbo);
-        cachedRefW = runStatic(all_turbo).avgCorePowerW();
-    }
+        cachedRefW = runStatic(all_turbo, false).avgCorePowerW();
+    });
     return cachedRefW;
 }
 
 SimResult
 CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
                     Watts reference_power_w,
-                    const std::vector<PowerMode> &static_modes)
+                    const std::vector<PowerMode> &static_modes,
+                    bool record_timeline)
 {
     const std::size_t n = profs.size();
 
+    // Every container this run touches is sized here, once. The
+    // delta-step loop below performs no heap allocation in steady
+    // state: the only allocating operations left are per *explore*
+    // interval (the manager's returned mode vector and the optional
+    // oracle matrix, at 1/10th the delta rate) and the amortized
+    // geometric growth of the flat timeline arrays when recording.
     std::vector<ProfileCursor> cursors;
     cursors.reserve(n);
     for (const auto *p : profs)
@@ -117,16 +130,25 @@ CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
     std::vector<Acc> explore_acc(n);
     MicroSec explore_elapsed = 0.0;
 
+    // Scratch buffers reused across iterations.
+    std::vector<CoreSample> samples(n);
+    std::vector<double> stall_energy(n, 0.0);
+    std::vector<double> dilation(n, 1.0);
+    std::vector<double> step_bips(n, 0.0);
+
     std::vector<Watts> last_step_power(n, 0.0);
     for (std::size_t c = 0; c < n; c++)
         last_step_power[c] = stallModel.stallPower(mode_v[c]);
     std::vector<double> last_miss_rate(n, 0.0); // misses per us
-    Watts last_uncore_w = uncore.baseW();
 
     SimResult res;
     res.coreInstructions.assign(n, 0.0);
     res.coreEnergyJ.assign(n, 0.0);
     res.finished.assign(n, false);
+    if (record_timeline) {
+        res.timeline.start(n);
+        res.timeline.reserve(256);
+    }
 
     ChipThermalModel thermal(n, cfg.thermal);
 
@@ -175,9 +197,9 @@ CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
     while (t < cfg.maxTimeUs) {
         // ---- Explore boundary: consult the global manager --------
         if (mgr && t + 1e-6 >= next_explore) {
-            std::vector<CoreSample> samples(n);
             for (std::size_t c = 0; c < n; c++) {
                 CoreSample &s = samples[c];
+                s = CoreSample{};
                 s.mode = mode_v[c];
                 s.active = !res.finished[c];
                 if (first_decision) {
@@ -220,7 +242,7 @@ CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
             // Apply transitions: all cores stall for the longest
             // per-core transition; CPU power is still consumed.
             MicroSec stalled_us = 0.0;
-            std::vector<double> stall_energy(n, 0.0);
+            std::fill(stall_energy.begin(), stall_energy.end(), 0.0);
             if (!first_decision && cfg.stallDuringTransitions) {
                 MicroSec trans = 0.0;
                 for (std::size_t c = 0; c < n; c++)
@@ -260,7 +282,6 @@ CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
         // ---- One delta-sim interval -------------------------------
         const MicroSec dt = cfg.deltaSimUs;
 
-        std::vector<double> dilation(n, 1.0);
         if (cfg.contention) {
             double rho = 0.0;
             for (double r : last_miss_rate)
@@ -273,17 +294,7 @@ CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
                     1.0 + last_miss_rate[c] * wait_ns / 1000.0;
         }
 
-        TimelinePoint tp;
-        if (cfg.recordTimeline) {
-            tp.tUs = t;
-            tp.corePowerW.assign(n, 0.0);
-            tp.coreBips.assign(n, 0.0);
-            tp.modes = mode_v;
-            tp.budgetW = budget
-                ? budget->at(t) * reference_power_w
-                : 0.0;
-        }
-
+        const MicroSec step_t_us = t;
         double step_misses = 0.0;
         double step_accesses = 0.0;
         bool finished_now = false;
@@ -320,10 +331,7 @@ CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
             explore_acc[c].energyJ += step_energy;
             last_step_power[c] = step_energy / (dt * 1e-6);
             step_core_power += last_step_power[c];
-            if (cfg.recordTimeline) {
-                tp.corePowerW[c] = last_step_power[c];
-                tp.coreBips[c] = bips_of(step_insts, dt);
-            }
+            step_bips[c] = bips_of(step_insts, dt);
         }
 
         double unc_e = uncore.energy(
@@ -331,16 +339,17 @@ CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
             static_cast<std::uint64_t>(step_accesses + 0.5),
             static_cast<std::uint64_t>(step_misses + 0.5));
         res.uncoreEnergyJ += unc_e;
-        last_uncore_w = unc_e / (dt * 1e-6);
 
         if (cfg.trackThermal)
             thermal.step(last_step_power, dt);
 
-        if (cfg.recordTimeline) {
-            tp.totalPowerW = step_core_power;
-            if (cfg.trackThermal)
-                tp.hottestC = thermal.hottestC();
-            res.timeline.push_back(std::move(tp));
+        if (record_timeline) {
+            res.timeline.append(
+                step_t_us, last_step_power, step_bips, mode_v,
+                step_core_power,
+                budget ? budget->at(step_t_us) * reference_power_w
+                       : 0.0,
+                cfg.trackThermal ? thermal.hottestC() : 0.0);
         }
 
         t += dt;

@@ -25,6 +25,8 @@
 #ifndef GPM_SIM_CMP_SIM_HH
 #define GPM_SIM_CMP_SIM_HH
 
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,7 @@
 #include "power/dvfs.hh"
 #include "power/power_model.hh"
 #include "power/thermal.hh"
+#include "sim/timeline.hh"
 #include "trace/phase_profile.hh"
 #include "util/units.hh"
 
@@ -88,26 +91,6 @@ struct SimConfig
     ThermalParams thermal;
 };
 
-/** One recorded delta-sim interval. */
-struct TimelinePoint
-{
-    /** Interval start time [us]. */
-    MicroSec tUs = 0.0;
-    /** Per-core average power over the interval [W]. */
-    std::vector<Watts> corePowerW;
-    /** Per-core throughput over the interval [BIPS]. */
-    std::vector<double> coreBips;
-    /** Per-core mode during the interval. */
-    std::vector<PowerMode> modes;
-    /** Total core power (the budgeted quantity) [W]. */
-    Watts totalPowerW = 0.0;
-    /** Core-power budget in force [W]. */
-    Watts budgetW = 0.0;
-    /** Hottest core temperature at interval end [C] (0 when
-     *  thermal tracking is off). */
-    double hottestC = 0.0;
-};
-
 /** Outcome of one CmpSim run. */
 struct SimResult
 {
@@ -122,7 +105,7 @@ struct SimResult
     /** Which cores finished their workload inside the window. */
     std::vector<bool> finished;
     /** Recorded timeline (empty when disabled). */
-    std::vector<TimelinePoint> timeline;
+    Timeline timeline;
     /** Manager statistics (zero for static runs). */
     ManagerStats managerStats;
     /** Mean relative prediction errors (Section 5.5). */
@@ -151,6 +134,13 @@ struct SimResult
 /**
  * The trace-based CMP simulator. Bind profiles once; each run*()
  * call replays from the beginning (cursors are rewound).
+ *
+ * Thread-safety contract: run(), runStatic() and referencePowerW()
+ * are safe to call concurrently on one instance. Every piece of
+ * per-run state (cursors, accumulators, scratch buffers) lives on
+ * the calling thread's stack; the members are either immutable after
+ * construction (profiles, dvfs, cfg, power models) or synchronized
+ * (the cached reference power, initialized under std::once_flag).
  */
 class CmpSim
 {
@@ -171,12 +161,19 @@ class CmpSim
      * profile bootstrap) and at every explore time. The budget
      * schedule is expressed as fractions of @p reference_power_w
      * (total chip, cores + uncore).
+     *
+     * @param record_timeline overrides cfg.recordTimeline for this
+     *        run (sweeps evaluate thousands of points whose
+     *        timelines nobody reads)
      */
     SimResult run(GlobalManager &mgr, const BudgetSchedule &budget,
-                  Watts reference_power_w);
+                  Watts reference_power_w,
+                  std::optional<bool> record_timeline = std::nullopt);
 
     /** Fixed-mode run (static assignments, references, bounds). */
-    SimResult runStatic(const std::vector<PowerMode> &modes);
+    SimResult
+    runStatic(const std::vector<PowerMode> &modes,
+              std::optional<bool> record_timeline = std::nullopt);
 
     /**
      * Average core power of the all-Turbo run — the reference
@@ -188,20 +185,22 @@ class CmpSim
     Watts referencePowerW();
 
   private:
-    struct CoreState;
-
     /** Shared inner loop; mgr may be null (static run). */
     SimResult runInternal(GlobalManager *mgr,
                           const BudgetSchedule *budget,
                           Watts reference_power_w,
-                          const std::vector<PowerMode> &static_modes);
+                          const std::vector<PowerMode> &static_modes,
+                          bool record_timeline);
 
     std::vector<const WorkloadProfile *> profs;
     const DvfsTable &dvfs;
     SimConfig cfg;
     CorePowerModel stallModel;
     UncorePowerModel uncore;
-    Watts cachedRefW = -1.0;
+    /** Lazily computed all-Turbo core power; guarded by refOnce so
+     *  concurrent referencePowerW() calls are race-free. */
+    std::once_flag refOnce;
+    Watts cachedRefW = 0.0;
 };
 
 } // namespace gpm

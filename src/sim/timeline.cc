@@ -1,0 +1,67 @@
+#include "timeline.hh"
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+void
+Timeline::start(std::size_t cores)
+{
+    cores_ = cores;
+    tUs_.clear();
+    corePowerW_.clear();
+    coreBips_.clear();
+    modes_.clear();
+    totalPowerW_.clear();
+    budgetW_.clear();
+    hottestC_.clear();
+}
+
+void
+Timeline::reserve(std::size_t steps)
+{
+    tUs_.reserve(steps);
+    corePowerW_.reserve(steps * cores_);
+    coreBips_.reserve(steps * cores_);
+    modes_.reserve(steps * cores_);
+    totalPowerW_.reserve(steps);
+    budgetW_.reserve(steps);
+    hottestC_.reserve(steps);
+}
+
+void
+Timeline::append(MicroSec t_us, std::span<const Watts> core_power_w,
+                 std::span<const double> core_bips,
+                 std::span<const PowerMode> modes, Watts total_w,
+                 Watts budget_w, double hottest_c)
+{
+    GPM_ASSERT(core_power_w.size() == cores_ &&
+               core_bips.size() == cores_ && modes.size() == cores_);
+    tUs_.push_back(t_us);
+    corePowerW_.insert(corePowerW_.end(), core_power_w.begin(),
+                       core_power_w.end());
+    coreBips_.insert(coreBips_.end(), core_bips.begin(),
+                     core_bips.end());
+    modes_.insert(modes_.end(), modes.begin(), modes.end());
+    totalPowerW_.push_back(total_w);
+    budgetW_.push_back(budget_w);
+    hottestC_.push_back(hottest_c);
+}
+
+TimelinePoint
+Timeline::operator[](std::size_t i) const
+{
+    GPM_ASSERT(i < size());
+    TimelinePoint tp;
+    tp.tUs = tUs_[i];
+    tp.corePowerW = {corePowerW_.data() + i * cores_, cores_};
+    tp.coreBips = {coreBips_.data() + i * cores_, cores_};
+    tp.modes = {modes_.data() + i * cores_, cores_};
+    tp.totalPowerW = totalPowerW_[i];
+    tp.budgetW = budgetW_[i];
+    tp.hottestC = hottestC_[i];
+    return tp;
+}
+
+} // namespace gpm

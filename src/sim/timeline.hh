@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Structure-of-arrays storage for the per-delta-step timeline a
+ * CmpSim run records.
+ *
+ * The previous representation (std::vector of points, each holding
+ * three per-core vectors) heap-allocated several times per 50 us
+ * delta step, which dominated the hot loop once the simulation
+ * itself was made allocation-free. Timeline keeps one flat, packed
+ * array per field; appending a step copies into the flat arrays and
+ * allocates only on amortized geometric growth.
+ *
+ * TimelinePoint is a cheap *view* into one step: scalars by value,
+ * per-core series as std::span. Consumers keep the familiar
+ * `tp.corePowerW[c]` / `for (auto m : tp.modes)` syntax.
+ */
+
+#ifndef GPM_SIM_TIMELINE_HH
+#define GPM_SIM_TIMELINE_HH
+
+#include <cstddef>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "power/dvfs.hh"
+#include "util/units.hh"
+
+namespace gpm
+{
+
+/** View of one recorded delta-sim interval. */
+struct TimelinePoint
+{
+    /** Interval start time [us]. */
+    MicroSec tUs = 0.0;
+    /** Per-core average power over the interval [W]. */
+    std::span<const Watts> corePowerW;
+    /** Per-core throughput over the interval [BIPS]. */
+    std::span<const double> coreBips;
+    /** Per-core mode during the interval. */
+    std::span<const PowerMode> modes;
+    /** Total core power (the budgeted quantity) [W]. */
+    Watts totalPowerW = 0.0;
+    /** Core-power budget in force [W]. */
+    Watts budgetW = 0.0;
+    /** Hottest core temperature at interval end [C] (0 when
+     *  thermal tracking is off). */
+    double hottestC = 0.0;
+};
+
+/** Packed per-field storage of a whole run's timeline. */
+class Timeline
+{
+  public:
+    /** Reset to an empty timeline of @p cores-wide steps. */
+    void start(std::size_t cores);
+
+    /** Record one step; the spans must be cores() wide. */
+    void append(MicroSec t_us, std::span<const Watts> core_power_w,
+                std::span<const double> core_bips,
+                std::span<const PowerMode> modes, Watts total_w,
+                Watts budget_w, double hottest_c);
+
+    /** Number of cores per step. */
+    std::size_t cores() const { return cores_; }
+
+    /** Number of recorded steps. */
+    std::size_t size() const { return tUs_.size(); }
+
+    bool empty() const { return tUs_.empty(); }
+
+    /** Pre-size for @p steps recorded steps. */
+    void reserve(std::size_t steps);
+
+    /** View of step @p i. */
+    TimelinePoint operator[](std::size_t i) const;
+
+    /** Forward iteration yielding TimelinePoint views. */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = TimelinePoint;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const TimelinePoint *;
+        using reference = TimelinePoint;
+
+        const_iterator(const Timeline *tl, std::size_t i)
+            : tl(tl), i(i)
+        {
+        }
+        TimelinePoint operator*() const { return (*tl)[i]; }
+        const_iterator &operator++()
+        {
+            i++;
+            return *this;
+        }
+        const_iterator operator++(int)
+        {
+            const_iterator old = *this;
+            i++;
+            return old;
+        }
+        bool operator==(const const_iterator &o) const
+        {
+            return tl == o.tl && i == o.i;
+        }
+        bool operator!=(const const_iterator &o) const
+        {
+            return !(*this == o);
+        }
+
+      private:
+        const Timeline *tl;
+        std::size_t i;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size()}; }
+
+  private:
+    std::size_t cores_ = 0;
+    std::vector<MicroSec> tUs_;
+    std::vector<Watts> corePowerW_;
+    std::vector<double> coreBips_;
+    std::vector<PowerMode> modes_;
+    std::vector<Watts> totalPowerW_;
+    std::vector<Watts> budgetW_;
+    std::vector<double> hottestC_;
+};
+
+} // namespace gpm
+
+#endif // GPM_SIM_TIMELINE_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 
 #include "trace/profiler.hh"
 #include "trace/workload.hh"
@@ -244,6 +245,14 @@ ProfileLibrary::fingerprint() const
 const WorkloadProfile &
 ProfileLibrary::get(const std::string &name)
 {
+    {
+        std::shared_lock<std::shared_mutex> lock(mtx);
+        for (const auto &p : profiles)
+            if (p.name == name)
+                return p;
+    }
+    std::unique_lock<std::shared_mutex> lock(mtx);
+    // Another thread may have built it between the locks.
     for (const auto &p : profiles)
         if (p.name == name)
             return p;

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -163,6 +164,12 @@ class ProfileCursor
  * under one DvfsTable. Building runs the detailed core model (see
  * Profiler); profiles are cached in a binary file so benchmarks
  * start quickly after the first run.
+ *
+ * get() is safe to call from concurrent sweep threads: lookups take
+ * a shared lock and on-demand builds an exclusive one (builds
+ * serialize, but sweeps run against a preloaded library where get()
+ * is read-only). loadOrBuild()/load()/save() are setup-time
+ * operations and must not race with get().
  */
 class ProfileLibrary
 {
@@ -201,6 +208,8 @@ class ProfileLibrary
   private:
     const DvfsTable &dvfs;
     double lengthScale;
+    /** Guards profiles; see the class comment. */
+    mutable std::shared_mutex mtx;
     /** deque: growing never invalidates references handed out. */
     std::deque<WorkloadProfile> profiles;
 };

@@ -1,0 +1,158 @@
+#include "thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace gpm
+{
+
+namespace
+{
+
+/** Set while a pool worker is executing, to detect nesting. */
+thread_local bool inside_pool_worker = false;
+
+} // namespace
+
+std::size_t
+defaultConcurrency()
+{
+    if (const char *s = std::getenv("GPM_THREADS")) {
+        long v = std::atol(s);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t concurrency)
+{
+    if (concurrency == 0)
+        concurrency = defaultConcurrency();
+    workers.reserve(concurrency - 1);
+    for (std::size_t i = 0; i + 1 < concurrency; i++)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    inside_pool_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock,
+                    [this] { return stopping || !tasks.empty(); });
+            if (tasks.empty())
+                return; // stopping and drained
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        task();
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> fn)
+{
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::move(fn));
+    std::future<void> fut = task->get_future();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        tasks.emplace([task] { (*task)(); });
+    }
+    cv.notify_one();
+    return fut;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // Nested call from a worker, or nothing to share: run inline.
+    if (inside_pool_worker || workers.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+
+    struct Shared
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex errorMtx;
+    };
+    auto shared = std::make_shared<Shared>();
+
+    auto drain = [shared, &fn, n] {
+        for (;;) {
+            if (shared->failed.load(std::memory_order_relaxed))
+                return;
+            std::size_t i =
+                shared->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(shared->errorMtx);
+                if (!shared->error)
+                    shared->error = std::current_exception();
+                shared->failed.store(true,
+                                     std::memory_order_relaxed);
+            }
+        }
+    };
+
+    // One helper task per worker; each grabs indices until the range
+    // is exhausted. fn and the index counter outlive the futures
+    // because we wait on every one before returning.
+    std::vector<std::future<void>> helpers;
+    std::size_t n_helpers = std::min(workers.size(), n - 1);
+    helpers.reserve(n_helpers);
+    for (std::size_t w = 0; w < n_helpers; w++)
+        helpers.push_back(submit(drain));
+
+    drain(); // the calling thread participates
+
+    for (auto &h : helpers)
+        h.get();
+
+    if (shared->error)
+        std::rethrow_exception(shared->error);
+}
+
+void
+parallelFor(std::size_t concurrency, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (concurrency == 0)
+        concurrency = defaultConcurrency();
+    if (concurrency <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(concurrency);
+    pool.parallelFor(n, fn);
+}
+
+} // namespace gpm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a parallel-for primitive —
+ * the engine behind ExperimentRunner::sweep and the parallel bench
+ * harnesses.
+ *
+ * Design points (kept deliberately simple — the sweep workload is a
+ * modest number of coarse, independent simulation runs, so a plain
+ * mutex-protected queue beats work stealing on clarity and is far
+ * from being the bottleneck):
+ *
+ *  - ThreadPool(n) provides a *concurrency* of n: it spawns n - 1
+ *    worker threads and the calling thread participates in every
+ *    parallelFor, so ThreadPool(1) degrades to a plain serial loop
+ *    with no thread traffic at all.
+ *  - parallelFor(n, fn) dispatches fn(0) .. fn(n - 1) across the
+ *    pool. Indices are handed out through an atomic counter, so
+ *    completion order is nondeterministic but any output written to
+ *    slot i of a presized array lands in deterministic position.
+ *  - Exceptions thrown by fn are captured; the first one is
+ *    rethrown on the calling thread after all workers have drained
+ *    (remaining indices are abandoned once an exception is seen).
+ *  - parallelFor called from inside a pool worker (nested
+ *    parallelism) runs the loop inline on that worker instead of
+ *    deadlocking on the pool's own queue.
+ *  - submit(fn) enqueues a one-off task and returns a
+ *    std::future<void>; the destructor drains outstanding tasks
+ *    before joining.
+ */
+
+#ifndef GPM_UTIL_THREAD_POOL_HH
+#define GPM_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gpm
+{
+
+/** Concurrency to use when the caller passes 0: GPM_THREADS when
+ *  set (and > 0), otherwise std::thread::hardware_concurrency(). */
+std::size_t defaultConcurrency();
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param concurrency total parallelism including the calling
+     *        thread; 0 means defaultConcurrency().
+     */
+    explicit ThreadPool(std::size_t concurrency = 0);
+
+    /** Drains queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (worker threads + the calling thread). */
+    std::size_t concurrency() const { return workers.size() + 1; }
+
+    /**
+     * Run fn(0) .. fn(n - 1) across the pool; the calling thread
+     * participates. Returns when every index has completed (or been
+     * abandoned after an exception); rethrows the first exception
+     * on the calling thread.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Enqueue one task; the future reports completion/exception. */
+    std::future<void> submit(std::function<void()> fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> tasks;
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+/**
+ * One-shot convenience: run fn(0) .. fn(n - 1) with the given
+ * concurrency (0 = defaultConcurrency()). Builds a transient pool
+ * only when concurrency > 1 and n > 1.
+ */
+void parallelFor(std::size_t concurrency, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace gpm
+
+#endif // GPM_UTIL_THREAD_POOL_HH

@@ -1,0 +1,154 @@
+/** @file Determinism contract of ExperimentRunner::sweep: results
+ *  are bitwise-identical to a serial evaluate()/evaluateStatic()
+ *  loop over the spec, at every concurrency. Uses a small shared
+ *  profile scale like the other experiment tests. */
+
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.hh"
+#include "trace/workload.hh"
+#include "util/thread_pool.hh"
+
+namespace gpm
+{
+namespace
+{
+
+class SweepTest : public ::testing::Test
+{
+  protected:
+    static ProfileLibrary &
+    lib()
+    {
+        static DvfsTable dvfs = DvfsTable::classic3();
+        static ProfileLibrary l(dvfs, 0.03);
+        return l;
+    }
+
+    static DvfsTable &
+    dvfs()
+    {
+        static DvfsTable d = DvfsTable::classic3();
+        return d;
+    }
+
+    /** The spec used throughout: two combos, dynamic policies and a
+     *  Static point, several budgets. */
+    static SweepSpec
+    spec()
+    {
+        SweepSpec s;
+        s.addGrid({{"mcf", "crafty"}, {"ammp", "art"}},
+                  {"MaxBIPS", "ChipWideDVFS"}, {0.75, 0.9});
+        s.add({"mcf", "crafty"}, "Static", 0.85);
+        s.add({"ammp", "art"}, "Oracle", 0.8);
+        return s;
+    }
+
+    /** Bitwise equality of every PolicyEval field ("==" on doubles
+     *  is exactly the determinism contract under test). */
+    static void
+    expectIdentical(const std::vector<PolicyEval> &a,
+                    const std::vector<PolicyEval> &b)
+    {
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); i++) {
+            SCOPED_TRACE("point " + std::to_string(i));
+            EXPECT_EQ(a[i].policy, b[i].policy);
+            EXPECT_EQ(a[i].budgetFrac, b[i].budgetFrac);
+            EXPECT_EQ(a[i].metrics.perfDegradation,
+                      b[i].metrics.perfDegradation);
+            EXPECT_EQ(a[i].metrics.weightedSlowdown,
+                      b[i].metrics.weightedSlowdown);
+            EXPECT_EQ(a[i].metrics.weightedSpeedupLoss,
+                      b[i].metrics.weightedSpeedupLoss);
+            EXPECT_EQ(a[i].metrics.powerSavings,
+                      b[i].metrics.powerSavings);
+            EXPECT_EQ(a[i].metrics.powerOverBudget,
+                      b[i].metrics.powerOverBudget);
+            EXPECT_EQ(a[i].metrics.avgChipPowerW,
+                      b[i].metrics.avgChipPowerW);
+            EXPECT_EQ(a[i].metrics.chipBips, b[i].metrics.chipBips);
+            EXPECT_EQ(a[i].predPowerError, b[i].predPowerError);
+            EXPECT_EQ(a[i].predBipsError, b[i].predBipsError);
+            EXPECT_EQ(a[i].managerStats.decisions,
+                      b[i].managerStats.decisions);
+            EXPECT_EQ(a[i].managerStats.overshoots,
+                      b[i].managerStats.overshoots);
+            EXPECT_EQ(a[i].managerStats.modeSwitches,
+                      b[i].managerStats.modeSwitches);
+        }
+    }
+};
+
+TEST_F(SweepTest, SpecHelpersBuildExpectedGrid)
+{
+    SweepSpec s = spec();
+    ASSERT_EQ(s.size(), 2u * 2u * 2u + 2u);
+    // Row-major: combo outermost, budget innermost.
+    EXPECT_EQ(s.points[0].policy, "MaxBIPS");
+    EXPECT_EQ(s.points[0].budgetFrac, 0.75);
+    EXPECT_EQ(s.points[1].budgetFrac, 0.9);
+    EXPECT_EQ(s.points[2].policy, "ChipWideDVFS");
+    EXPECT_EQ(s.points[4].combo,
+              (std::vector<std::string>{"ammp", "art"}));
+    EXPECT_EQ(s.points[8].policy, "Static");
+    EXPECT_EQ(s.points[9].policy, "Oracle");
+}
+
+TEST_F(SweepTest, MatchesSerialLoopAtEveryConcurrency)
+{
+    SweepSpec s = spec();
+
+    // The serial ground truth, on its own runner.
+    ExperimentRunner serial_runner(lib(), dvfs());
+    std::vector<PolicyEval> serial;
+    for (const auto &p : s.points)
+        serial.push_back(p.policy == "Static"
+                             ? serial_runner.evaluateStatic(
+                                   p.combo, p.budgetFrac, p.staticFit)
+                             : serial_runner.evaluate(
+                                   p.combo, p.policy, p.budgetFrac));
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE("concurrency " + std::to_string(threads));
+        // A fresh runner per concurrency so cache population order
+        // is also exercised under contention.
+        ExperimentRunner r(lib(), dvfs());
+        expectIdentical(serial, r.sweep(s, threads));
+    }
+}
+
+TEST_F(SweepTest, RepeatedSweepOnOneRunnerIsStable)
+{
+    SweepSpec s = spec();
+    ExperimentRunner r(lib(), dvfs());
+    auto first = r.sweep(s, 4);
+    auto second = r.sweep(s, 4);
+    expectIdentical(first, second);
+}
+
+TEST_F(SweepTest, EmptySpecYieldsEmptyResult)
+{
+    ExperimentRunner r(lib(), dvfs());
+    EXPECT_TRUE(r.sweep(SweepSpec{}, 4).empty());
+}
+
+TEST_F(SweepTest, ConcurrentRunnersShareOneProfileLibrary)
+{
+    // Two runners sweeping through the same ProfileLibrary at once:
+    // the library's internal locking must keep profiles consistent.
+    SweepSpec s;
+    s.addGrid({{"mcf", "art"}}, {"MaxBIPS"}, {0.8, 0.9});
+    ExperimentRunner a(lib(), dvfs());
+    ExperimentRunner b(lib(), dvfs());
+    std::vector<PolicyEval> ra, rb;
+    ThreadPool pool(2);
+    pool.parallelFor(2, [&](std::size_t i) {
+        (i == 0 ? ra : rb) = (i == 0 ? a : b).sweep(s, 2);
+    });
+    expectIdentical(ra, rb);
+}
+
+} // namespace
+} // namespace gpm

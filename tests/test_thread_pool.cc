@@ -1,0 +1,162 @@
+/** @file Tests for the ThreadPool / parallelFor engine behind
+ *  ExperimentRunner::sweep: index coverage, exception propagation,
+ *  degenerate sizes, nested calls and shutdown draining. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace gpm
+{
+namespace
+{
+
+TEST(ThreadPool, ConcurrencyCountsCallingThread)
+{
+    ThreadPool p1(1);
+    EXPECT_EQ(p1.concurrency(), 1u);
+    ThreadPool p4(4);
+    EXPECT_EQ(p4.concurrency(), 4u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (std::size_t conc : {1u, 2u, 8u}) {
+        ThreadPool pool(conc);
+        constexpr std::size_t n = 1000;
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(n, [&](std::size_t i) { hits[i]++; });
+        for (std::size_t i = 0; i < n; i++)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForWritesLandInDeterministicSlots)
+{
+    ThreadPool pool(4);
+    std::vector<std::size_t> out(257, 0);
+    pool.parallelFor(out.size(),
+                     [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); i++)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ZeroAndSingleTaskWork)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { calls++; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        calls++;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](std::size_t i) {
+                                      if (i == 42)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // The pool must remain usable after a failed loop.
+    std::atomic<int> ok{0};
+    pool.parallelFor(10, [&](std::size_t) { ok++; });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionAbandonsRemainingIndices)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(100000, [&](std::size_t) {
+            ran++;
+            throw std::runtime_error("first");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &) {
+    }
+    // Far fewer than all indices actually executed.
+    EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner_total{0};
+    // Each outer task runs a nested loop; the nested call must not
+    // deadlock on the pool's own queue.
+    pool.parallelFor(8, [&](std::size_t) {
+        pool.parallelFor(16,
+                         [&](std::size_t) { inner_total++; });
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SubmitReturnsCompletionFuture)
+{
+    ThreadPool pool(2);
+    std::atomic<bool> ran{false};
+    auto fut = pool.submit([&] { ran = true; });
+    fut.get();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture)
+{
+    ThreadPool pool(2);
+    auto fut =
+        pool.submit([] { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futs;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; i++)
+            futs.push_back(pool.submit([&] { done++; }));
+        // Pool destroyed here with tasks possibly still queued.
+    }
+    EXPECT_EQ(done.load(), 32);
+    for (auto &f : futs)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, FreeParallelForMatchesSerialLoop)
+{
+    for (std::size_t conc : {0u, 1u, 3u}) {
+        std::vector<int> out(100, 0);
+        parallelFor(conc, out.size(),
+                    [&](std::size_t i) { out[i] = static_cast<int>(i) + 1; });
+        EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0),
+                  100 * 101 / 2);
+    }
+}
+
+TEST(ThreadPool, DefaultConcurrencyHonoursEnv)
+{
+    // GPM_THREADS wins over hardware_concurrency when set.
+    setenv("GPM_THREADS", "3", 1);
+    EXPECT_EQ(defaultConcurrency(), 3u);
+    setenv("GPM_THREADS", "0", 1);
+    EXPECT_GE(defaultConcurrency(), 1u);
+    unsetenv("GPM_THREADS");
+    EXPECT_GE(defaultConcurrency(), 1u);
+}
+
+} // namespace
+} // namespace gpm
