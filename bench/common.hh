@@ -13,11 +13,14 @@
 #ifndef GPM_BENCH_COMMON_HH
 #define GPM_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fcntl.h>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "metrics/experiment.hh"
@@ -132,10 +135,65 @@ class WallTimer
 };
 
 /**
+ * Migrate a pre-NDJSON `[ {...}, {...} ]` array log to one record
+ * per line, atomically: the converted file is written next to the
+ * original and rename()d over it, so a crash mid-migration leaves
+ * the old file intact. No-op for missing/empty/already-NDJSON files.
+ */
+inline void
+migrateLegacySweepJson(const std::string &path)
+{
+    std::string body;
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        char chunk[4096];
+        std::size_t got;
+        while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+            body.append(chunk, got);
+        std::fclose(f);
+    }
+    std::size_t first = body.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos || body[first] != '[')
+        return; // missing, empty, or already line-oriented
+
+    // Pull out each top-level {...} object (legacy records never
+    // nest braces inside strings) and emit it as one line.
+    std::string lines;
+    int depth = 0;
+    std::size_t start = 0;
+    for (std::size_t i = first; i < body.size(); i++) {
+        if (body[i] == '{' && depth++ == 0)
+            start = i;
+        else if (body[i] == '}' && --depth == 0) {
+            std::string rec = body.substr(start, i - start + 1);
+            // Collapse the old pretty-printing onto one line.
+            std::string flat;
+            for (char c : rec)
+                if (c != '\n' && c != '\r')
+                    flat += c;
+            lines += flat + "\n";
+        }
+    }
+
+    std::string tmp = path + ".migrate.tmp";
+    std::FILE *out = std::fopen(tmp.c_str(), "wb");
+    if (!out) {
+        warn("cannot write %s", tmp.c_str());
+        return;
+    }
+    std::fputs(lines.c_str(), out);
+    std::fflush(out);
+    std::fclose(out);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot rename %s over %s", tmp.c_str(), path.c_str());
+        std::remove(tmp.c_str());
+    }
+}
+
+/**
  * Append one measurement to the machine-readable sweep-performance
  * log so the perf trajectory is tracked across PRs. The file
- * (BENCH_sweep.json, overridable with GPM_BENCH_JSON) is a JSON
- * array of objects:
+ * (BENCH_sweep.json, overridable with GPM_BENCH_JSON) is NDJSON —
+ * one record per line:
  *
  *   { "bench": ..., "points": N, "threads": T, "host_cores": C,
  *     "scale": S, "serial_ms": ... | null, "parallel_ms": ...,
@@ -143,6 +201,12 @@ class WallTimer
  *
  * serial_ms/speedup are null for benches that only measure the
  * parallel engine. Pass serial_ms <= 0 to mean "not measured".
+ *
+ * Each record goes out as a single O_APPEND write, so concurrent
+ * bench runs and interrupted processes can never interleave bytes
+ * within a record or truncate earlier ones (the old read-splice-
+ * rewrite of a JSON array could do both). Legacy array files are
+ * converted in place first via migrateLegacySweepJson().
  */
 inline void
 appendSweepJson(const std::string &bench, std::size_t points,
@@ -152,7 +216,7 @@ appendSweepJson(const std::string &bench, std::size_t points,
     const char *p = std::getenv("GPM_BENCH_JSON");
     std::string path = p ? p : "BENCH_sweep.json";
 
-    std::string entry = "  { \"bench\": \"" + bench + "\"";
+    std::string entry = "{ \"bench\": \"" + bench + "\"";
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   ", \"points\": %zu, \"threads\": %zu, "
@@ -175,33 +239,32 @@ appendSweepJson(const std::string &bench, std::size_t points,
                       parallel_ms);
     }
     entry += buf;
+    entry += '\n';
 
-    // Read any existing log and splice the entry before the closing
-    // bracket so the file stays one valid JSON array.
-    std::string body;
-    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
-        char chunk[4096];
-        std::size_t got;
-        while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
-            body.append(chunk, got);
-        std::fclose(f);
-    }
-    std::size_t close = body.rfind(']');
-    std::size_t last_brace =
-        close != std::string::npos ? body.rfind('}', close)
-                                   : std::string::npos;
-    if (last_brace != std::string::npos)
-        body = body.substr(0, last_brace + 1) + ",\n" + entry +
-            "\n]\n";
-    else // missing, empty, or not-an-array file: start fresh
-        body = "[\n" + entry + "\n]\n";
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
+    migrateLegacySweepJson(path);
+
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                    0644);
+    if (fd < 0) {
         warn("cannot write %s", path.c_str());
         return;
     }
-    std::fputs(body.c_str(), f);
-    std::fclose(f);
+    // One write per record (well under PIPE_BUF): appends from
+    // concurrent processes land whole, in some order.
+    const char *data = entry.c_str();
+    std::size_t left = entry.size();
+    while (left > 0) {
+        ssize_t wrote = ::write(fd, data, left);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("short write to %s", path.c_str());
+            break;
+        }
+        data += wrote;
+        left -= static_cast<std::size_t>(wrote);
+    }
+    ::close(fd);
 }
 
 } // namespace gpm::bench

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full test suite, then a
-# ThreadSanitizer build running the concurrency-sensitive tests
-# (thread pool + sweep determinism). The TSan stage can be skipped
-# with GPM_SKIP_TSAN=1 (e.g. on toolchains without libtsan).
+# Tier-1 verification: the standard build + full test suite, a gpmd
+# end-to-end smoke (ephemeral port, gpmctl ping + submit, graceful
+# SIGTERM shutdown), then a ThreadSanitizer build running the
+# concurrency-sensitive tests (thread pool + sweep determinism) and
+# the same gpmd smoke under TSan. The TSan stage can be skipped with
+# GPM_SKIP_TSAN=1 (e.g. on toolchains without libtsan).
 #
 # Usage: scripts/tier1.sh [build-dir]
 set -euo pipefail
@@ -10,10 +12,65 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
+# Drive one gpmd build end to end. Both builds share the scaled
+# profile cache (the fingerprint is build-type independent), so the
+# TSan daemon does not re-profile.
+SMOKE_SCALE=0.03
+SMOKE_CACHE="$PWD/$BUILD/gpm_profiles_smoke.bin"
+gpmd_smoke() {
+    local bdir=$1
+    local gpmd="$bdir/src/service/gpmd"
+    local gpmctl="$bdir/src/service/gpmctl"
+    local log
+    log=$(mktemp)
+
+    "$gpmd" --port 0 --scale "$SMOKE_SCALE" \
+        --profile-cache "$SMOKE_CACHE" >"$log" 2>&1 &
+    local pid=$!
+    trap 'kill "$pid" 2>/dev/null || true' RETURN
+
+    # The daemon prints "gpmd: listening on HOST:PORT" once ready
+    # (profile building first runs at most once per cache file).
+    local port="" i
+    for i in $(seq 1 600); do
+        port=$(sed -n 's/^gpmd: listening on .*:\([0-9]*\)$/\1/p' \
+            "$log")
+        [ -n "$port" ] && break
+        kill -0 "$pid" 2>/dev/null ||
+            { echo "gpmd exited early:"; cat "$log"; return 1; }
+        sleep 0.5
+    done
+    [ -n "$port" ] ||
+        { echo "gpmd never listened:"; cat "$log"; return 1; }
+
+    "$gpmctl" --port "$port" ping
+    "$gpmctl" --port "$port" submit \
+        --combo mcf,crafty --policy MaxBIPS --budget 0.8 >/dev/null
+    # The repeat must be served from cache; assert via stats.
+    "$gpmctl" --port "$port" submit \
+        --combo mcf,crafty --policy MaxBIPS --budget 0.8 |
+        grep -q '"cached":true'
+    "$gpmctl" --port "$port" stats |
+        grep -q '"cacheHits":1'
+
+    # Graceful shutdown: SIGTERM must drain and exit 0.
+    kill -TERM "$pid"
+    local rc=0
+    wait "$pid" || rc=$?
+    [ "$rc" -eq 0 ] ||
+        { echo "gpmd exit code $rc:"; cat "$log"; return 1; }
+    grep -q 'gpmd: shutdown complete' "$log" ||
+        { echo "no clean shutdown:"; cat "$log"; return 1; }
+    rm -f "$log"
+}
+
 echo "== tier-1: standard build + ctest =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j
+
+echo "== tier-1: gpmd smoke (ping / submit / drain) =="
+gpmd_smoke "$BUILD"
 
 if [ "${GPM_SKIP_TSAN:-0}" = "1" ]; then
     echo "== tier-1: TSan stage skipped (GPM_SKIP_TSAN=1) =="
@@ -22,10 +79,13 @@ fi
 
 echo "== tier-1: ThreadSanitizer build (pool + sweep tests) =="
 cmake -B "$BUILD-tsan" -S . -DGPM_SANITIZE=thread
-cmake --build "$BUILD-tsan" -j --target gpm_tests
+cmake --build "$BUILD-tsan" -j --target gpm_tests gpmd gpmctl
 # Profile building under TSan is slow; the sweep tests rebuild their
 # small-scale profiles on first use, so give them a large timeout.
 "$BUILD-tsan/tests/gpm_tests" \
     --gtest_filter='ThreadPool.*:SweepTest.*'
+
+echo "== tier-1: gpmd smoke under TSan =="
+gpmd_smoke "$BUILD-tsan"
 
 echo "== tier-1: all stages passed =="

@@ -253,6 +253,10 @@ class HistoryPolicy : public Policy
  *  "HistoryMaxBIPS"); fatal() on unknown names. */
 std::unique_ptr<Policy> makePolicy(const std::string &name);
 
+/** True when makePolicy(@p name) would succeed — the non-fatal
+ *  validity check callers with structured error paths need. */
+bool isPolicyName(const std::string &name);
+
 } // namespace gpm
 
 #endif // GPM_CORE_POLICIES_HH

@@ -7,8 +7,9 @@
 namespace gpm
 {
 
-std::unique_ptr<Policy>
-makePolicy(const std::string &name)
+/** makePolicy without the fatal(): nullptr on unknown/malformed. */
+static std::unique_ptr<Policy>
+tryMakePolicy(const std::string &name)
 {
     if (name == "MaxBIPS")
         return std::make_unique<MaxBipsPolicy>();
@@ -34,11 +35,26 @@ makePolicy(const std::string &name)
         if (name.size() > 8) {
             frac = std::atof(name.substr(8).c_str()) / 100.0;
             if (frac <= 0.0 || frac > 1.0)
-                fatal("bad MinPower target in '%s'", name.c_str());
+                return nullptr;
         }
         return std::make_unique<MinPowerPolicy>(frac);
     }
-    fatal("unknown policy '%s'", name.c_str());
+    return nullptr;
+}
+
+bool
+isPolicyName(const std::string &name)
+{
+    return tryMakePolicy(name) != nullptr;
+}
+
+std::unique_ptr<Policy>
+makePolicy(const std::string &name)
+{
+    auto p = tryMakePolicy(name);
+    if (!p)
+        fatal("unknown or malformed policy '%s'", name.c_str());
+    return p;
 }
 
 } // namespace gpm

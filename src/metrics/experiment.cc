@@ -1,8 +1,11 @@
 #include "experiment.hh"
 
 #include <algorithm>
+#include <cmath>
 
+#include "core/policies.hh"
 #include "core/static_planner.hh"
+#include "trace/workload.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -174,6 +177,37 @@ ExperimentRunner::curve(const std::vector<std::string> &combo,
             evs.push_back(evaluate(combo, policy, b));
     }
     return evs;
+}
+
+std::optional<SweepError>
+ExperimentRunner::validate(const SweepSpec &spec)
+{
+    for (std::size_t i = 0; i < spec.points.size(); i++) {
+        const SweepPoint &p = spec.points[i];
+        if (p.combo.empty())
+            return SweepError{i, "empty benchmark combination"};
+        for (const auto &name : p.combo)
+            if (!hasWorkload(name))
+                return SweepError{i,
+                                  "unknown workload '" + name + "'"};
+        if (p.policy != "Static" && !isPolicyName(p.policy))
+            return SweepError{
+                i, "unknown policy '" + p.policy + "'"};
+        if (!std::isfinite(p.budgetFrac) || p.budgetFrac <= 0.0)
+            return SweepError{
+                i, "budget fraction must be finite and > 0"};
+    }
+    return std::nullopt;
+}
+
+Expected<std::vector<PolicyEval>, SweepError>
+ExperimentRunner::trySweep(const SweepSpec &spec,
+                           std::size_t concurrency)
+{
+    if (auto err = validate(spec))
+        return Expected<std::vector<PolicyEval>,
+                        SweepError>::failure(std::move(*err));
+    return sweep(spec, concurrency);
 }
 
 std::vector<PolicyEval>

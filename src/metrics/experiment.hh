@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -22,9 +23,22 @@
 #include "metrics/metrics.hh"
 #include "sim/cmp_sim.hh"
 #include "trace/phase_profile.hh"
+#include "util/expected.hh"
 
 namespace gpm
 {
+
+/**
+ * Why a SweepSpec was rejected before any simulation ran: the index
+ * of the offending point and a human-readable reason. Service-layer
+ * callers turn this into an "invalid scenario" response instead of
+ * dying on a fatal() deep inside a run.
+ */
+struct SweepError
+{
+    std::size_t pointIndex = 0;
+    std::string message;
+};
 
 /** One evaluated (policy, budget) point. */
 struct PolicyEval
@@ -150,6 +164,23 @@ class ExperimentRunner
      */
     std::vector<PolicyEval> sweep(const SweepSpec &spec,
                                   std::size_t concurrency = 0);
+
+    /**
+     * sweep() with a structured error channel: validate() the spec
+     * up front and return a SweepError instead of fatal()ing when a
+     * point names an unknown policy or workload, has an empty combo,
+     * or a non-positive/non-finite budget fraction. On success the
+     * result is exactly what sweep() returns.
+     */
+    Expected<std::vector<PolicyEval>, SweepError>
+    trySweep(const SweepSpec &spec, std::size_t concurrency = 0);
+
+    /**
+     * Check every point of @p spec against the known policy and
+     * workload names without running anything. Empty specs are
+     * valid (they sweep to an empty result).
+     */
+    static std::optional<SweepError> validate(const SweepSpec &spec);
 
     /**
      * Full timeline run of a policy under an arbitrary budget

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * gpmctl — command-line client for gpmd.
+ *
+ *   gpmctl [--host H] [--port P] ping
+ *   gpmctl [--host H] [--port P] stats
+ *   gpmctl [--host H] [--port P] shutdown
+ *   gpmctl [--host H] [--port P] submit \
+ *       --combo mcf,crafty [or --combo-key 2way1] \
+ *       --policy MaxBIPS \
+ *       --budget 0.8 [or --budgets 0.7,0.85,1.0] \
+ *       [--static-fit peak|average] [--explore-us X] \
+ *       [--delta-us X] [--contention] [--sensor-noise X]
+ *   gpmctl submit --json '<scenario object>'
+ *
+ * Prints the server's one-line JSON response on stdout. Exit codes:
+ * 0 = ok:true, 2 = server returned an error, 1 = usage or
+ * transport failure.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/json.hh"
+#include "service/net.hh"
+
+namespace
+{
+
+using gpm::json::Value;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: gpmctl [--host H] [--port P] "
+        "<ping|stats|shutdown|submit> [submit options]\n"
+        "submit options: --combo a,b | --combo-key KEY; "
+        "--policy NAME\n"
+        "  --budget F | --budgets F1,F2,...\n"
+        "  [--static-fit peak|average] [--explore-us X] "
+        "[--delta-us X]\n"
+        "  [--contention] [--sensor-noise X] | --json SCENARIO\n");
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "gpmctl: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 7421;
+    std::string command;
+
+    // Scenario pieces for `submit`.
+    std::string combo_arg, combo_key, policy, budget_arg,
+        budgets_arg;
+    std::string static_fit, json_arg;
+    double explore_us = -1.0, delta_us = -1.0, sensor_noise = -1.0;
+    bool contention = false;
+
+    auto need = [&](int i) -> const char * {
+        if (i + 1 >= argc)
+            die(std::string(argv[i]) + " needs a value");
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--host")
+            host = need(i), i++;
+        else if (a == "--port")
+            port = static_cast<std::uint16_t>(std::atoi(need(i))),
+            i++;
+        else if (a == "--combo")
+            combo_arg = need(i), i++;
+        else if (a == "--combo-key")
+            combo_key = need(i), i++;
+        else if (a == "--policy")
+            policy = need(i), i++;
+        else if (a == "--budget")
+            budget_arg = need(i), i++;
+        else if (a == "--budgets")
+            budgets_arg = need(i), i++;
+        else if (a == "--static-fit")
+            static_fit = need(i), i++;
+        else if (a == "--explore-us")
+            explore_us = std::atof(need(i)), i++;
+        else if (a == "--delta-us")
+            delta_us = std::atof(need(i)), i++;
+        else if (a == "--sensor-noise")
+            sensor_noise = std::atof(need(i)), i++;
+        else if (a == "--contention")
+            contention = true;
+        else if (a == "--json")
+            json_arg = need(i), i++;
+        else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (!a.empty() && a[0] == '-')
+            die("unknown option '" + a + "' (try --help)");
+        else if (command.empty())
+            command = a;
+        else
+            die("unexpected argument '" + a + "'");
+    }
+
+    if (command != "ping" && command != "stats" &&
+        command != "shutdown" && command != "submit") {
+        usage();
+        return 1;
+    }
+
+    Value request = Value::object();
+    request.set("id", "gpmctl");
+    request.set("verb", command);
+
+    if (command == "submit") {
+        Value scenario = Value::object();
+        if (!json_arg.empty()) {
+            auto parsed = gpm::json::parse(json_arg);
+            if (!parsed.ok())
+                die("--json: " + parsed.error().message +
+                    " at offset " +
+                    std::to_string(parsed.error().offset));
+            scenario = parsed.value();
+        } else {
+            if ((combo_arg.empty() && combo_key.empty()) ||
+                policy.empty() ||
+                (budget_arg.empty() && budgets_arg.empty()))
+                die("submit needs --combo/--combo-key, --policy "
+                    "and --budget/--budgets (or --json)");
+            if (!combo_key.empty()) {
+                // Table 2 keys like "2way1" pass through as a
+                // string for the server to resolve.
+                scenario.set("combo", combo_key);
+            } else {
+                Value combo = Value::array();
+                for (const auto &name : splitCommas(combo_arg))
+                    combo.push(name);
+                scenario.set("combo", std::move(combo));
+            }
+            scenario.set("policy", policy);
+            if (!budget_arg.empty())
+                scenario.set("budget", std::atof(budget_arg.c_str()));
+            if (!budgets_arg.empty()) {
+                Value budgets = Value::array();
+                for (const auto &b : splitCommas(budgets_arg))
+                    budgets.push(std::atof(b.c_str()));
+                scenario.set("budgets", std::move(budgets));
+            }
+            if (!static_fit.empty())
+                scenario.set("staticFit", static_fit);
+            Value sim = Value::object();
+            if (explore_us > 0.0)
+                sim.set("exploreUs", explore_us);
+            if (delta_us > 0.0)
+                sim.set("deltaSimUs", delta_us);
+            if (sensor_noise >= 0.0)
+                sim.set("sensorNoise", sensor_noise);
+            if (contention)
+                sim.set("contention", true);
+            if (!sim.asObject().empty())
+                scenario.set("sim", std::move(sim));
+        }
+        request.set("scenario", std::move(scenario));
+    }
+
+    auto conn = gpm::TcpStream::connectTo(host, port);
+    if (!conn.ok())
+        die(conn.error());
+    gpm::TcpStream stream = std::move(conn.value());
+
+    if (!stream.writeAll(request.dump() + "\n"))
+        die("failed to send request");
+    std::string response;
+    if (!stream.readLine(response))
+        die("connection closed before a response arrived");
+
+    std::printf("%s\n", response.c_str());
+
+    auto parsed = gpm::json::parse(response);
+    if (!parsed.ok())
+        die("unparseable response");
+    const Value *ok = parsed.value().find("ok");
+    return ok && ok->isBool() && ok->asBool() ? 0 : 2;
+}

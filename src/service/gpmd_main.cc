@@ -1,0 +1,165 @@
+/**
+ * @file
+ * gpmd — the global-power-management scenario daemon.
+ *
+ * Serves NDJSON scenario requests (see docs/SERVICE.md) over TCP on
+ * top of one shared ProfileLibrary. SIGINT/SIGTERM trigger a clean
+ * draining shutdown: the accept loop unblocks, queued scenario work
+ * finishes, open connections are closed, and the process exits 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+
+#include "power/dvfs.hh"
+#include "service/server.hh"
+#include "service/service.hh"
+#include "trace/phase_profile.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+/** Listener fd for the async-signal-safe shutdown handler. */
+volatile std::sig_atomic_t g_stop = 0;
+int g_listen_fd = -1;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+    if (g_listen_fd >= 0)
+        ::shutdown(g_listen_fd, SHUT_RDWR);
+}
+
+struct DaemonConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 7421;
+    gpm::ServiceOptions service;
+    double scale = 1.0;
+    /** Non-empty: loadOrBuild() the whole suite against this disk
+     *  cache at startup. Empty: build profiles lazily per combo. */
+    std::string profileCache;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --host ADDR        bind address (default 127.0.0.1)\n"
+        "  --port N           TCP port; 0 = ephemeral (default "
+        "7421)\n"
+        "  --workers N        queue worker threads (default 2)\n"
+        "  --queue N          queue high-water mark (default 64)\n"
+        "  --cache N          LRU result-cache entries (default "
+        "128)\n"
+        "  --sweep-threads N  threads per sweep; 0 = auto\n"
+        "  --scale S          workload length scale (default "
+        "GPM_SCALE or 1.0)\n"
+        "  --profile-cache P  prebuild all profiles into/from this\n"
+        "                     file (default GPM_PROFILE_CACHE;\n"
+        "                     unset = build lazily per request)\n",
+        argv0);
+}
+
+DaemonConfig
+parseArgs(int argc, char **argv)
+{
+    DaemonConfig cfg;
+    if (const char *s = std::getenv("GPM_SCALE"); s && *s)
+        cfg.scale = std::atof(s) > 0.0 ? std::atof(s) : 1.0;
+    if (const char *s = std::getenv("GPM_PROFILE_CACHE"); s && *s)
+        cfg.profileCache = s;
+
+    auto need = [&](int i) -> const char * {
+        if (i + 1 >= argc)
+            gpm::fatal("%s needs a value", argv[i]);
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--host")
+            cfg.host = need(i), i++;
+        else if (a == "--port")
+            cfg.port =
+                static_cast<std::uint16_t>(std::atoi(need(i))), i++;
+        else if (a == "--workers")
+            cfg.service.workers =
+                static_cast<std::size_t>(std::atol(need(i))), i++;
+        else if (a == "--queue")
+            cfg.service.queueCapacity =
+                static_cast<std::size_t>(std::atol(need(i))), i++;
+        else if (a == "--cache")
+            cfg.service.cacheCapacity =
+                static_cast<std::size_t>(std::atol(need(i))), i++;
+        else if (a == "--sweep-threads")
+            cfg.service.sweepConcurrency =
+                static_cast<std::size_t>(std::atol(need(i))), i++;
+        else if (a == "--scale") {
+            double v = std::atof(need(i));
+            cfg.scale = v > 0.0 ? v : 1.0;
+            i++;
+        } else if (a == "--profile-cache")
+            cfg.profileCache = need(i), i++;
+        else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else
+            gpm::fatal("unknown option '%s' (try --help)",
+                       a.c_str());
+    }
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    DaemonConfig cfg = parseArgs(argc, argv);
+
+    gpm::DvfsTable dvfs = gpm::DvfsTable::classic3();
+    gpm::ProfileLibrary lib(dvfs, cfg.scale);
+    if (!cfg.profileCache.empty()) {
+        std::string path = cfg.profileCache;
+        if (cfg.scale != 1.0) {
+            // Scaled runs get their own cache file (same naming as
+            // the bench harnesses, so the caches are shared).
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), ".s%g", cfg.scale);
+            path += buf;
+        }
+        gpm::inform("gpmd: loading profiles (%s)", path.c_str());
+        lib.loadOrBuild(path);
+    }
+
+    gpm::ScenarioService svc(lib, dvfs, cfg.service);
+    auto listener =
+        gpm::TcpListener::listenOn(cfg.host, cfg.port);
+    if (!listener.ok())
+        gpm::fatal("gpmd: %s", listener.error().c_str());
+
+    gpm::GpmServer server(svc, std::move(listener.value()));
+    g_listen_fd = server.listenerFd();
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("gpmd: listening on %s:%u\n", cfg.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    server.run();
+
+    std::printf("gpmd: draining\n");
+    std::fflush(stdout);
+    server.stopAndDrain();
+    std::printf("gpmd: shutdown complete\n");
+    return 0;
+}

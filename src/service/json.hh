@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Minimal strict JSON layer for the scenario service — no external
+ * dependencies.
+ *
+ * Value is a tagged tree (null/bool/number/string/array/object);
+ * objects preserve insertion order and never hold duplicate keys
+ * (set() replaces, the parser rejects). parse() is a strict RFC
+ * 8259 recursive-descent parser: no comments, no trailing commas,
+ * full string escapes including surrogate pairs, a nesting-depth
+ * limit, and nothing but whitespace allowed after the value.
+ *
+ * Two serializers:
+ *  - dump()      compact, members in insertion order;
+ *  - canonical() compact, object keys byte-sorted at every level.
+ * Both print numbers with formatDouble() — the shortest decimal
+ * form that strtod()s back to the identical double — so equal
+ * values always serialize to equal bytes and every number survives
+ * a serialize/parse round trip bit-exactly. canonicalHash() (FNV-1a
+ * over canonical()) is the scenario cache key.
+ */
+
+#ifndef GPM_SERVICE_JSON_HH
+#define GPM_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/expected.hh"
+
+namespace gpm::json
+{
+
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    using Member = std::pair<std::string, Value>;
+    using Array = std::vector<Value>;
+    using Object = std::vector<Member>;
+
+    Value() : v(nullptr) {}
+    Value(std::nullptr_t) : v(nullptr) {}
+    Value(bool b) : v(b) {}
+    Value(double d) : v(d) {}
+    Value(int i) : v(static_cast<double>(i)) {}
+    Value(unsigned i) : v(static_cast<double>(i)) {}
+    Value(long i) : v(static_cast<double>(i)) {}
+    Value(unsigned long i) : v(static_cast<double>(i)) {}
+    Value(long long i) : v(static_cast<double>(i)) {}
+    Value(unsigned long long i) : v(static_cast<double>(i)) {}
+    Value(const char *s) : v(std::string(s)) {}
+    Value(std::string s) : v(std::move(s)) {}
+
+    /** An empty array value. */
+    static Value
+    array()
+    {
+        Value x;
+        x.v = Array{};
+        return x;
+    }
+
+    /** An empty object value. */
+    static Value
+    object()
+    {
+        Value x;
+        x.v = Object{};
+        return x;
+    }
+
+    Type type() const;
+    bool isNull() const { return type() == Type::Null; }
+    bool isBool() const { return type() == Type::Bool; }
+    bool isNumber() const { return type() == Type::Number; }
+    bool isString() const { return type() == Type::String; }
+    bool isArray() const { return type() == Type::Array; }
+    bool isObject() const { return type() == Type::Object; }
+    /** null, bool, number or string. */
+    bool isScalar() const { return !isArray() && !isObject(); }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Array append (value must be an array). */
+    void push(Value item);
+
+    /** Object append-or-replace (value must be an object). */
+    void set(std::string key, Value item);
+
+    /** Object member lookup; nullptr when absent (or not an
+     *  object). */
+    const Value *find(std::string_view key) const;
+
+    /** Compact serialization, insertion order. */
+    std::string dump() const;
+
+    /** Compact serialization with byte-sorted object keys. */
+    std::string canonical() const;
+
+    /** FNV-1a 64-bit hash of canonical(). */
+    std::uint64_t canonicalHash() const;
+
+  private:
+    void write(std::string &out, bool sorted) const;
+
+    std::variant<std::nullptr_t, bool, double, std::string, Array,
+                 Object>
+        v;
+};
+
+/** Where and why parsing failed. */
+struct ParseError
+{
+    std::size_t offset = 0;
+    std::string message;
+};
+
+/** Parse exactly one JSON value spanning all of @p text. */
+Expected<Value, ParseError> parse(std::string_view text);
+
+/**
+ * Shortest "%.Ng" printf form of @p d that strtod()s back to the
+ * bit-identical double; "null" for non-finite inputs (which valid
+ * JSON cannot carry).
+ */
+std::string formatDouble(double d);
+
+} // namespace gpm::json
+
+#endif // GPM_SERVICE_JSON_HH

@@ -1,0 +1,212 @@
+#include "service/net.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace gpm
+{
+
+static std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+TcpListener::TcpListener(TcpListener &&o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), port_(std::exchange(o.port_, 0))
+{
+}
+
+TcpListener &
+TcpListener::operator=(TcpListener &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        fd_ = std::exchange(o.fd_, -1);
+        port_ = std::exchange(o.port_, 0);
+    }
+    return *this;
+}
+
+Expected<TcpListener, std::string>
+TcpListener::listenOn(const std::string &host, std::uint16_t port,
+                      int backlog)
+{
+    using Fail = Expected<TcpListener, std::string>;
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        return Fail::failure("invalid IPv4 address '" + host + "'");
+
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return Fail::failure(errnoString("socket"));
+
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        std::string e = errnoString("bind");
+        ::close(fd);
+        return Fail::failure(std::move(e));
+    }
+    if (::listen(fd, backlog) < 0) {
+        std::string e = errnoString("listen");
+        ::close(fd);
+        return Fail::failure(std::move(e));
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) < 0) {
+        std::string e = errnoString("getsockname");
+        ::close(fd);
+        return Fail::failure(std::move(e));
+    }
+
+    TcpListener l;
+    l.fd_ = fd;
+    l.port_ = ntohs(bound.sin_port);
+    return l;
+}
+
+int
+TcpListener::acceptFd()
+{
+    for (;;) {
+        int cfd = ::accept(fd_, nullptr, nullptr);
+        if (cfd >= 0)
+            return cfd;
+        if (errno == EINTR || errno == ECONNABORTED)
+            continue;
+        return -1; // shut down, closed, or a real error
+    }
+}
+
+void
+TcpListener::shutdownListener()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+TcpStream::TcpStream(TcpStream &&o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), rdbuf(std::move(o.rdbuf))
+{
+}
+
+TcpStream &
+TcpStream::operator=(TcpStream &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        fd_ = std::exchange(o.fd_, -1);
+        rdbuf = std::move(o.rdbuf);
+    }
+    return *this;
+}
+
+Expected<TcpStream, std::string>
+TcpStream::connectTo(const std::string &host, std::uint16_t port)
+{
+    using Fail = Expected<TcpStream, std::string>;
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        return Fail::failure("invalid IPv4 address '" + host + "'");
+
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return Fail::failure(errnoString("socket"));
+
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        std::string e = errnoString("connect");
+        ::close(fd);
+        return Fail::failure(std::move(e));
+    }
+    return TcpStream(fd);
+}
+
+bool
+TcpStream::readLine(std::string &line, std::size_t max_len)
+{
+    for (;;) {
+        std::size_t nl = rdbuf.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(rdbuf, 0, nl);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            rdbuf.erase(0, nl + 1);
+            return true;
+        }
+        if (rdbuf.size() > max_len)
+            return false; // line too long
+
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            rdbuf.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // EOF or error; any partial line is dropped
+    }
+}
+
+bool
+TcpStream::writeAll(std::string_view data)
+{
+    while (!data.empty()) {
+        ssize_t n =
+            ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            data.remove_prefix(static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+void
+TcpStream::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+TcpStream::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace gpm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Thin POSIX TCP wrappers for the scenario service: a listener with
+ * ephemeral-port support and a buffered line-oriented stream — just
+ * enough socket surface for an NDJSON request/response protocol,
+ * kept apart from the protocol logic (server.hh) so tests can drive
+ * either side over loopback.
+ *
+ * Both types own their fd (move-only, closed on destruction).
+ * shutdownListener()/shutdownBoth() only call ::shutdown(), which
+ * is async-signal-safe — gpmd's SIGINT/SIGTERM handler uses that to
+ * unblock the accept loop without touching non-reentrant state.
+ */
+
+#ifndef GPM_SERVICE_NET_HH
+#define GPM_SERVICE_NET_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/expected.hh"
+
+namespace gpm
+{
+
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener() { close(); }
+    TcpListener(TcpListener &&o) noexcept;
+    TcpListener &operator=(TcpListener &&o) noexcept;
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /**
+     * Bind + listen on @p host:@p port (IPv4 dotted quad; port 0
+     * picks an ephemeral port — read the outcome from port()).
+     */
+    static Expected<TcpListener, std::string>
+    listenOn(const std::string &host, std::uint16_t port,
+             int backlog = 64);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Block for the next connection; returns the connected fd, or
+     * -1 once the listener has been shut down or closed.
+     */
+    int acceptFd();
+
+    /** Unblock acceptFd() (async-signal-safe). */
+    void shutdownListener();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+class TcpStream
+{
+  public:
+    TcpStream() = default;
+    /** Adopt a connected fd (from acceptFd()). */
+    explicit TcpStream(int fd) : fd_(fd) {}
+    ~TcpStream() { close(); }
+    TcpStream(TcpStream &&o) noexcept;
+    TcpStream &operator=(TcpStream &&o) noexcept;
+    TcpStream(const TcpStream &) = delete;
+    TcpStream &operator=(const TcpStream &) = delete;
+
+    /** Connect to @p host:@p port (IPv4 dotted quad). */
+    static Expected<TcpStream, std::string>
+    connectTo(const std::string &host, std::uint16_t port);
+
+    bool valid() const { return fd_ >= 0; }
+
+    /**
+     * Read up to the next '\n' (consumed, not returned; a trailing
+     * '\r' is stripped). False on EOF, error, or a line longer than
+     * @p max_len.
+     */
+    bool readLine(std::string &line,
+                  std::size_t max_len = 1 << 20);
+
+    /** Write all of @p data (SIGPIPE suppressed). */
+    bool writeAll(std::string_view data);
+
+    /** Half-close both directions (async-signal-safe). */
+    void shutdownBoth();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string rdbuf;
+};
+
+} // namespace gpm
+
+#endif // GPM_SERVICE_NET_HH

@@ -1,0 +1,267 @@
+#include "service/scenario.hh"
+
+#include <cmath>
+
+#include "core/policies.hh"
+#include "trace/workload.hh"
+
+namespace gpm
+{
+
+using json::Value;
+
+SimConfig
+ScenarioSpec::simConfig() const
+{
+    SimConfig cfg;
+    cfg.exploreUs = exploreUs;
+    cfg.deltaSimUs = deltaSimUs;
+    cfg.contention = contention;
+    cfg.sensorNoise = sensorNoise;
+    return cfg;
+}
+
+SweepSpec
+ScenarioSpec::sweepSpec() const
+{
+    SweepSpec s;
+    for (double b : budgets)
+        s.add(combo, policy, b, staticFit);
+    return s;
+}
+
+Value
+ScenarioSpec::simJson() const
+{
+    Value sim = Value::object();
+    sim.set("exploreUs", exploreUs);
+    sim.set("deltaSimUs", deltaSimUs);
+    sim.set("contention", contention);
+    sim.set("sensorNoise", sensorNoise);
+    return sim;
+}
+
+Value
+ScenarioSpec::canonicalJson() const
+{
+    Value o = Value::object();
+    Value c = Value::array();
+    for (const auto &name : combo)
+        c.push(name);
+    o.set("combo", std::move(c));
+    o.set("policy", policy);
+    Value bs = Value::array();
+    for (double b : budgets)
+        bs.push(b);
+    o.set("budgets", std::move(bs));
+    // staticFit only participates when it can change the result.
+    if (policy == "Static")
+        o.set("staticFit",
+              staticFit == StaticFit::Peak ? "peak" : "average");
+    o.set("sim", simJson());
+    return o;
+}
+
+std::uint64_t
+ScenarioSpec::hash() const
+{
+    return canonicalJson().canonicalHash();
+}
+
+std::optional<std::string>
+validateScenario(const ScenarioSpec &spec)
+{
+    if (spec.combo.empty())
+        return "combo must name at least one benchmark";
+    if (spec.combo.size() > ScenarioSpec::maxCores)
+        return "combo exceeds " +
+            std::to_string(ScenarioSpec::maxCores) + " benchmarks";
+    for (const auto &name : spec.combo)
+        if (!hasWorkload(name))
+            return "unknown workload '" + name + "'";
+    if (spec.policy != "Static" && !isPolicyName(spec.policy))
+        return "unknown policy '" + spec.policy + "'";
+    if (spec.budgets.empty())
+        return "budgets must contain at least one fraction";
+    if (spec.budgets.size() > ScenarioSpec::maxBudgets)
+        return "budgets exceeds " +
+            std::to_string(ScenarioSpec::maxBudgets) + " entries";
+    for (double b : spec.budgets)
+        if (!std::isfinite(b) || b <= 0.0 || b > 1.0)
+            return "budget fractions must be in (0, 1]";
+    if (!std::isfinite(spec.exploreUs) || spec.exploreUs <= 0.0 ||
+        spec.exploreUs > 1e7)
+        return "exploreUs must be in (0, 1e7]";
+    if (!std::isfinite(spec.deltaSimUs) || spec.deltaSimUs <= 0.0 ||
+        spec.deltaSimUs > spec.exploreUs)
+        return "deltaSimUs must be in (0, exploreUs]";
+    if (!std::isfinite(spec.sensorNoise) || spec.sensorNoise < 0.0 ||
+        spec.sensorNoise > 1.0)
+        return "sensorNoise must be in [0, 1]";
+    return std::nullopt;
+}
+
+namespace
+{
+
+using Fail = Expected<ScenarioSpec, std::string>;
+
+std::optional<std::string>
+parseSim(const Value &sim, ScenarioSpec &out)
+{
+    if (!sim.isObject())
+        return "sim must be an object";
+    for (const auto &[key, val] : sim.asObject()) {
+        if (key == "exploreUs") {
+            if (!val.isNumber())
+                return "sim.exploreUs must be a number";
+            out.exploreUs = val.asNumber();
+        } else if (key == "deltaSimUs") {
+            if (!val.isNumber())
+                return "sim.deltaSimUs must be a number";
+            out.deltaSimUs = val.asNumber();
+        } else if (key == "contention") {
+            if (!val.isBool())
+                return "sim.contention must be a boolean";
+            out.contention = val.asBool();
+        } else if (key == "sensorNoise") {
+            if (!val.isNumber())
+                return "sim.sensorNoise must be a number";
+            out.sensorNoise = val.asNumber();
+        } else {
+            return "unknown sim field '" + key + "'";
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+Expected<ScenarioSpec, std::string>
+parseScenario(const Value &scenario)
+{
+    if (!scenario.isObject())
+        return Fail::failure("scenario must be a JSON object");
+
+    ScenarioSpec out;
+    bool saw_budget = false, saw_budgets = false,
+         saw_static_fit = false;
+
+    for (const auto &[key, val] : scenario.asObject()) {
+        if (key == "combo") {
+            if (val.isString()) {
+                const auto *c = findCombination(val.asString());
+                if (!c)
+                    return Fail::failure(
+                        "unknown benchmark combination '" +
+                        val.asString() + "'");
+                out.combo = *c;
+            } else if (val.isArray()) {
+                for (const auto &item : val.asArray()) {
+                    if (!item.isString())
+                        return Fail::failure(
+                            "combo entries must be strings");
+                    out.combo.push_back(item.asString());
+                }
+            } else {
+                return Fail::failure(
+                    "combo must be an array of benchmark names or "
+                    "a combination key string");
+            }
+        } else if (key == "policy") {
+            if (!val.isString())
+                return Fail::failure("policy must be a string");
+            out.policy = val.asString();
+        } else if (key == "budget") {
+            if (!val.isNumber())
+                return Fail::failure("budget must be a number");
+            out.budgets = {val.asNumber()};
+            saw_budget = true;
+        } else if (key == "budgets") {
+            if (!val.isArray())
+                return Fail::failure(
+                    "budgets must be an array of numbers");
+            for (const auto &item : val.asArray()) {
+                if (!item.isNumber())
+                    return Fail::failure(
+                        "budgets entries must be numbers");
+                out.budgets.push_back(item.asNumber());
+            }
+            saw_budgets = true;
+        } else if (key == "staticFit") {
+            if (!val.isString() || (val.asString() != "peak" &&
+                                    val.asString() != "average"))
+                return Fail::failure(
+                    "staticFit must be \"peak\" or \"average\"");
+            out.staticFit = val.asString() == "peak"
+                ? StaticFit::Peak
+                : StaticFit::Average;
+            saw_static_fit = true;
+        } else if (key == "sim") {
+            if (auto err = parseSim(val, out))
+                return Fail::failure(std::move(*err));
+        } else {
+            return Fail::failure("unknown scenario field '" + key +
+                                 "'");
+        }
+    }
+
+    if (out.combo.empty() && !scenario.find("combo"))
+        return Fail::failure("missing required field 'combo'");
+    if (out.policy.empty())
+        return Fail::failure("missing required field 'policy'");
+    if (saw_budget && saw_budgets)
+        return Fail::failure(
+            "give either 'budget' or 'budgets', not both");
+    if (!saw_budget && !saw_budgets)
+        return Fail::failure(
+            "missing required field 'budget' or 'budgets'");
+    if (saw_static_fit && out.policy != "Static")
+        return Fail::failure(
+            "staticFit only applies to policy \"Static\"");
+
+    if (auto err = validateScenario(out))
+        return Fail::failure(std::move(*err));
+    return out;
+}
+
+std::string
+serializeResults(const ScenarioSpec &spec,
+                 const std::vector<PolicyEval> &evals)
+{
+    Value root = Value::object();
+    root.set("scenario", spec.canonicalJson());
+
+    Value results = Value::array();
+    for (const auto &ev : evals) {
+        Value r = Value::object();
+        r.set("policy", ev.policy);
+        r.set("budget", ev.budgetFrac);
+
+        Value m = Value::object();
+        m.set("perfDegradation", ev.metrics.perfDegradation);
+        m.set("weightedSlowdown", ev.metrics.weightedSlowdown);
+        m.set("weightedSpeedupLoss",
+              ev.metrics.weightedSpeedupLoss);
+        m.set("powerSavings", ev.metrics.powerSavings);
+        m.set("powerOverBudget", ev.metrics.powerOverBudget);
+        m.set("avgChipPowerW", ev.metrics.avgChipPowerW);
+        m.set("chipBips", ev.metrics.chipBips);
+        r.set("metrics", std::move(m));
+
+        r.set("predPowerError", ev.predPowerError);
+        r.set("predBipsError", ev.predBipsError);
+
+        Value mgr = Value::object();
+        mgr.set("decisions", ev.managerStats.decisions);
+        mgr.set("overshoots", ev.managerStats.overshoots);
+        mgr.set("modeSwitches", ev.managerStats.modeSwitches);
+        r.set("manager", std::move(mgr));
+
+        results.push(std::move(r));
+    }
+    root.set("results", std::move(results));
+    return root.canonical();
+}
+
+} // namespace gpm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * ScenarioSpec — the scenario service's request schema: one
+ * benchmark combination, one policy, one or more budget fractions,
+ * and the simulator knobs a client may turn. A scenario maps 1:1
+ * onto a SweepSpec (one point per budget) plus the SimConfig its
+ * runner must use, and has a canonical JSON form whose hash is the
+ * result-cache key: two requests that mean the same thing — key
+ * order, "budget" vs "budgets":[...], combination key vs explicit
+ * benchmark list — hash identically.
+ *
+ * Parsing is strict: unknown fields, out-of-range knobs, unknown
+ * benchmark/policy names and malformed shapes are all rejected with
+ * a message the service returns verbatim in its "invalid" error
+ * response.
+ */
+
+#ifndef GPM_SERVICE_SCENARIO_HH
+#define GPM_SERVICE_SCENARIO_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/static_planner.hh"
+#include "metrics/experiment.hh"
+#include "service/json.hh"
+
+namespace gpm
+{
+
+struct ScenarioSpec
+{
+    /** Benchmark names run together (one per core). */
+    std::vector<std::string> combo;
+    /** Policy name; "Static" routes through evaluateStatic(). */
+    std::string policy;
+    /** Budget fractions, one sweep point each. */
+    std::vector<double> budgets;
+    /** Fitting rule when policy == "Static". */
+    StaticFit staticFit = StaticFit::Peak;
+
+    /** Client-tunable SimConfig knobs (defaults mirror SimConfig). */
+    double exploreUs = 500.0;
+    double deltaSimUs = 50.0;
+    bool contention = false;
+    double sensorNoise = 0.0;
+
+    /** Hard caps on request shape. */
+    static constexpr std::size_t maxCores = 64;
+    static constexpr std::size_t maxBudgets = 64;
+
+    /** The SimConfig an ExperimentRunner needs for this scenario. */
+    SimConfig simConfig() const;
+
+    /** The equivalent sweep: one point per budget fraction. */
+    SweepSpec sweepSpec() const;
+
+    /** The sim-knob subsection of the canonical form (also the
+     *  service's runner-cache key). */
+    json::Value simJson() const;
+
+    /** Canonical JSON with every field explicit. */
+    json::Value canonicalJson() const;
+
+    /** Cache key: canonicalJson().canonicalHash(). */
+    std::uint64_t hash() const;
+};
+
+/**
+ * Semantic validation of an already-populated spec (parseScenario
+ * applies it too): known names, non-empty shapes, knob ranges.
+ * Returns the rejection reason, or nullopt when valid.
+ */
+std::optional<std::string>
+validateScenario(const ScenarioSpec &spec);
+
+/**
+ * Build a ScenarioSpec from a parsed JSON scenario object.
+ * Accepted fields:
+ *   combo     array of benchmark names, or a Table 2 combination
+ *             key string ("2way1", ...)        [required]
+ *   policy    policy name or "Static"          [required]
+ *   budget    single budget fraction     } exactly one
+ *   budgets   array of budget fractions  } of the two
+ *   staticFit "peak" | "average" (policy "Static" only)
+ *   sim       object: exploreUs, deltaSimUs, contention,
+ *             sensorNoise (all optional)
+ * Anything else is rejected.
+ */
+Expected<ScenarioSpec, std::string>
+parseScenario(const json::Value &scenario);
+
+/**
+ * Deterministic result payload for a served scenario: the canonical
+ * scenario echoed back plus one result object per sweep point, all
+ * serialized canonically (sorted keys, shortest round-trip
+ * doubles). Identical evals always produce identical bytes — the
+ * cache stores exactly this string.
+ */
+std::string serializeResults(const ScenarioSpec &spec,
+                             const std::vector<PolicyEval> &evals);
+
+} // namespace gpm
+
+#endif // GPM_SERVICE_SCENARIO_HH

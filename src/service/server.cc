@@ -1,0 +1,220 @@
+#include "service/server.hh"
+
+#include <sys/socket.h>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+using json::Value;
+
+GpmServer::GpmServer(ScenarioService &svc_, TcpListener listener_)
+    : svc(svc_), listener(std::move(listener_))
+{
+}
+
+GpmServer::~GpmServer() { stopAndDrain(); }
+
+void
+GpmServer::run()
+{
+    for (;;) {
+        int cfd = listener.acceptFd();
+        if (cfd < 0)
+            return;
+        std::lock_guard<std::mutex> lock(connMtx);
+        if (stopping) {
+            ::shutdown(cfd, SHUT_RDWR);
+            ::close(cfd);
+            return;
+        }
+        connections++;
+        std::size_t slot = connFds.size();
+        connFds.push_back(cfd);
+        connThreads.emplace_back(&GpmServer::serveConn, this, cfd,
+                                 slot);
+    }
+}
+
+void
+GpmServer::requestStop()
+{
+    listener.shutdownListener();
+}
+
+void
+GpmServer::stopAndDrain()
+{
+    requestStop();
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        if (drained)
+            return;
+        drained = true;
+    }
+    // Finish queued scenario work first: connections blocked in
+    // submit() get their responses before their sockets go away.
+    svc.drain();
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        stopping = true;
+        for (int fd : connFds)
+            if (fd >= 0)
+                ::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto &t : connThreads)
+        if (t.joinable())
+            t.join();
+    listener.close();
+}
+
+void
+GpmServer::serveConn(int fd, std::size_t slot)
+{
+    TcpStream stream(fd);
+    std::string line;
+    while (stream.readLine(line)) {
+        // Blank lines are keep-alive noise, not requests.
+        if (line.find_first_not_of(" \t") == std::string::npos)
+            continue;
+        requests++;
+        bool want_stop = false;
+        std::string response = handleLine(line, want_stop);
+        if (!stream.writeAll(response + "\n"))
+            break;
+        if (want_stop) {
+            requestStop();
+            break;
+        }
+    }
+    // Mark the slot dead *before* the fd closes so stopAndDrain()
+    // can never shut down a kernel-recycled fd number.
+    std::lock_guard<std::mutex> lock(connMtx);
+    connFds[slot] = -1;
+}
+
+namespace
+{
+
+std::string
+errorResponse(const Value &id, const std::string &code,
+              const std::string &message)
+{
+    Value root = Value::object();
+    root.set("id", id);
+    root.set("ok", false);
+    Value err = Value::object();
+    err.set("code", code);
+    err.set("message", message);
+    root.set("error", std::move(err));
+    return root.dump();
+}
+
+std::string
+okResponse(const Value &id, Value result)
+{
+    Value root = Value::object();
+    root.set("id", id);
+    root.set("ok", true);
+    root.set("result", std::move(result));
+    return root.dump();
+}
+
+} // namespace
+
+std::string
+GpmServer::handleLine(const std::string &line, bool &want_stop)
+{
+    Value id(nullptr);
+
+    auto parsed = json::parse(line);
+    if (!parsed.ok())
+        return errorResponse(id, "parse",
+                             parsed.error().message + " at offset " +
+                                 std::to_string(
+                                     parsed.error().offset));
+    const Value &req = parsed.value();
+    if (!req.isObject())
+        return errorResponse(id, "parse",
+                             "request must be a JSON object");
+
+    if (const Value *rid = req.find("id")) {
+        if (!rid->isScalar())
+            return errorResponse(id, "invalid",
+                                 "id must be a scalar");
+        id = *rid;
+    }
+    for (const auto &[key, val] : req.asObject()) {
+        (void)val;
+        if (key != "id" && key != "verb" && key != "scenario")
+            return errorResponse(
+                id, "invalid", "unknown request field '" + key +
+                    "'");
+    }
+
+    const Value *verb = req.find("verb");
+    if (!verb || !verb->isString())
+        return errorResponse(id, "invalid",
+                             "missing or non-string 'verb'");
+    const std::string &v = verb->asString();
+
+    if (v == "ping") {
+        Value result = Value::object();
+        result.set("pong", true);
+        return okResponse(id, std::move(result));
+    }
+
+    if (v == "stats") {
+        ServiceStats s = svc.stats();
+        Value result = Value::object();
+        result.set("uptimeSec", s.uptimeSec);
+        result.set("served", s.served);
+        result.set("cacheHits", s.cacheHits);
+        result.set("cacheMisses", s.cacheMisses);
+        result.set("cacheHitRate", s.cacheHitRate);
+        result.set("cacheSize", s.cacheSize);
+        result.set("queueDepth", s.queueDepth);
+        result.set("inFlight", s.inFlight);
+        result.set("rejectedBusy", s.rejectedBusy);
+        result.set("invalid", s.invalid);
+        result.set("connections", connections.load());
+        result.set("requests", requests.load());
+        return okResponse(id, std::move(result));
+    }
+
+    if (v == "submit") {
+        const Value *scenario = req.find("scenario");
+        if (!scenario)
+            return errorResponse(id, "invalid",
+                                 "submit needs a 'scenario'");
+        auto spec = parseScenario(*scenario);
+        if (!spec.ok())
+            return errorResponse(id, "invalid", spec.error());
+        ScenarioService::Response r = svc.submit(spec.value());
+        if (!r.ok)
+            return errorResponse(id, r.errorCode, r.errorMessage);
+        // The payload is already serialized JSON; splice it in
+        // verbatim so cached and computed responses are
+        // byte-identical in their "result" field.
+        Value head = Value::object();
+        head.set("id", id);
+        head.set("ok", true);
+        head.set("cached", r.cacheHit);
+        std::string out = head.dump();
+        out.pop_back(); // strip '}'
+        out += ",\"result\":" + r.payload + "}";
+        return out;
+    }
+
+    if (v == "shutdown") {
+        want_stop = true;
+        Value result = Value::object();
+        result.set("stopping", true);
+        return okResponse(id, std::move(result));
+    }
+
+    return errorResponse(id, "invalid", "unknown verb '" + v + "'");
+}
+
+} // namespace gpm

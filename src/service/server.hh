@@ -1,0 +1,97 @@
+/**
+ * @file
+ * GpmServer — the NDJSON-over-TCP front end of a ScenarioService.
+ *
+ * Protocol (one JSON object per line, each answered with one JSON
+ * object line; see docs/SERVICE.md for the full contract):
+ *
+ *   {"id": <scalar?>, "verb": "ping"}
+ *   {"id": <scalar?>, "verb": "stats"}
+ *   {"id": <scalar?>, "verb": "submit", "scenario": {...}}
+ *   {"id": <scalar?>, "verb": "shutdown"}
+ *
+ * Responses echo the request id and carry either "result" (with
+ * "cached" for submits) or "error": {"code", "message"} with codes
+ * parse | invalid | busy | draining | internal.
+ *
+ * Connection model: thread per connection off a blocking accept
+ * loop. run() blocks until requestStop() (callable from a signal
+ * handler via the listener's async-signal-safe shutdown);
+ * stopAndDrain() then finishes queued scenario work, shuts down the
+ * remaining connections and joins their threads — the clean
+ * SIGINT/SIGTERM draining path.
+ */
+
+#ifndef GPM_SERVICE_SERVER_HH
+#define GPM_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/net.hh"
+#include "service/service.hh"
+
+namespace gpm
+{
+
+class GpmServer
+{
+  public:
+    GpmServer(ScenarioService &svc, TcpListener listener);
+
+    /** stopAndDrain() if the owner did not. */
+    ~GpmServer();
+
+    GpmServer(const GpmServer &) = delete;
+    GpmServer &operator=(const GpmServer &) = delete;
+
+    std::uint16_t port() const { return listener.port(); }
+    int listenerFd() const { return listener.fd(); }
+
+    /** Accept loop; blocks until requestStop(). */
+    void run();
+
+    /** Unblock run(). Safe from signal handlers and other
+     *  threads. */
+    void requestStop();
+
+    /**
+     * Graceful teardown after run() returns: drain the service
+     * (queued submits complete), close the remaining connections,
+     * join connection threads. Idempotent.
+     */
+    void stopAndDrain();
+
+    /** Connections accepted since start. */
+    std::uint64_t connectionCount() const { return connections; }
+    /** Requests (lines) handled since start. */
+    std::uint64_t requestCount() const { return requests; }
+
+  private:
+    void serveConn(int fd, std::size_t slot);
+    std::string handleLine(const std::string &line,
+                           bool &want_stop);
+
+    ScenarioService &svc;
+    TcpListener listener;
+
+    std::mutex connMtx;
+    std::vector<std::thread> connThreads;
+    /** fd per thread slot; -1 once that connection has finished
+     *  (fds are reused by the kernel, so stale entries must never
+     *  be shut down). */
+    std::vector<int> connFds;
+    bool stopping = false;
+    bool drained = false;
+
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> requests{0};
+};
+
+} // namespace gpm
+
+#endif // GPM_SERVICE_SERVER_HH

@@ -1,0 +1,231 @@
+#include "service/service.hh"
+
+#include <future>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+/** One queued request: the spec, its hash, and the caller's
+ *  rendezvous. */
+struct ScenarioService::Job
+{
+    ScenarioSpec spec;
+    std::uint64_t hash = 0;
+    std::promise<Response> done;
+};
+
+ScenarioService::ScenarioService(ProfileLibrary &lib_,
+                                 const DvfsTable &dvfs_,
+                                 ServiceOptions opts_)
+    : lib(lib_), dvfs(dvfs_), opts(opts_),
+      startTime(std::chrono::steady_clock::now())
+{
+    if (opts.workers == 0)
+        opts.workers = 1;
+    workers.reserve(opts.workers);
+    for (std::size_t i = 0; i < opts.workers; i++)
+        workers.emplace_back(&ScenarioService::workerLoop, this);
+}
+
+ScenarioService::~ScenarioService() { drain(); }
+
+ExperimentRunner &
+ScenarioService::runnerFor(const ScenarioSpec &spec)
+{
+    std::string key = spec.simJson().canonical();
+    std::lock_guard<std::mutex> lock(runnersMtx);
+    auto &slot = runners[key];
+    if (!slot)
+        slot = std::make_unique<ExperimentRunner>(
+            lib, dvfs, spec.simConfig());
+    return *slot;
+}
+
+bool
+ScenarioService::cacheGet(std::uint64_t hash, std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(cacheMtx);
+    auto it = cacheIndex.find(hash);
+    if (it == cacheIndex.end())
+        return false;
+    lru.splice(lru.begin(), lru, it->second);
+    payload = it->second->second;
+    return true;
+}
+
+void
+ScenarioService::cachePut(std::uint64_t hash,
+                          const std::string &payload)
+{
+    if (opts.cacheCapacity == 0)
+        return;
+    std::lock_guard<std::mutex> lock(cacheMtx);
+    auto it = cacheIndex.find(hash);
+    if (it != cacheIndex.end()) {
+        lru.splice(lru.begin(), lru, it->second);
+        it->second->second = payload;
+        return;
+    }
+    lru.emplace_front(hash, payload);
+    cacheIndex[hash] = lru.begin();
+    if (lru.size() > opts.cacheCapacity) {
+        cacheIndex.erase(lru.back().first);
+        lru.pop_back();
+    }
+}
+
+ScenarioService::Response
+ScenarioService::submit(const ScenarioSpec &spec)
+{
+    Response r;
+    if (auto err = validateScenario(spec)) {
+        invalidCount++;
+        r.errorCode = "invalid";
+        r.errorMessage = std::move(*err);
+        return r;
+    }
+    r.hash = spec.hash();
+
+    if (cacheGet(r.hash, r.payload)) {
+        cacheHits++;
+        served++;
+        r.ok = true;
+        r.cacheHit = true;
+        return r;
+    }
+
+    auto job = std::make_unique<Job>();
+    job->spec = spec;
+    job->hash = r.hash;
+    std::future<Response> fut = job->done.get_future();
+    {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        if (draining) {
+            r.errorCode = "draining";
+            r.errorMessage = "service is shutting down";
+            return r;
+        }
+        if (queue.size() >= opts.queueCapacity) {
+            rejectedBusy++;
+            r.errorCode = "busy";
+            r.errorMessage = "request queue is full, retry later";
+            return r;
+        }
+        cacheMisses++;
+        queue.push_back(std::move(job));
+    }
+    queueCv.notify_one();
+    return fut.get();
+}
+
+ScenarioService::Response
+ScenarioService::submitJsonText(const std::string &text)
+{
+    auto parsed = json::parse(text);
+    if (!parsed.ok()) {
+        Response r;
+        r.errorCode = "parse";
+        r.errorMessage = parsed.error().message + " at offset " +
+            std::to_string(parsed.error().offset);
+        return r;
+    }
+    auto spec = parseScenario(parsed.value());
+    if (!spec.ok()) {
+        invalidCount++;
+        Response r;
+        r.errorCode = "invalid";
+        r.errorMessage = spec.error();
+        return r;
+    }
+    return submit(spec.value());
+}
+
+ScenarioService::Response
+ScenarioService::execute(const Job &job)
+{
+    Response r;
+    r.hash = job.hash;
+    ExperimentRunner &runner = runnerFor(job.spec);
+    auto swept = runner.trySweep(job.spec.sweepSpec(),
+                                 opts.sweepConcurrency);
+    if (!swept.ok()) {
+        // validateScenario() should have caught anything trySweep
+        // rejects; if not, surface it rather than dying.
+        r.errorCode = "invalid";
+        r.errorMessage = "sweep point " +
+            std::to_string(swept.error().pointIndex) + ": " +
+            swept.error().message;
+        return r;
+    }
+    r.payload = serializeResults(job.spec, swept.value());
+    cachePut(job.hash, r.payload);
+    served++;
+    r.ok = true;
+    return r;
+}
+
+void
+ScenarioService::workerLoop()
+{
+    for (;;) {
+        std::unique_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(queueMtx);
+            queueCv.wait(lock, [&] {
+                return draining || !queue.empty();
+            });
+            if (queue.empty())
+                return; // draining and nothing left
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        inFlight++;
+        Response r = execute(*job);
+        inFlight--;
+        job->done.set_value(std::move(r));
+    }
+}
+
+ServiceStats
+ScenarioService::stats() const
+{
+    ServiceStats s;
+    s.served = served.load();
+    s.cacheHits = cacheHits.load();
+    s.cacheMisses = cacheMisses.load();
+    s.rejectedBusy = rejectedBusy.load();
+    s.invalid = invalidCount.load();
+    s.inFlight = inFlight.load();
+    {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        s.queueDepth = queue.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(cacheMtx);
+        s.cacheSize = lru.size();
+    }
+    s.uptimeSec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - startTime)
+                      .count();
+    std::uint64_t lookups = s.cacheHits + s.cacheMisses;
+    s.cacheHitRate =
+        lookups ? static_cast<double>(s.cacheHits) / lookups : 0.0;
+    return s;
+}
+
+void
+ScenarioService::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        draining = true;
+    }
+    queueCv.notify_all();
+    for (auto &w : workers)
+        if (w.joinable())
+            w.join();
+}
+
+} // namespace gpm

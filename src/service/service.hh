@@ -1,0 +1,171 @@
+/**
+ * @file
+ * ScenarioService — the runtime between the transport (gpmd) and
+ * the sweep engine. Owns the ExperimentRunners (one per distinct
+ * sim-knob configuration, built lazily over one shared
+ * ProfileLibrary), a bounded FIFO request queue drained by a fixed
+ * set of worker threads, and an LRU cache of serialized result
+ * payloads keyed by the canonical scenario hash.
+ *
+ * Backpressure: submit() never blocks the caller on a full system —
+ * when the queue already holds queueCapacity requests the submit is
+ * rejected immediately with the "busy" error code (high-water-mark
+ * admission control; a capacity of 0 rejects everything that is not
+ * a cache hit). Accepted requests block their calling thread until
+ * the result is ready, which is what the thread-per-connection
+ * transport wants.
+ *
+ * Determinism: a scenario is compiled to a SweepSpec and served by
+ * ExperimentRunner::trySweep, whose results are bitwise-identical
+ * to a serial evaluation in spec order; payloads are canonical JSON
+ * with round-trip double formatting. The same scenario therefore
+ * always yields the same payload bytes, whether computed or served
+ * from cache.
+ */
+
+#ifndef GPM_SERVICE_SERVICE_HH
+#define GPM_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/scenario.hh"
+
+namespace gpm
+{
+
+/** ScenarioService tuning knobs. */
+struct ServiceOptions
+{
+    /** Worker threads draining the request queue. */
+    std::size_t workers = 2;
+    /** Queue high-water mark; submits beyond it are rejected with
+     *  "busy". 0 rejects every cache miss. */
+    std::size_t queueCapacity = 64;
+    /** LRU result-cache capacity in entries (0 disables caching). */
+    std::size_t cacheCapacity = 128;
+    /** Threads per sweep (ExperimentRunner::sweep concurrency);
+     *  0 = GPM_THREADS / hardware concurrency. */
+    std::size_t sweepConcurrency = 0;
+};
+
+/** A stats() snapshot (all counters since construction). */
+struct ServiceStats
+{
+    std::uint64_t served = 0;      ///< responses with ok payloads
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0; ///< accepted, computed requests
+    std::uint64_t rejectedBusy = 0;
+    std::uint64_t invalid = 0;     ///< failed validation
+    std::size_t queueDepth = 0;    ///< requests waiting right now
+    std::size_t inFlight = 0;      ///< requests being computed
+    std::size_t cacheSize = 0;
+    double uptimeSec = 0.0;
+    /** cacheHits / (cacheHits + cacheMisses), 0 when unserved. */
+    double cacheHitRate = 0.0;
+};
+
+class ScenarioService
+{
+  public:
+    /** One submit()'s outcome. */
+    struct Response
+    {
+        bool ok = false;
+        /** "invalid" | "busy" | "draining" | "parse" | "internal"
+         *  when !ok. */
+        std::string errorCode;
+        std::string errorMessage;
+        /** Canonical result payload (see serializeResults). */
+        std::string payload;
+        bool cacheHit = false;
+        std::uint64_t hash = 0;
+    };
+
+    ScenarioService(ProfileLibrary &lib, const DvfsTable &dvfs,
+                    ServiceOptions opts = ServiceOptions{});
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ScenarioService();
+
+    ScenarioService(const ScenarioService &) = delete;
+    ScenarioService &operator=(const ScenarioService &) = delete;
+
+    /**
+     * Validate, then serve @p spec: from cache when possible,
+     * otherwise through the queue (blocking until computed) unless
+     * the high-water mark rejects it.
+     */
+    Response submit(const ScenarioSpec &spec);
+
+    /** parse + parseScenario + submit, mapping JSON errors to the
+     *  "parse" code and schema errors to "invalid". */
+    Response submitJsonText(const std::string &text);
+
+    /** Counters snapshot. */
+    ServiceStats stats() const;
+
+    /**
+     * Stop accepting new work ("draining" rejections), finish what
+     * is queued, and join the workers. Idempotent.
+     */
+    void drain();
+
+    const ServiceOptions &options() const { return opts; }
+
+  private:
+    struct Job;
+
+    ExperimentRunner &runnerFor(const ScenarioSpec &spec);
+    Response execute(const Job &job);
+    void workerLoop();
+    bool cacheGet(std::uint64_t hash, std::string &payload);
+    void cachePut(std::uint64_t hash, const std::string &payload);
+
+    ProfileLibrary &lib;
+    const DvfsTable &dvfs;
+    ServiceOptions opts;
+    std::chrono::steady_clock::time_point startTime;
+
+    /** One runner per distinct sim-knob configuration. */
+    std::mutex runnersMtx;
+    std::map<std::string, std::unique_ptr<ExperimentRunner>>
+        runners;
+
+    /** Bounded request queue + workers. */
+    mutable std::mutex queueMtx;
+    std::condition_variable queueCv;
+    std::deque<std::unique_ptr<Job>> queue;
+    bool draining = false;
+    std::vector<std::thread> workers;
+
+    /** LRU payload cache: recency list + hash index into it. */
+    mutable std::mutex cacheMtx;
+    std::list<std::pair<std::uint64_t, std::string>> lru;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, std::string>>::iterator>
+        cacheIndex;
+
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> cacheHits{0};
+    std::atomic<std::uint64_t> cacheMisses{0};
+    std::atomic<std::uint64_t> rejectedBusy{0};
+    std::atomic<std::uint64_t> invalidCount{0};
+    std::atomic<std::size_t> inFlight{0};
+};
+
+} // namespace gpm
+
+#endif // GPM_SERVICE_SERVICE_HH

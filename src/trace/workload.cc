@@ -285,6 +285,15 @@ workload(const std::string &name)
     fatal("unknown workload '%s'", name.c_str());
 }
 
+bool
+hasWorkload(const std::string &name)
+{
+    for (const auto &w : spec2000Suite())
+        if (w.name == name)
+            return true;
+    return false;
+}
+
 const std::vector<std::pair<std::string, std::vector<std::string>>> &
 benchmarkCombinations()
 {
@@ -292,12 +301,20 @@ benchmarkCombinations()
     return combos;
 }
 
-const std::vector<std::string> &
-combination(const std::string &key)
+const std::vector<std::string> *
+findCombination(const std::string &key)
 {
     for (const auto &[k, v] : benchmarkCombinations())
         if (k == key)
-            return v;
+            return &v;
+    return nullptr;
+}
+
+const std::vector<std::string> &
+combination(const std::string &key)
+{
+    if (const auto *c = findCombination(key))
+        return *c;
     fatal("unknown benchmark combination '%s'", key.c_str());
 }
 

@@ -122,6 +122,9 @@ const std::vector<WorkloadSpec> &spec2000Suite();
 /** Look up a suite workload by name; fatal() if unknown. */
 const WorkloadSpec &workload(const std::string &name);
 
+/** True when @p name is a suite workload (non-fatal lookup). */
+bool hasWorkload(const std::string &name);
+
 /**
  * The paper's Table 2 benchmark combinations, keyed as "2way1",
  * "2way2", ..., "4way1", ..., "8way1", "8way2".
@@ -131,6 +134,10 @@ benchmarkCombinations();
 
 /** Look up a Table 2 combination by key; fatal() if unknown. */
 const std::vector<std::string> &combination(const std::string &key);
+
+/** Combination lookup returning nullptr instead of fatal(). */
+const std::vector<std::string> *
+findCombination(const std::string &key);
 
 } // namespace gpm
 

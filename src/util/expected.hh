@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal std::expected stand-in (the toolchain targets C++20, so
+ * the C++23 original is unavailable): a tagged union holding either
+ * a success value T or an error E. Used where failure is part of the
+ * interface contract rather than a fatal() — e.g. the scenario
+ * service turns these into structured "invalid scenario" responses
+ * instead of killing the daemon.
+ */
+
+#ifndef GPM_UTIL_EXPECTED_HH
+#define GPM_UTIL_EXPECTED_HH
+
+#include <utility>
+#include <variant>
+
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+template <typename T, typename E>
+class Expected
+{
+  public:
+    /** Implicit success wrapper. */
+    Expected(T value) : v(std::in_place_index<0>, std::move(value)) {}
+
+    /** Build the error alternative. */
+    static Expected
+    failure(E error)
+    {
+        return Expected(std::in_place_index<1>, std::move(error));
+    }
+
+    bool ok() const { return v.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    value()
+    {
+        GPM_ASSERT(ok());
+        return std::get<0>(v);
+    }
+
+    const T &
+    value() const
+    {
+        GPM_ASSERT(ok());
+        return std::get<0>(v);
+    }
+
+    E &
+    error()
+    {
+        GPM_ASSERT(!ok());
+        return std::get<1>(v);
+    }
+
+    const E &
+    error() const
+    {
+        GPM_ASSERT(!ok());
+        return std::get<1>(v);
+    }
+
+  private:
+    template <std::size_t I, typename U>
+    Expected(std::in_place_index_t<I> tag, U &&u)
+        : v(tag, std::forward<U>(u))
+    {
+    }
+
+    std::variant<T, E> v;
+};
+
+} // namespace gpm
+
+#endif // GPM_UTIL_EXPECTED_HH

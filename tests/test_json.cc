@@ -1,0 +1,175 @@
+/** @file The service JSON layer: strict parsing, malformed-input
+ *  rejection, bit-exact double round trips, and canonical-form
+ *  (hashing) invariance. */
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "service/json.hh"
+
+namespace gpm::json
+{
+namespace
+{
+
+Value
+parseOk(const std::string &text)
+{
+    auto r = parse(text);
+    EXPECT_TRUE(r.ok()) << text << " -> "
+                        << (r.ok() ? "" : r.error().message);
+    return r.ok() ? r.value() : Value();
+}
+
+std::string
+parseErr(const std::string &text)
+{
+    auto r = parse(text);
+    EXPECT_FALSE(r.ok()) << text << " unexpectedly parsed";
+    return r.ok() ? "" : r.error().message;
+}
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").asBool());
+    EXPECT_FALSE(parseOk("false").asBool());
+    EXPECT_EQ(parseOk("42").asNumber(), 42.0);
+    EXPECT_EQ(parseOk("-0.5e2").asNumber(), -50.0);
+    EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+    EXPECT_EQ(parseOk("  17 ").asNumber(), 17.0);
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    Value v = parseOk(
+        R"({"a": [1, 2, {"b": null}], "c": {"d": "e"}})");
+    ASSERT_TRUE(v.isObject());
+    const Value *a = v.find("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->asArray().size(), 3u);
+    EXPECT_EQ(a->asArray()[1].asNumber(), 2.0);
+    EXPECT_TRUE(a->asArray()[2].find("b")->isNull());
+    EXPECT_EQ(v.find("c")->find("d")->asString(), "e");
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "  ", "{", "[", "\"", "{\"a\":}", "[1,]", "{,}",
+          "[1 2]", "{\"a\" 1}", "tru", "nul", "TRUE", "'x'",
+          "{\"a\":1,}", "1 2", "[1]]", "{\"a\":1}x", "\x01"})
+        parseErr(bad);
+}
+
+TEST(Json, RejectsMalformedNumbers)
+{
+    for (const char *bad : {"01", "1.", ".5", "+1", "1e", "1e+",
+                            "--1", "nan", "Infinity", "0x10", "- 1"})
+        parseErr(bad);
+}
+
+TEST(Json, RejectsDuplicateKeys)
+{
+    EXPECT_NE(parseErr(R"({"a":1,"a":2})").find("duplicate"),
+              std::string::npos);
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(parseOk(R"("a\nb\tc\"d\\e\/f")").asString(),
+              "a\nb\tc\"d\\e/f");
+    EXPECT_EQ(parseOk(R"("Aé")").asString(),
+              "A\xc3\xa9");
+    // Astral plane via surrogate pair (U+1F600).
+    EXPECT_EQ(parseOk(R"("😀")").asString(),
+              "\xf0\x9f\x98\x80");
+    parseErr(R"("\ud83d")");       // unpaired high surrogate
+    parseErr(R"("\ude00")");       // lone low surrogate
+    parseErr(R"("\ud83dA")"); // invalid low surrogate
+    parseErr(R"("\q")");           // unknown escape
+    parseErr("\"a\nb\"");          // raw control character
+}
+
+TEST(Json, SerializerEscapesControlCharacters)
+{
+    Value v(std::string("a\"b\\c\n\x01"));
+    EXPECT_EQ(v.dump(), "\"a\\\"b\\\\c\\n\\u0001\"");
+    // And it parses back to the identical string.
+    EXPECT_EQ(parseOk(v.dump()).asString(), v.asString());
+}
+
+TEST(Json, DepthLimit)
+{
+    std::string deep40(40, '['), close40(40, ']');
+    parseOk(deep40 + "1" + close40);
+    std::string deep100(100, '['), close100(100, ']');
+    parseErr(deep100 + "1" + close100);
+}
+
+TEST(Json, DoublesRoundTripBitExactly)
+{
+    const double cases[] = {0.0,
+                            -0.0,
+                            1.0,
+                            0.1,
+                            1.0 / 3.0,
+                            2.0 / 3.0,
+                            1e-9,
+                            6.02214076e23,
+                            123456789.123456789,
+                            5e-324,
+                            1.7976931348623157e308,
+                            0.625,
+                            0.925};
+    for (double d : cases) {
+        std::string s = formatDouble(d);
+        double back = parseOk(s).asNumber();
+        EXPECT_EQ(std::memcmp(&back, &d, sizeof(double)), 0)
+            << d << " -> " << s << " -> " << back;
+    }
+    EXPECT_EQ(formatDouble(0.5), "0.5"); // shortest form wins
+    EXPECT_EQ(formatDouble(5.0), "5");
+}
+
+TEST(Json, DumpPreservesInsertionOrderCanonicalSorts)
+{
+    Value v = Value::object();
+    v.set("zeta", 1);
+    v.set("alpha", Value::array());
+    EXPECT_EQ(v.dump(), R"({"zeta":1,"alpha":[]})");
+    EXPECT_EQ(v.canonical(), R"({"alpha":[],"zeta":1})");
+}
+
+TEST(Json, CanonicalHashIgnoresKeyOrder)
+{
+    Value a = parseOk(R"({"x": 1, "y": [true, {"k": 2}]})");
+    Value b = parseOk(R"({"y": [true, {"k": 2}], "x": 1})");
+    EXPECT_EQ(a.canonical(), b.canonical());
+    EXPECT_EQ(a.canonicalHash(), b.canonicalHash());
+
+    Value c = parseOk(R"({"x": 1, "y": [true, {"k": 3}]})");
+    EXPECT_NE(a.canonicalHash(), c.canonicalHash());
+}
+
+TEST(Json, SetReplacesExistingKey)
+{
+    Value v = Value::object();
+    v.set("a", 1);
+    v.set("a", 2);
+    ASSERT_EQ(v.asObject().size(), 1u);
+    EXPECT_EQ(v.find("a")->asNumber(), 2.0);
+}
+
+TEST(Json, ParseDumpRoundTrip)
+{
+    std::string text =
+        R"({"s":"é","n":-1.25e-3,"b":false,"a":[null,1],"o":{}})";
+    Value v = parseOk(text);
+    EXPECT_EQ(parseOk(v.dump()).canonical(), v.canonical());
+}
+
+} // namespace
+} // namespace gpm::json

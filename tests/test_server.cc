@@ -1,0 +1,197 @@
+/** @file gpmd's protocol layer over real loopback sockets: an
+ *  in-process GpmServer on an ephemeral port driven with TcpStream —
+ *  ping/stats/submit verbs, byte-identical cached resubmits,
+ *  malformed-line rejection, and graceful stop. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "service/server.hh"
+
+namespace gpm
+{
+namespace
+{
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    static DvfsTable &
+    dvfs()
+    {
+        static DvfsTable d = DvfsTable::classic3();
+        return d;
+    }
+
+    static ProfileLibrary &
+    lib()
+    {
+        static ProfileLibrary l(dvfs(), 0.03);
+        return l;
+    }
+
+    void
+    SetUp() override
+    {
+        auto listener = TcpListener::listenOn("127.0.0.1", 0);
+        ASSERT_TRUE(listener.ok()) << listener.error();
+        svc = std::make_unique<ScenarioService>(lib(), dvfs());
+        server = std::make_unique<GpmServer>(
+            *svc, std::move(listener.value()));
+        port = server->port();
+        ASSERT_NE(port, 0);
+        acceptThread = std::thread([this] { server->run(); });
+    }
+
+    void
+    TearDown() override
+    {
+        server->requestStop();
+        if (acceptThread.joinable())
+            acceptThread.join();
+        server->stopAndDrain();
+        server.reset();
+        svc.reset();
+    }
+
+    /** Open a connection, send one line, return the response line. */
+    std::string
+    roundTrip(TcpStream &stream, const std::string &line)
+    {
+        EXPECT_TRUE(stream.writeAll(line + "\n"));
+        std::string response;
+        EXPECT_TRUE(stream.readLine(response));
+        return response;
+    }
+
+    TcpStream
+    connect()
+    {
+        auto conn = TcpStream::connectTo("127.0.0.1", port);
+        EXPECT_TRUE(conn.ok()) << (conn.ok() ? "" : conn.error());
+        return conn.ok() ? std::move(conn.value()) : TcpStream();
+    }
+
+    static json::Value
+    parseOk(const std::string &text)
+    {
+        auto r = json::parse(text);
+        EXPECT_TRUE(r.ok()) << text;
+        return r.ok() ? r.value() : json::Value();
+    }
+
+    std::unique_ptr<ScenarioService> svc;
+    std::unique_ptr<GpmServer> server;
+    std::uint16_t port = 0;
+    std::thread acceptThread;
+};
+
+TEST_F(ServerTest, PingEchoesIdAndPongs)
+{
+    TcpStream c = connect();
+    json::Value r =
+        parseOk(roundTrip(c, R"({"id": 7, "verb": "ping"})"));
+    EXPECT_TRUE(r.find("ok")->asBool());
+    EXPECT_EQ(r.find("id")->asNumber(), 7.0);
+    EXPECT_TRUE(r.find("result")->find("pong")->asBool());
+}
+
+TEST_F(ServerTest, SubmitThenCachedResubmitIsByteIdentical)
+{
+    const std::string submit =
+        R"({"id": "a", "verb": "submit", "scenario": )"
+        R"({"combo": ["mcf"], "policy": "MaxBIPS", )"
+        R"("budget": 0.8}})";
+
+    TcpStream c = connect();
+    std::string first_line = roundTrip(c, submit);
+    json::Value first = parseOk(first_line);
+    ASSERT_TRUE(first.find("ok")->asBool()) << first_line;
+    EXPECT_FALSE(first.find("cached")->asBool());
+    const json::Value *result = first.find("result");
+    ASSERT_TRUE(result);
+    EXPECT_TRUE(result->find("results")->isArray());
+
+    // Resubmit on a second connection: served from cache with an
+    // identical "result" field (the line differs only in "cached").
+    TcpStream c2 = connect();
+    json::Value second = parseOk(roundTrip(c2, submit));
+    ASSERT_TRUE(second.find("ok")->asBool());
+    EXPECT_TRUE(second.find("cached")->asBool());
+    EXPECT_EQ(second.find("result")->canonical(),
+              result->canonical());
+
+    // The stats verb sees the hit.
+    json::Value stats = parseOk(
+        roundTrip(c, R"({"verb": "stats"})"));
+    const json::Value *sr = stats.find("result");
+    ASSERT_TRUE(sr);
+    EXPECT_EQ(sr->find("cacheHits")->asNumber(), 1.0);
+    EXPECT_EQ(sr->find("cacheMisses")->asNumber(), 1.0);
+    EXPECT_EQ(sr->find("served")->asNumber(), 2.0);
+    EXPECT_GE(sr->find("uptimeSec")->asNumber(), 0.0);
+    EXPECT_GE(sr->find("connections")->asNumber(), 2.0);
+}
+
+TEST_F(ServerTest, MalformedAndInvalidLinesGetStructuredErrors)
+{
+    TcpStream c = connect();
+
+    json::Value r = parseOk(roundTrip(c, "{nonsense"));
+    EXPECT_FALSE(r.find("ok")->asBool());
+    EXPECT_EQ(r.find("error")->find("code")->asString(), "parse");
+
+    r = parseOk(roundTrip(c, R"({"verb": "frobnicate"})"));
+    EXPECT_EQ(r.find("error")->find("code")->asString(),
+              "invalid");
+
+    r = parseOk(roundTrip(c, R"({"verb": "submit"})"));
+    EXPECT_EQ(r.find("error")->find("code")->asString(),
+              "invalid");
+
+    r = parseOk(roundTrip(
+        c, R"({"verb": "submit", "scenario": )"
+           R"({"combo": ["mcf"], "policy": "Nope", )"
+           R"("budget": 0.8}})"));
+    EXPECT_EQ(r.find("error")->find("code")->asString(),
+              "invalid");
+    EXPECT_NE(r.find("error")->find("message")->asString().find(
+                  "Nope"),
+              std::string::npos);
+
+    r = parseOk(roundTrip(c, R"({"verb": "ping", "extra": 1})"));
+    EXPECT_EQ(r.find("error")->find("code")->asString(),
+              "invalid");
+
+    // The connection survives every error and still pings.
+    r = parseOk(roundTrip(c, R"({"verb": "ping"})"));
+    EXPECT_TRUE(r.find("ok")->asBool());
+}
+
+TEST_F(ServerTest, MultipleRequestsPerConnectionAndCounters)
+{
+    TcpStream c = connect();
+    for (int i = 0; i < 3; i++) {
+        json::Value r =
+            parseOk(roundTrip(c, R"({"verb": "ping"})"));
+        EXPECT_TRUE(r.find("ok")->asBool());
+    }
+    EXPECT_GE(server->requestCount(), 3u);
+    EXPECT_GE(server->connectionCount(), 1u);
+}
+
+TEST_F(ServerTest, ShutdownVerbStopsAcceptLoop)
+{
+    TcpStream c = connect();
+    json::Value r =
+        parseOk(roundTrip(c, R"({"verb": "shutdown"})"));
+    EXPECT_TRUE(r.find("ok")->asBool());
+    EXPECT_TRUE(r.find("result")->find("stopping")->asBool());
+    // The accept loop exits on its own; TearDown joins it.
+    if (acceptThread.joinable())
+        acceptThread.join();
+}
+
+} // namespace
+} // namespace gpm

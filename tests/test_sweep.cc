@@ -134,6 +134,51 @@ TEST_F(SweepTest, EmptySpecYieldsEmptyResult)
     EXPECT_TRUE(r.sweep(SweepSpec{}, 4).empty());
 }
 
+TEST_F(SweepTest, TrySweepRejectsBadSpecsWithPointIndex)
+{
+    ExperimentRunner r(lib(), dvfs());
+
+    SweepSpec bad_policy;
+    bad_policy.add({"mcf"}, "MaxBIPS", 0.8);
+    bad_policy.add({"mcf"}, "NoSuchPolicy", 0.8);
+    auto e1 = r.trySweep(bad_policy, 2);
+    ASSERT_FALSE(e1.ok());
+    EXPECT_EQ(e1.error().pointIndex, 1u);
+    EXPECT_NE(e1.error().message.find("NoSuchPolicy"),
+              std::string::npos);
+
+    SweepSpec bad_combo;
+    bad_combo.add({"mcf", "nosuchbench"}, "MaxBIPS", 0.8);
+    auto e2 = r.trySweep(bad_combo, 2);
+    ASSERT_FALSE(e2.ok());
+    EXPECT_EQ(e2.error().pointIndex, 0u);
+    EXPECT_NE(e2.error().message.find("nosuchbench"),
+              std::string::npos);
+
+    SweepSpec empty_combo;
+    empty_combo.add({}, "MaxBIPS", 0.8);
+    EXPECT_FALSE(r.trySweep(empty_combo, 2).ok());
+
+    SweepSpec bad_budget;
+    bad_budget.add({"mcf"}, "MaxBIPS", 0.0);
+    EXPECT_FALSE(r.trySweep(bad_budget, 2).ok());
+
+    // Pure validation agrees without a runner.
+    EXPECT_TRUE(ExperimentRunner::validate(bad_policy).has_value());
+    EXPECT_FALSE(ExperimentRunner::validate(SweepSpec{}).has_value());
+}
+
+TEST_F(SweepTest, TrySweepMatchesSweepOnValidSpecs)
+{
+    SweepSpec s;
+    s.add({"mcf", "crafty"}, "MaxBIPS", 0.8);
+    s.add({"mcf", "crafty"}, "Static", 0.85);
+    ExperimentRunner r(lib(), dvfs());
+    auto tried = r.trySweep(s, 2);
+    ASSERT_TRUE(tried.ok());
+    expectIdentical(r.sweep(s, 2), tried.value());
+}
+
 TEST_F(SweepTest, ConcurrentRunnersShareOneProfileLibrary)
 {
     // Two runners sweeping through the same ProfileLibrary at once:
