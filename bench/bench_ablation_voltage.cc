@@ -60,7 +60,7 @@ main()
         spec.addGrid({combo}, {"MaxBIPS"}, budgets);
         // Nested parallelFor runs inline on a pool worker, so this
         // stays one simulation at a time per scenario thread.
-        sc.evals = runner.sweep(spec, threads);
+        sc.evals = bench::sweepChecked(runner, spec, threads);
     });
     double par_ms = timer.ms();
 

@@ -49,7 +49,7 @@ main()
 
     std::size_t threads = defaultConcurrency();
     bench::WallTimer timer;
-    auto evals = runner.sweep(spec, threads);
+    auto evals = bench::sweepChecked(runner, spec, threads);
     double par_ms = timer.ms();
 
     // Consume in the exact spec order.

@@ -40,12 +40,12 @@ main()
     runner.referencePowerW(combo);
 
     bench::WallTimer serial_t;
-    auto serial = runner.sweep(spec, 1);
+    auto serial = bench::sweepChecked(runner, spec, 1);
     double serial_ms = serial_t.ms();
 
     std::size_t threads = defaultConcurrency();
     bench::WallTimer par_t;
-    auto evals = runner.sweep(spec, threads);
+    auto evals = bench::sweepChecked(runner, spec, threads);
     double par_ms = par_t.ms();
 
     // The sweep contract: thread count never changes results.

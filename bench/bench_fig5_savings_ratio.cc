@@ -32,7 +32,7 @@ main()
 
     std::size_t threads = defaultConcurrency();
     bench::WallTimer timer;
-    auto evals = runner.sweep(spec, threads);
+    auto evals = bench::sweepChecked(runner, spec, threads);
     double par_ms = timer.ms();
 
     for (std::size_t p = 0; p < policies.size(); p++) {

@@ -33,7 +33,7 @@ main()
 
     std::size_t threads = defaultConcurrency();
     bench::WallTimer timer;
-    auto flat = runner.sweep(spec, threads);
+    auto flat = bench::sweepChecked(runner, spec, threads);
     double par_ms = timer.ms();
 
     // Method-major spec order -> per-method curves.

@@ -54,7 +54,7 @@ main()
 
     std::size_t threads = defaultConcurrency();
     bench::WallTimer timer;
-    auto flat = runner.sweep(spec, threads);
+    auto flat = bench::sweepChecked(runner, spec, threads);
     double par_ms = timer.ms();
 
     // Grid order is combo-major, then method, then budget.

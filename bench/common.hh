@@ -82,6 +82,23 @@ class Env
     ProfileLibrary lib;
 };
 
+/**
+ * The harnesses' sweep entry point: ExperimentRunner::trySweep with
+ * its structured error surfaced as one actionable fatal() — the
+ * offending point index and reason — instead of a fatal() firing
+ * deep inside a simulation thread with no spec context.
+ */
+inline std::vector<PolicyEval>
+sweepChecked(ExperimentRunner &runner, const SweepSpec &spec,
+             std::size_t threads = 0)
+{
+    auto r = runner.trySweep(spec, threads);
+    if (!r.ok())
+        fatal("sweep spec rejected at point %zu: %s",
+              r.error().pointIndex, r.error().message.c_str());
+    return std::move(r.value());
+}
+
 /** The budget sweep used throughout the evaluation figures. */
 inline std::vector<double>
 standardBudgets()

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, a gpmd
 # end-to-end smoke (ephemeral port, gpmctl ping + submit, graceful
-# SIGTERM shutdown), then a ThreadSanitizer build running the
+# SIGTERM shutdown), a chaos smoke (fault-injected daemon: worker
+# crashes + stalled connections, gpmctl retries converging under a
+# deadline, supervisor-restored workers, clean drain — see
+# docs/ROBUSTNESS.md), then a ThreadSanitizer build running the
 # concurrency-sensitive tests (thread pool + sweep determinism) and
-# the same gpmd smoke under TSan. The TSan stage can be skipped with
-# GPM_SKIP_TSAN=1 (e.g. on toolchains without libtsan).
+# the same gpmd + chaos smokes under TSan. The TSan stage can be
+# skipped with GPM_SKIP_TSAN=1 (e.g. on toolchains without libtsan).
 #
 # Usage: scripts/tier1.sh [build-dir]
 set -euo pipefail
@@ -64,6 +67,72 @@ gpmd_smoke() {
     rm -f "$log"
 }
 
+# Drive one gpmd build through the chaos smoke: a daemon with armed
+# fault points must degrade gracefully, never die. worker-throw
+# crashes real workers (the supervisor respawns them), conn-stall
+# slows every request; gpmctl's seeded backoff retries must converge
+# inside its deadline anyway.
+gpmd_chaos() {
+    local bdir=$1
+    local gpmd="$bdir/src/service/gpmd"
+    local gpmctl="$bdir/src/service/gpmctl"
+    local log
+    log=$(mktemp)
+
+    GPMD_FAULT="worker-throw:0.8,conn-stall:1:20,seed:5" \
+        "$gpmd" --port 0 --scale "$SMOKE_SCALE" \
+        --profile-cache "$SMOKE_CACHE" >"$log" 2>&1 &
+    local pid=$!
+    trap 'kill "$pid" 2>/dev/null || true' RETURN
+
+    local port="" i
+    for i in $(seq 1 600); do
+        port=$(sed -n 's/^gpmd: listening on .*:\([0-9]*\)$/\1/p' \
+            "$log")
+        [ -n "$port" ] && break
+        kill -0 "$pid" 2>/dev/null ||
+            { echo "gpmd exited early:"; cat "$log"; return 1; }
+        sleep 0.5
+    done
+    [ -n "$port" ] ||
+        { echo "gpmd never listened:"; cat "$log"; return 1; }
+    grep -q 'FAULT INJECTION ARMED' "$log" ||
+        { echo "faults not armed:"; cat "$log"; return 1; }
+
+    # Pings survive the stalled-connection fault.
+    "$gpmctl" --port "$port" ping | grep -q '"pong":true'
+
+    # Submits crash workers with probability 0.8, yet a retrying
+    # client converges well inside its deadline — and the payload it
+    # finally gets is the real sweep result.
+    "$gpmctl" --port "$port" --retries 30 --retry-base-ms 20 \
+        --deadline 60000 --seed 7 submit \
+        --combo mcf --policy MaxBIPS --budget 0.8 |
+        grep -q '"ok":true'
+
+    # The daemon contained every crash: workers restored, crashes
+    # counted, and it still serves.
+    local stats
+    stats=$("$gpmctl" --port "$port" --retries 5 \
+        --retry-base-ms 20 --seed 8 stats)
+    echo "$stats" | grep -q '"faultsArmed":true' ||
+        { echo "bad stats: $stats"; return 1; }
+    echo "$stats" | grep -q '"workersAlive":2' ||
+        { echo "workers not restored: $stats"; return 1; }
+    echo "$stats" | grep -q '"workerCrashes":[1-9]' ||
+        { echo "no crashes injected: $stats"; return 1; }
+
+    # And SIGTERM still drains cleanly with faults armed.
+    kill -TERM "$pid"
+    local rc=0
+    wait "$pid" || rc=$?
+    [ "$rc" -eq 0 ] ||
+        { echo "gpmd exit code $rc:"; cat "$log"; return 1; }
+    grep -q 'gpmd: shutdown complete' "$log" ||
+        { echo "no clean shutdown:"; cat "$log"; return 1; }
+    rm -f "$log"
+}
+
 echo "== tier-1: standard build + ctest =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
@@ -71,6 +140,9 @@ ctest --test-dir "$BUILD" --output-on-failure -j
 
 echo "== tier-1: gpmd smoke (ping / submit / drain) =="
 gpmd_smoke "$BUILD"
+
+echo "== tier-1: gpmd chaos smoke (faults / retries / recovery) =="
+gpmd_chaos "$BUILD"
 
 if [ "${GPM_SKIP_TSAN:-0}" = "1" ]; then
     echo "== tier-1: TSan stage skipped (GPM_SKIP_TSAN=1) =="
@@ -87,5 +159,8 @@ cmake --build "$BUILD-tsan" -j --target gpm_tests gpmd gpmctl
 
 echo "== tier-1: gpmd smoke under TSan =="
 gpmd_smoke "$BUILD-tsan"
+
+echo "== tier-1: gpmd chaos smoke under TSan =="
+gpmd_chaos "$BUILD-tsan"
 
 echo "== tier-1: all stages passed =="

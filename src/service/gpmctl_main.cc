@@ -2,30 +2,44 @@
  * @file
  * gpmctl — command-line client for gpmd.
  *
- *   gpmctl [--host H] [--port P] ping
- *   gpmctl [--host H] [--port P] stats
- *   gpmctl [--host H] [--port P] shutdown
- *   gpmctl [--host H] [--port P] submit \
+ *   gpmctl [--host H] [--port P] [retry options] ping
+ *   gpmctl [--host H] [--port P] [retry options] stats
+ *   gpmctl [--host H] [--port P] [retry options] shutdown
+ *   gpmctl [--host H] [--port P] [retry options] submit \
  *       --combo mcf,crafty [or --combo-key 2way1] \
  *       --policy MaxBIPS \
  *       --budget 0.8 [or --budgets 0.7,0.85,1.0] \
  *       [--static-fit peak|average] [--explore-us X] \
- *       [--delta-us X] [--contention] [--sensor-noise X]
+ *       [--delta-us X] [--contention] [--sensor-noise X] \
+ *       [--deadline-ms X]
  *   gpmctl submit --json '<scenario object>'
+ *
+ * Retry options (see docs/ROBUSTNESS.md): --retries N (additional
+ * attempts after the first, default 0), --retry-base-ms B (backoff
+ * scale, default 50), --deadline MS (overall wall-clock budget
+ * across all attempts, 0 = none), --timeout-ms T (per-attempt
+ * response timeout, 0 = none), --seed S (backoff jitter seed,
+ * default 1 — same seed, same delays). Retries fire on connect
+ * failure, transport failure/timeout, and transient "busy" /
+ * "internal_error" responses, with exponential backoff and jitter,
+ * all bounded by --deadline.
  *
  * Prints the server's one-line JSON response on stdout. Exit codes:
  * 0 = ok:true, 2 = server returned an error, 1 = usage or
- * transport failure.
+ * transport failure (including deadline exhaustion).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/json.hh"
 #include "service/net.hh"
+#include "util/backoff.hh"
 
 namespace
 {
@@ -37,14 +51,18 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: gpmctl [--host H] [--port P] "
+        "usage: gpmctl [--host H] [--port P] [retry options] "
         "<ping|stats|shutdown|submit> [submit options]\n"
+        "retry options: [--retries N] [--retry-base-ms B] "
+        "[--deadline MS]\n"
+        "  [--timeout-ms T] [--seed S]\n"
         "submit options: --combo a,b | --combo-key KEY; "
         "--policy NAME\n"
         "  --budget F | --budgets F1,F2,...\n"
         "  [--static-fit peak|average] [--explore-us X] "
         "[--delta-us X]\n"
-        "  [--contention] [--sensor-noise X] | --json SCENARIO\n");
+        "  [--contention] [--sensor-noise X] [--deadline-ms X] "
+        "| --json SCENARIO\n");
 }
 
 std::vector<std::string>
@@ -85,7 +103,15 @@ main(int argc, char **argv)
         budgets_arg;
     std::string static_fit, json_arg;
     double explore_us = -1.0, delta_us = -1.0, sensor_noise = -1.0;
+    double request_deadline_ms = -1.0;
     bool contention = false;
+
+    // Retry policy.
+    long retries = 0;
+    double retry_base_ms = 50.0;
+    double deadline_ms = 0.0;
+    double timeout_ms = 0.0;
+    unsigned long long seed = 1;
 
     auto need = [&](int i) -> const char * {
         if (i + 1 >= argc)
@@ -117,10 +143,22 @@ main(int argc, char **argv)
             delta_us = std::atof(need(i)), i++;
         else if (a == "--sensor-noise")
             sensor_noise = std::atof(need(i)), i++;
+        else if (a == "--deadline-ms")
+            request_deadline_ms = std::atof(need(i)), i++;
         else if (a == "--contention")
             contention = true;
         else if (a == "--json")
             json_arg = need(i), i++;
+        else if (a == "--retries")
+            retries = std::atol(need(i)), i++;
+        else if (a == "--retry-base-ms")
+            retry_base_ms = std::atof(need(i)), i++;
+        else if (a == "--deadline")
+            deadline_ms = std::atof(need(i)), i++;
+        else if (a == "--timeout-ms")
+            timeout_ms = std::atof(need(i)), i++;
+        else if (a == "--seed")
+            seed = std::strtoull(need(i), nullptr, 10), i++;
         else if (a == "--help" || a == "-h") {
             usage();
             return 0;
@@ -178,6 +216,8 @@ main(int argc, char **argv)
             }
             if (!static_fit.empty())
                 scenario.set("staticFit", static_fit);
+            if (request_deadline_ms >= 0.0)
+                scenario.set("deadlineMs", request_deadline_ms);
             Value sim = Value::object();
             if (explore_us > 0.0)
                 sim.set("exploreUs", explore_us);
@@ -193,22 +233,100 @@ main(int argc, char **argv)
         request.set("scenario", std::move(scenario));
     }
 
-    auto conn = gpm::TcpStream::connectTo(host, port);
-    if (!conn.ok())
-        die(conn.error());
-    gpm::TcpStream stream = std::move(conn.value());
+    const std::string wire = request.dump() + "\n";
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed_ms = [&] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    gpm::BackoffSchedule backoff(retry_base_ms,
+                                 /*cap_ms=*/2000.0, seed);
 
-    if (!stream.writeAll(request.dump() + "\n"))
-        die("failed to send request");
-    std::string response;
-    if (!stream.readLine(response))
-        die("connection closed before a response arrived");
+    for (long attempt = 0;; attempt++) {
+        double remaining_ms =
+            deadline_ms > 0.0 ? deadline_ms - elapsed_ms() : -1.0;
+        if (deadline_ms > 0.0 && remaining_ms <= 0.0)
+            die("deadline of " + std::to_string(deadline_ms) +
+                " ms exhausted after " + std::to_string(attempt) +
+                " attempt(s)");
 
-    std::printf("%s\n", response.c_str());
+        std::string failure;
+        std::string response;
+        bool got_response = false;
 
-    auto parsed = gpm::json::parse(response);
-    if (!parsed.ok())
-        die("unparseable response");
-    const Value *ok = parsed.value().find("ok");
-    return ok && ok->isBool() && ok->asBool() ? 0 : 2;
+        auto conn = gpm::TcpStream::connectTo(host, port);
+        if (!conn.ok()) {
+            failure = conn.error();
+        } else {
+            gpm::TcpStream stream = std::move(conn.value());
+            // Bound each attempt by --timeout-ms and what is left
+            // of the overall --deadline, whichever is tighter.
+            double t = timeout_ms;
+            if (remaining_ms > 0.0 &&
+                (t <= 0.0 || remaining_ms < t))
+                t = remaining_ms;
+            if (t > 0.0) {
+                int ms = t < 1.0 ? 1 : static_cast<int>(t);
+                stream.setReadTimeoutMs(ms);
+                stream.setWriteTimeoutMs(ms);
+            }
+            if (!stream.writeAll(wire)) {
+                failure = "failed to send request";
+            } else {
+                switch (stream.readLine(response)) {
+                case gpm::TcpStream::ReadStatus::Line:
+                    got_response = true;
+                    break;
+                case gpm::TcpStream::ReadStatus::Timeout:
+                    failure = "timed out waiting for a response";
+                    break;
+                default:
+                    failure = "connection closed before a "
+                              "response arrived";
+                }
+            }
+        }
+
+        if (got_response) {
+            auto parsed = gpm::json::parse(response);
+            if (!parsed.ok())
+                die("unparseable response");
+            // Transient server-side outcomes are retried; anything
+            // else (including validation errors) is final.
+            const Value *err = parsed.value().find("error");
+            std::string code;
+            if (err && err->find("code") &&
+                err->find("code")->isString())
+                code = err->find("code")->asString();
+            bool transient =
+                code == "busy" || code == "internal_error";
+            if (!transient || attempt >= retries) {
+                std::printf("%s\n", response.c_str());
+                const Value *ok = parsed.value().find("ok");
+                return ok && ok->isBool() && ok->asBool() ? 0 : 2;
+            }
+            failure = "server reported '" + code + "'";
+        } else if (attempt >= retries) {
+            die(failure);
+        }
+
+        double delay = backoff.nextMs();
+        if (deadline_ms > 0.0) {
+            double left = deadline_ms - elapsed_ms();
+            if (left <= 0.0)
+                die("deadline of " + std::to_string(deadline_ms) +
+                    " ms exhausted after " +
+                    std::to_string(attempt + 1) + " attempt(s)");
+            if (delay > left)
+                delay = left;
+        }
+        std::fprintf(stderr,
+                     "gpmctl: %s; retrying in %.0f ms "
+                     "(attempt %ld of %ld)\n",
+                     failure.c_str(), delay, attempt + 1,
+                     retries + 1);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay));
+    }
 }

@@ -16,6 +16,7 @@
 #include <sys/socket.h>
 
 #include "power/dvfs.hh"
+#include "service/fault.hh"
 #include "service/server.hh"
 #include "service/service.hh"
 #include "trace/phase_profile.hh"
@@ -41,10 +42,13 @@ struct DaemonConfig
     std::string host = "127.0.0.1";
     std::uint16_t port = 7421;
     gpm::ServiceOptions service;
+    gpm::ServerOptions server;
     double scale = 1.0;
     /** Non-empty: loadOrBuild() the whole suite against this disk
      *  cache at startup. Empty: build profiles lazily per combo. */
     std::string profileCache;
+    /** Fault-injection spec (--fault / GPMD_FAULT); empty = off. */
+    std::string faultSpec;
 };
 
 void
@@ -64,7 +68,16 @@ usage(const char *argv0)
         "GPM_SCALE or 1.0)\n"
         "  --profile-cache P  prebuild all profiles into/from this\n"
         "                     file (default GPM_PROFILE_CACHE;\n"
-        "                     unset = build lazily per request)\n",
+        "                     unset = build lazily per request)\n"
+        "  --idle-timeout-ms N  reap connections idle this long;\n"
+        "                     0 = never (default 60000)\n"
+        "  --write-timeout-ms N  per-write progress timeout;\n"
+        "                     0 = none (default 30000)\n"
+        "  --max-line-bytes N cap on a request line (default 1 MiB;"
+        "\n                     longer gets 'line_too_long')\n"
+        "  --fault SPEC       arm fault injection (also GPMD_FAULT;"
+        "\n                     e.g. worker-throw:0.5,seed:42 — see\n"
+        "                     docs/ROBUSTNESS.md)\n",
         argv0);
 }
 
@@ -72,10 +85,14 @@ DaemonConfig
 parseArgs(int argc, char **argv)
 {
     DaemonConfig cfg;
+    cfg.server.idleTimeoutMs = 60000;
+    cfg.server.writeTimeoutMs = 30000;
     if (const char *s = std::getenv("GPM_SCALE"); s && *s)
         cfg.scale = std::atof(s) > 0.0 ? std::atof(s) : 1.0;
     if (const char *s = std::getenv("GPM_PROFILE_CACHE"); s && *s)
         cfg.profileCache = s;
+    if (const char *s = std::getenv("GPMD_FAULT"); s && *s)
+        cfg.faultSpec = s;
 
     auto need = [&](int i) -> const char * {
         if (i + 1 >= argc)
@@ -107,6 +124,15 @@ parseArgs(int argc, char **argv)
             i++;
         } else if (a == "--profile-cache")
             cfg.profileCache = need(i), i++;
+        else if (a == "--idle-timeout-ms")
+            cfg.server.idleTimeoutMs = std::atoi(need(i)), i++;
+        else if (a == "--write-timeout-ms")
+            cfg.server.writeTimeoutMs = std::atoi(need(i)), i++;
+        else if (a == "--max-line-bytes")
+            cfg.server.maxLineBytes =
+                static_cast<std::size_t>(std::atol(need(i))), i++;
+        else if (a == "--fault")
+            cfg.faultSpec = need(i), i++;
         else if (a == "--help" || a == "-h") {
             usage(argv[0]);
             std::exit(0);
@@ -123,6 +149,13 @@ int
 main(int argc, char **argv)
 {
     DaemonConfig cfg = parseArgs(argc, argv);
+
+    if (!cfg.faultSpec.empty()) {
+        if (auto err = gpm::fault::arm(cfg.faultSpec))
+            gpm::fatal("gpmd: --fault: %s", err->c_str());
+        gpm::warn("gpmd: FAULT INJECTION ARMED (%s)",
+                  cfg.faultSpec.c_str());
+    }
 
     gpm::DvfsTable dvfs = gpm::DvfsTable::classic3();
     gpm::ProfileLibrary lib(dvfs, cfg.scale);
@@ -145,7 +178,8 @@ main(int argc, char **argv)
     if (!listener.ok())
         gpm::fatal("gpmd: %s", listener.error().c_str());
 
-    gpm::GpmServer server(svc, std::move(listener.value()));
+    gpm::GpmServer server(svc, std::move(listener.value()),
+                          cfg.server);
     g_listen_fd = server.listenerFd();
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);

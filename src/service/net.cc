@@ -5,6 +5,7 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #include <utility>
@@ -110,7 +111,10 @@ TcpListener::close()
 }
 
 TcpStream::TcpStream(TcpStream &&o) noexcept
-    : fd_(std::exchange(o.fd_, -1)), rdbuf(std::move(o.rdbuf))
+    : fd_(std::exchange(o.fd_, -1)),
+      readTimeoutMs(std::exchange(o.readTimeoutMs, 0)),
+      writeTimeoutMs(std::exchange(o.writeTimeoutMs, 0)),
+      rdbuf(std::move(o.rdbuf))
 {
 }
 
@@ -120,10 +124,32 @@ TcpStream::operator=(TcpStream &&o) noexcept
     if (this != &o) {
         close();
         fd_ = std::exchange(o.fd_, -1);
+        readTimeoutMs = std::exchange(o.readTimeoutMs, 0);
+        writeTimeoutMs = std::exchange(o.writeTimeoutMs, 0);
         rdbuf = std::move(o.rdbuf);
     }
     return *this;
 }
+
+namespace
+{
+
+/** Wait for @p events on @p fd: >0 ready, 0 timeout, <0 error. */
+int
+pollFor(int fd, short events, int timeout_ms)
+{
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    for (;;) {
+        int r = ::poll(&p, 1, timeout_ms);
+        if (r < 0 && errno == EINTR)
+            continue;
+        return r;
+    }
+}
+
+} // namespace
 
 Expected<TcpStream, std::string>
 TcpStream::connectTo(const std::string &host, std::uint16_t port)
@@ -149,21 +175,34 @@ TcpStream::connectTo(const std::string &host, std::uint16_t port)
     return TcpStream(fd);
 }
 
-bool
+TcpStream::ReadStatus
 TcpStream::readLine(std::string &line, std::size_t max_len)
 {
     for (;;) {
         std::size_t nl = rdbuf.find('\n');
-        if (nl != std::string::npos) {
+        if (nl != std::string::npos && nl <= max_len) {
             line.assign(rdbuf, 0, nl);
             if (!line.empty() && line.back() == '\r')
                 line.pop_back();
             rdbuf.erase(0, nl + 1);
-            return true;
+            return ReadStatus::Line;
         }
-        if (rdbuf.size() > max_len)
-            return false; // line too long
+        if (nl != std::string::npos || rdbuf.size() > max_len) {
+            // Framing overrun: discard the buffer (capping its
+            // growth at max_len + one chunk) — the stream cannot
+            // be resynchronized to line boundaries.
+            rdbuf.clear();
+            rdbuf.shrink_to_fit();
+            return ReadStatus::TooLong;
+        }
 
+        if (readTimeoutMs > 0) {
+            int r = pollFor(fd_, POLLIN, readTimeoutMs);
+            if (r == 0)
+                return ReadStatus::Timeout;
+            if (r < 0)
+                return ReadStatus::Error;
+        }
         char chunk[4096];
         ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
         if (n > 0) {
@@ -172,7 +211,8 @@ TcpStream::readLine(std::string &line, std::size_t max_len)
         }
         if (n < 0 && errno == EINTR)
             continue;
-        return false; // EOF or error; any partial line is dropped
+        // Any partial line is dropped.
+        return n == 0 ? ReadStatus::Eof : ReadStatus::Error;
     }
 }
 
@@ -180,6 +220,9 @@ bool
 TcpStream::writeAll(std::string_view data)
 {
     while (!data.empty()) {
+        if (writeTimeoutMs > 0 &&
+            pollFor(fd_, POLLOUT, writeTimeoutMs) <= 0)
+            return false; // timeout or poll error
         ssize_t n =
             ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
         if (n > 0) {

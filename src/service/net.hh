@@ -10,6 +10,13 @@
  * shutdownListener()/shutdownBoth() only call ::shutdown(), which
  * is async-signal-safe — gpmd's SIGINT/SIGTERM handler uses that to
  * unblock the accept loop without touching non-reentrant state.
+ *
+ * Deadlines: a TcpStream carries optional poll()-based read/write
+ * timeouts. The read timeout bounds the wait for the *next* byte
+ * (so it measures peer idleness, not total line latency); the write
+ * timeout bounds each wait for the socket to accept more bytes. A
+ * stream with both at 0 (the default) blocks forever, exactly as
+ * before.
  */
 
 #ifndef GPM_SERVICE_NET_HH
@@ -80,15 +87,35 @@ class TcpStream
 
     bool valid() const { return fd_ >= 0; }
 
+    /** Why readLine() stopped — EOF, timeouts and framing overruns
+     *  are distinct outcomes, not one conflated `false`. */
+    enum class ReadStatus
+    {
+        Line,    ///< a complete line was read
+        Eof,     ///< orderly close before a full line arrived
+        Timeout, ///< read timeout expired waiting for bytes
+        TooLong, ///< line exceeded max_len (buffer discarded; the
+                 ///< connection can no longer be framed)
+        Error,   ///< recv() failed
+    };
+
+    /** Bound the wait for each received byte; 0 = wait forever. */
+    void setReadTimeoutMs(int ms) { readTimeoutMs = ms; }
+    /** Bound each wait for send() readiness; 0 = wait forever. */
+    void setWriteTimeoutMs(int ms) { writeTimeoutMs = ms; }
+
     /**
      * Read up to the next '\n' (consumed, not returned; a trailing
-     * '\r' is stripped). False on EOF, error, or a line longer than
-     * @p max_len.
+     * '\r' is stripped). Lines longer than @p max_len yield
+     * TooLong, and the receive buffer is discarded — line framing
+     * is lost, so the caller should answer once and close. Buffered
+     * data never grows past max_len plus one receive chunk.
      */
-    bool readLine(std::string &line,
-                  std::size_t max_len = 1 << 20);
+    ReadStatus readLine(std::string &line,
+                        std::size_t max_len = 1 << 20);
 
-    /** Write all of @p data (SIGPIPE suppressed). */
+    /** Write all of @p data (SIGPIPE suppressed). False on error
+     *  or write timeout. */
     bool writeAll(std::string_view data);
 
     /** Half-close both directions (async-signal-safe). */
@@ -98,6 +125,8 @@ class TcpStream
 
   private:
     int fd_ = -1;
+    int readTimeoutMs = 0;
+    int writeTimeoutMs = 0;
     std::string rdbuf;
 };
 

@@ -54,7 +54,8 @@ ScenarioSpec::canonicalJson() const
     for (double b : budgets)
         bs.push(b);
     o.set("budgets", std::move(bs));
-    // staticFit only participates when it can change the result.
+    // staticFit only participates when it can change the result;
+    // deadlineMs never does (QoS-only), so it is absent entirely.
     if (policy == "Static")
         o.set("staticFit",
               staticFit == StaticFit::Peak ? "peak" : "average");
@@ -98,6 +99,9 @@ validateScenario(const ScenarioSpec &spec)
     if (!std::isfinite(spec.sensorNoise) || spec.sensorNoise < 0.0 ||
         spec.sensorNoise > 1.0)
         return "sensorNoise must be in [0, 1]";
+    if (!std::isfinite(spec.deadlineMs) || spec.deadlineMs < 0.0 ||
+        spec.deadlineMs > 3.6e6)
+        return "deadlineMs must be in [0, 3.6e6]";
     return std::nullopt;
 }
 
@@ -200,6 +204,10 @@ parseScenario(const Value &scenario)
         } else if (key == "sim") {
             if (auto err = parseSim(val, out))
                 return Fail::failure(std::move(*err));
+        } else if (key == "deadlineMs") {
+            if (!val.isNumber())
+                return Fail::failure("deadlineMs must be a number");
+            out.deadlineMs = val.asNumber();
         } else {
             return Fail::failure("unknown scenario field '" + key +
                                  "'");

@@ -47,6 +47,18 @@ struct ScenarioSpec
     bool contention = false;
     double sensorNoise = 0.0;
 
+    /**
+     * Optional per-request deadline in milliseconds (0 = none),
+     * measured from service admission. The queue sheds a request
+     * whose deadline expired before a worker picked it up with a
+     * structured "deadline_exceeded" error instead of burning a
+     * worker on a result nobody is waiting for. A QoS knob, not
+     * part of the scenario's identity: it does NOT participate in
+     * canonicalJson()/hash(), so requests that differ only in
+     * deadline share one cache entry.
+     */
+    double deadlineMs = 0.0;
+
     /** Hard caps on request shape. */
     static constexpr std::size_t maxCores = 64;
     static constexpr std::size_t maxBudgets = 64;
@@ -84,9 +96,10 @@ validateScenario(const ScenarioSpec &spec);
  *   policy    policy name or "Static"          [required]
  *   budget    single budget fraction     } exactly one
  *   budgets   array of budget fractions  } of the two
- *   staticFit "peak" | "average" (policy "Static" only)
- *   sim       object: exploreUs, deltaSimUs, contention,
- *             sensorNoise (all optional)
+ *   staticFit  "peak" | "average" (policy "Static" only)
+ *   sim        object: exploreUs, deltaSimUs, contention,
+ *              sensorNoise (all optional)
+ *   deadlineMs queue deadline in ms (optional; see the field)
  * Anything else is rejected.
  */
 Expected<ScenarioSpec, std::string>

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include "service/fault.hh"
 #include "util/logging.hh"
 
 namespace gpm
@@ -9,8 +10,9 @@ namespace gpm
 
 using json::Value;
 
-GpmServer::GpmServer(ScenarioService &svc_, TcpListener listener_)
-    : svc(svc_), listener(std::move(listener_))
+GpmServer::GpmServer(ScenarioService &svc_, TcpListener listener_,
+                     ServerOptions opts_)
+    : svc(svc_), listener(std::move(listener_)), opts(opts_)
 {
 }
 
@@ -23,6 +25,8 @@ GpmServer::run()
         int cfd = listener.acceptFd();
         if (cfd < 0)
             return;
+        if (fault::armed())
+            fault::maybeDelay(fault::Point::AcceptDelay);
         std::lock_guard<std::mutex> lock(connMtx);
         if (stopping) {
             ::shutdown(cfd, SHUT_RDWR);
@@ -32,6 +36,7 @@ GpmServer::run()
         connections++;
         std::size_t slot = connFds.size();
         connFds.push_back(cfd);
+        connBusy.push_back(0);
         connThreads.emplace_back(&GpmServer::serveConn, this, cfd,
                                  slot);
     }
@@ -59,39 +64,18 @@ GpmServer::stopAndDrain()
     {
         std::lock_guard<std::mutex> lock(connMtx);
         stopping = true;
-        for (int fd : connFds)
-            if (fd >= 0)
-                ::shutdown(fd, SHUT_RDWR);
+        // Only idle connections (blocked in readLine) are shut down
+        // here; one mid-request finishes writing its response, sees
+        // `stopping`, and exits on its own — a drain never cuts off
+        // a response whose work was already done.
+        for (std::size_t i = 0; i < connFds.size(); i++)
+            if (connFds[i] >= 0 && !connBusy[i])
+                ::shutdown(connFds[i], SHUT_RDWR);
     }
     for (auto &t : connThreads)
         if (t.joinable())
             t.join();
     listener.close();
-}
-
-void
-GpmServer::serveConn(int fd, std::size_t slot)
-{
-    TcpStream stream(fd);
-    std::string line;
-    while (stream.readLine(line)) {
-        // Blank lines are keep-alive noise, not requests.
-        if (line.find_first_not_of(" \t") == std::string::npos)
-            continue;
-        requests++;
-        bool want_stop = false;
-        std::string response = handleLine(line, want_stop);
-        if (!stream.writeAll(response + "\n"))
-            break;
-        if (want_stop) {
-            requestStop();
-            break;
-        }
-    }
-    // Mark the slot dead *before* the fd closes so stopAndDrain()
-    // can never shut down a kernel-recycled fd number.
-    std::lock_guard<std::mutex> lock(connMtx);
-    connFds[slot] = -1;
 }
 
 namespace
@@ -122,6 +106,79 @@ okResponse(const Value &id, Value result)
 }
 
 } // namespace
+
+void
+GpmServer::serveConn(int fd, std::size_t slot)
+{
+    TcpStream stream(fd);
+    if (opts.idleTimeoutMs > 0)
+        stream.setReadTimeoutMs(opts.idleTimeoutMs);
+    if (opts.writeTimeoutMs > 0)
+        stream.setWriteTimeoutMs(opts.writeTimeoutMs);
+    std::string line;
+    for (;;) {
+        TcpStream::ReadStatus st =
+            stream.readLine(line, opts.maxLineBytes);
+        if (st == TcpStream::ReadStatus::Timeout) {
+            // Idle reap: a silent client no longer pins its thread.
+            idleReaped++;
+            break;
+        }
+        if (st == TcpStream::ReadStatus::TooLong) {
+            // Answer structurally, then close: past an overrun the
+            // stream can no longer be framed into lines.
+            lineTooLong++;
+            stream.writeAll(errorResponse(
+                                Value(nullptr), "line_too_long",
+                                "request line exceeds " +
+                                    std::to_string(
+                                        opts.maxLineBytes) +
+                                    " bytes") +
+                            "\n");
+            break;
+        }
+        if (st != TcpStream::ReadStatus::Line)
+            break; // EOF, error, or shutdown
+        if (fault::armed() && fault::fire(fault::Point::ReadDrop))
+            continue; // pretend the request was lost in transit
+        // Blank lines are keep-alive noise, not requests.
+        if (line.find_first_not_of(" \t") == std::string::npos)
+            continue;
+        requests++;
+        {
+            // Mark the slot mid-request so a concurrent
+            // stopAndDrain() lets this response go out instead of
+            // shutting the socket down underneath the write.
+            std::lock_guard<std::mutex> lock(connMtx);
+            if (stopping)
+                break;
+            connBusy[slot] = 1;
+        }
+        if (fault::armed())
+            fault::maybeDelay(fault::Point::ConnStall);
+        bool want_stop = false;
+        std::string response = handleLine(line, want_stop);
+        if (fault::armed())
+            fault::maybeDelay(fault::Point::ResponseDelay);
+        bool wrote = stream.writeAll(response + "\n");
+        bool stop_now;
+        {
+            std::lock_guard<std::mutex> lock(connMtx);
+            connBusy[slot] = 0;
+            stop_now = stopping;
+        }
+        if (!wrote || stop_now)
+            break;
+        if (want_stop) {
+            requestStop();
+            break;
+        }
+    }
+    // Mark the slot dead *before* the fd closes so stopAndDrain()
+    // can never shut down a kernel-recycled fd number.
+    std::lock_guard<std::mutex> lock(connMtx);
+    connFds[slot] = -1;
+}
 
 std::string
 GpmServer::handleLine(const std::string &line, bool &want_stop)
@@ -178,8 +235,14 @@ GpmServer::handleLine(const std::string &line, bool &want_stop)
         result.set("inFlight", s.inFlight);
         result.set("rejectedBusy", s.rejectedBusy);
         result.set("invalid", s.invalid);
+        result.set("shedDeadline", s.shedDeadline);
+        result.set("workerCrashes", s.workerCrashes);
+        result.set("workersAlive", s.workersAlive);
         result.set("connections", connections.load());
         result.set("requests", requests.load());
+        result.set("idleReaped", idleReaped.load());
+        result.set("lineTooLong", lineTooLong.load());
+        result.set("faultsArmed", fault::armed());
         return okResponse(id, std::move(result));
     }
 

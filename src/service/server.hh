@@ -12,7 +12,8 @@
  *
  * Responses echo the request id and carry either "result" (with
  * "cached" for submits) or "error": {"code", "message"} with codes
- * parse | invalid | busy | draining | internal.
+ * parse | invalid | busy | draining | deadline_exceeded |
+ * internal_error | line_too_long.
  *
  * Connection model: thread per connection off a blocking accept
  * loop. run() blocks until requestStop() (callable from a signal
@@ -20,6 +21,13 @@
  * stopAndDrain() then finishes queued scenario work, shuts down the
  * remaining connections and joins their threads — the clean
  * SIGINT/SIGTERM draining path.
+ *
+ * Hardening (see docs/ROBUSTNESS.md): a connection idle past
+ * ServerOptions::idleTimeoutMs is reaped, so a silent client can no
+ * longer pin its thread forever; a request line longer than
+ * maxLineBytes is answered with a structured "line_too_long" error
+ * before the connection closes (framing is unrecoverable past an
+ * overrun). Both are off/large by default.
  */
 
 #ifndef GPM_SERVICE_SERVER_HH
@@ -38,10 +46,25 @@
 namespace gpm
 {
 
+/** GpmServer hardening knobs. */
+struct ServerOptions
+{
+    /** Reap a connection with no received bytes for this long;
+     *  0 = never (the pre-hardening behavior). */
+    int idleTimeoutMs = 0;
+    /** Bound each wait for a response write to make progress;
+     *  0 = block forever. */
+    int writeTimeoutMs = 0;
+    /** Longest accepted request line; longer ones are answered
+     *  with "line_too_long" and the connection is closed. */
+    std::size_t maxLineBytes = 1 << 20;
+};
+
 class GpmServer
 {
   public:
-    GpmServer(ScenarioService &svc, TcpListener listener);
+    GpmServer(ScenarioService &svc, TcpListener listener,
+              ServerOptions opts = ServerOptions{});
 
     /** stopAndDrain() if the owner did not. */
     ~GpmServer();
@@ -70,6 +93,10 @@ class GpmServer
     std::uint64_t connectionCount() const { return connections; }
     /** Requests (lines) handled since start. */
     std::uint64_t requestCount() const { return requests; }
+    /** Connections reaped for idling past idleTimeoutMs. */
+    std::uint64_t idleReapedCount() const { return idleReaped; }
+    /** Over-long lines answered with "line_too_long". */
+    std::uint64_t lineTooLongCount() const { return lineTooLong; }
 
   private:
     void serveConn(int fd, std::size_t slot);
@@ -78,6 +105,7 @@ class GpmServer
 
     ScenarioService &svc;
     TcpListener listener;
+    ServerOptions opts;
 
     std::mutex connMtx;
     std::vector<std::thread> connThreads;
@@ -85,11 +113,17 @@ class GpmServer
      *  (fds are reused by the kernel, so stale entries must never
      *  be shut down). */
     std::vector<int> connFds;
+    /** Per-slot "mid-request" flag: stopAndDrain() only shuts down
+     *  idle connections, so a response in flight is always written
+     *  before its socket goes away. */
+    std::vector<char> connBusy;
     bool stopping = false;
     bool drained = false;
 
     std::atomic<std::uint64_t> connections{0};
     std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> idleReaped{0};
+    std::atomic<std::uint64_t> lineTooLong{0};
 };
 
 } // namespace gpm

@@ -1,18 +1,23 @@
 #include "service/service.hh"
 
+#include <exception>
 #include <future>
+#include <stdexcept>
 
+#include "service/fault.hh"
 #include "util/logging.hh"
 
 namespace gpm
 {
 
-/** One queued request: the spec, its hash, and the caller's
- *  rendezvous. */
+/** One queued request: the spec, its hash, the caller's rendezvous,
+ *  and the admission-time deadline (when the spec carries one). */
 struct ScenarioService::Job
 {
     ScenarioSpec spec;
     std::uint64_t hash = 0;
+    bool hasDeadline = false;
+    std::chrono::steady_clock::time_point deadline;
     std::promise<Response> done;
 };
 
@@ -25,8 +30,12 @@ ScenarioService::ScenarioService(ProfileLibrary &lib_,
     if (opts.workers == 0)
         opts.workers = 1;
     workers.reserve(opts.workers);
-    for (std::size_t i = 0; i < opts.workers; i++)
-        workers.emplace_back(&ScenarioService::workerLoop, this);
+    for (std::size_t i = 0; i < opts.workers; i++) {
+        workers.emplace_back(&ScenarioService::workerLoop, this, i);
+        aliveWorkers++;
+    }
+    supervisor =
+        std::thread(&ScenarioService::supervisorLoop, this);
 }
 
 ScenarioService::~ScenarioService() { drain(); }
@@ -99,6 +108,12 @@ ScenarioService::submit(const ScenarioSpec &spec)
     auto job = std::make_unique<Job>();
     job->spec = spec;
     job->hash = r.hash;
+    if (spec.deadlineMs > 0.0) {
+        job->hasDeadline = true;
+        job->deadline = std::chrono::steady_clock::now() +
+            std::chrono::microseconds(static_cast<std::int64_t>(
+                spec.deadlineMs * 1000.0));
+    }
     std::future<Response> fut = job->done.get_future();
     {
         std::lock_guard<std::mutex> lock(queueMtx);
@@ -145,6 +160,12 @@ ScenarioService::submitJsonText(const std::string &text)
 ScenarioService::Response
 ScenarioService::execute(const Job &job)
 {
+    if (fault::armed())
+        fault::maybeDelay(fault::Point::WorkerStall);
+    if (fault::armed() && fault::fire(fault::Point::WorkerThrow))
+        throw std::runtime_error(
+            "injected fault: worker-throw");
+
     Response r;
     r.hash = job.hash;
     ExperimentRunner &runner = runnerFor(job.spec);
@@ -167,7 +188,7 @@ ScenarioService::execute(const Job &job)
 }
 
 void
-ScenarioService::workerLoop()
+ScenarioService::workerLoop(std::size_t slot)
 {
     for (;;) {
         std::unique_ptr<Job> job;
@@ -176,15 +197,108 @@ ScenarioService::workerLoop()
             queueCv.wait(lock, [&] {
                 return draining || !queue.empty();
             });
-            if (queue.empty())
+            if (queue.empty()) {
+                aliveWorkers--;
                 return; // draining and nothing left
+            }
             job = std::move(queue.front());
             queue.pop_front();
         }
+
+        // Deadline shed: the caller stopped caring — answer with a
+        // structured error instead of burning a worker on it.
+        if (job->hasDeadline &&
+            std::chrono::steady_clock::now() > job->deadline) {
+            shedDeadline++;
+            Response r;
+            r.hash = job->hash;
+            r.errorCode = "deadline_exceeded";
+            r.errorMessage = "deadline of " +
+                std::to_string(job->spec.deadlineMs) +
+                " ms expired before a worker was available";
+            job->done.set_value(std::move(r));
+            continue;
+        }
+
         inFlight++;
-        Response r = execute(*job);
+        Response r;
+        bool crashed = false;
+        try {
+            r = execute(*job);
+        } catch (const std::exception &e) {
+            crashed = true;
+            r = Response{};
+            r.hash = job->hash;
+            r.errorCode = "internal_error";
+            r.errorMessage =
+                std::string("worker exception: ") + e.what();
+        } catch (...) {
+            crashed = true;
+            r = Response{};
+            r.hash = job->hash;
+            r.errorCode = "internal_error";
+            r.errorMessage = "worker exception of unknown type";
+        }
         inFlight--;
+        if (!crashed) {
+            job->done.set_value(std::move(r));
+            continue;
+        }
+
+        // Crashed: this thread's state is no longer trusted. Count
+        // and retire *before* publishing the response, so a caller
+        // that just saw "internal_error" finds both the crash
+        // counter and the worker's retirement in stats() — never a
+        // stale "still alive" count. During drain there is no
+        // supervisor turnover — keep serving in place so queued
+        // work still finishes.
+        workerCrashes++;
+        warn("scenario worker %zu crashed (contained): %s",
+             slot, r.errorMessage.c_str());
+        bool retire;
+        {
+            std::lock_guard<std::mutex> lock(queueMtx);
+            retire = !draining;
+            if (retire) {
+                aliveWorkers--;
+                retiredSlots.push_back(slot);
+            }
+        }
+        if (retire)
+            supCv.notify_one();
         job->done.set_value(std::move(r));
+        if (retire)
+            return;
+    }
+}
+
+void
+ScenarioService::supervisorLoop()
+{
+    for (;;) {
+        std::size_t slot;
+        {
+            std::unique_lock<std::mutex> lock(queueMtx);
+            supCv.wait(lock, [&] {
+                return draining || !retiredSlots.empty();
+            });
+            if (retiredSlots.empty())
+                return; // draining, nothing left to resurrect
+            slot = retiredSlots.front();
+            retiredSlots.pop_front();
+        }
+        // The retired thread has already returned (it pushed its
+        // slot as its last act); join() completes promptly.
+        if (workers[slot].joinable())
+            workers[slot].join();
+        std::lock_guard<std::mutex> lock(queueMtx);
+        // While draining, respawn only if queued work still needs a
+        // worker; otherwise drain() owns worker lifetime from here.
+        if (draining && queue.empty())
+            continue;
+        workers[slot] =
+            std::thread(&ScenarioService::workerLoop, this, slot);
+        aliveWorkers++;
     }
 }
 
@@ -197,6 +311,9 @@ ScenarioService::stats() const
     s.cacheMisses = cacheMisses.load();
     s.rejectedBusy = rejectedBusy.load();
     s.invalid = invalidCount.load();
+    s.shedDeadline = shedDeadline.load();
+    s.workerCrashes = workerCrashes.load();
+    s.workersAlive = aliveWorkers.load();
     s.inFlight = inFlight.load();
     {
         std::lock_guard<std::mutex> lock(queueMtx);
@@ -223,6 +340,11 @@ ScenarioService::drain()
         draining = true;
     }
     queueCv.notify_all();
+    supCv.notify_all();
+    // The supervisor goes first: once it has exited, nothing else
+    // touches the workers vector and the joins below are safe.
+    if (supervisor.joinable())
+        supervisor.join();
     for (auto &w : workers)
         if (w.joinable())
             w.join();

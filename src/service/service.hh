@@ -21,6 +21,17 @@
  * with round-trip double formatting. The same scenario therefore
  * always yields the same payload bytes, whether computed or served
  * from cache.
+ *
+ * Robustness (see docs/ROBUSTNESS.md):
+ *  - Deadlines: a spec may carry deadlineMs; a queued request whose
+ *    deadline expires before a worker pops it is shed with the
+ *    "deadline_exceeded" error instead of being computed for a
+ *    caller that has given up.
+ *  - Crash containment: any exception thrown during sweep execution
+ *    becomes a structured "internal_error" response. The throwing
+ *    worker then retires (its state is no longer trusted) and a
+ *    supervisor thread respawns a replacement, so the worker count
+ *    survives arbitrarily many crashes.
  */
 
 #ifndef GPM_SERVICE_SERVICE_HH
@@ -68,6 +79,9 @@ struct ServiceStats
     std::uint64_t cacheMisses = 0; ///< accepted, computed requests
     std::uint64_t rejectedBusy = 0;
     std::uint64_t invalid = 0;     ///< failed validation
+    std::uint64_t shedDeadline = 0;  ///< shed, deadline expired
+    std::uint64_t workerCrashes = 0; ///< contained worker throws
+    std::size_t workersAlive = 0;  ///< workers currently running
     std::size_t queueDepth = 0;    ///< requests waiting right now
     std::size_t inFlight = 0;      ///< requests being computed
     std::size_t cacheSize = 0;
@@ -83,8 +97,8 @@ class ScenarioService
     struct Response
     {
         bool ok = false;
-        /** "invalid" | "busy" | "draining" | "parse" | "internal"
-         *  when !ok. */
+        /** "invalid" | "busy" | "draining" | "parse" |
+         *  "deadline_exceeded" | "internal_error" when !ok. */
         std::string errorCode;
         std::string errorMessage;
         /** Canonical result payload (see serializeResults). */
@@ -129,7 +143,8 @@ class ScenarioService
 
     ExperimentRunner &runnerFor(const ScenarioSpec &spec);
     Response execute(const Job &job);
-    void workerLoop();
+    void workerLoop(std::size_t slot);
+    void supervisorLoop();
     bool cacheGet(std::uint64_t hash, std::string &payload);
     void cachePut(std::uint64_t hash, const std::string &payload);
 
@@ -150,6 +165,15 @@ class ScenarioService
     bool draining = false;
     std::vector<std::thread> workers;
 
+    /**
+     * Worker supervision: a crashed worker pushes its slot here and
+     * exits; the supervisor joins it and spawns a replacement into
+     * the same slot (guarded by queueMtx, signalled via supCv).
+     */
+    std::condition_variable supCv;
+    std::deque<std::size_t> retiredSlots;
+    std::thread supervisor;
+
     /** LRU payload cache: recency list + hash index into it. */
     mutable std::mutex cacheMtx;
     std::list<std::pair<std::uint64_t, std::string>> lru;
@@ -163,6 +187,9 @@ class ScenarioService
     std::atomic<std::uint64_t> cacheMisses{0};
     std::atomic<std::uint64_t> rejectedBusy{0};
     std::atomic<std::uint64_t> invalidCount{0};
+    std::atomic<std::uint64_t> shedDeadline{0};
+    std::atomic<std::uint64_t> workerCrashes{0};
+    std::atomic<std::size_t> aliveWorkers{0};
     std::atomic<std::size_t> inFlight{0};
 };
 

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic exponential backoff with jitter, for clients
+ * retrying against a loaded or faulty service (gpmctl's connect /
+ * "busy" / timeout retries). The classic capped-exponential
+ * schedule, multiplied by a jitter factor in [0.5, 1) drawn from
+ * the repo's PCG32 Rng — so retry storms decorrelate across
+ * clients, yet any given seed replays the exact same delays
+ * (reproducible chaos tests).
+ */
+
+#ifndef GPM_UTIL_BACKOFF_HH
+#define GPM_UTIL_BACKOFF_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hh"
+
+namespace gpm
+{
+
+class BackoffSchedule
+{
+  public:
+    /**
+     * @param base_ms  delay scale for the first retry
+     * @param cap_ms   ceiling on the un-jittered delay
+     * @param seed     jitter RNG seed (same seed → same delays)
+     */
+    BackoffSchedule(double base_ms, double cap_ms,
+                    std::uint64_t seed)
+        : baseMs(base_ms), capMs(cap_ms), rng(seed)
+    {
+    }
+
+    /**
+     * Delay before the next attempt [ms]:
+     * min(cap, base * 2^n) * U[0.5, 1), where n counts calls made
+     * so far.
+     */
+    double
+    nextMs()
+    {
+        double raw = baseMs;
+        for (std::size_t i = 0; i < attempt && raw < capMs; i++)
+            raw *= 2.0;
+        attempt++;
+        return std::min(raw, capMs) * rng.uniform(0.5, 1.0);
+    }
+
+    /** Calls to nextMs() so far. */
+    std::size_t attempts() const { return attempt; }
+
+  private:
+    double baseMs;
+    double capMs;
+    std::size_t attempt = 0;
+    Rng rng;
+};
+
+} // namespace gpm
+
+#endif // GPM_UTIL_BACKOFF_HH

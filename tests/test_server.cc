@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "service/server.hh"
@@ -61,7 +62,8 @@ class ServerTest : public ::testing::Test
     {
         EXPECT_TRUE(stream.writeAll(line + "\n"));
         std::string response;
-        EXPECT_TRUE(stream.readLine(response));
+        EXPECT_EQ(stream.readLine(response),
+                  TcpStream::ReadStatus::Line);
         return response;
     }
 
@@ -179,6 +181,44 @@ TEST_F(ServerTest, MultipleRequestsPerConnectionAndCounters)
     }
     EXPECT_GE(server->requestCount(), 3u);
     EXPECT_GE(server->connectionCount(), 1u);
+}
+
+TEST_F(ServerTest, DrainDeliversInFlightResponseAndClosesIdleConn)
+{
+    // One connection that goes silent...
+    TcpStream idle = connect();
+    // ...while another holds a submit in flight.
+    TcpStream busy = connect();
+    ASSERT_TRUE(busy.writeAll(
+        R"({"id": "inflight", "verb": "submit", "scenario": )"
+        R"({"combo": ["mcf"], "policy": "MaxBIPS", )"
+        R"("budget": 0.8}})"
+        "\n"));
+    // Wait until the request is queued or being computed, so the
+    // drain genuinely races live work.
+    for (int i = 0; i < 5000; i++) {
+        ServiceStats s = svc->stats();
+        if (s.inFlight > 0 || s.queueDepth > 0 || s.served > 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // The SIGTERM path: stop accepting, then drain.
+    server->requestStop();
+    if (acceptThread.joinable())
+        acceptThread.join();
+    server->stopAndDrain();
+
+    // The in-flight submit was answered before its socket closed.
+    std::string response;
+    ASSERT_EQ(busy.readLine(response),
+              TcpStream::ReadStatus::Line);
+    json::Value r = parseOk(response);
+    EXPECT_TRUE(r.find("ok")->asBool()) << response;
+
+    // The idle connection was shut down, not left hanging.
+    std::string none;
+    EXPECT_EQ(idle.readLine(none), TcpStream::ReadStatus::Eof);
 }
 
 TEST_F(ServerTest, ShutdownVerbStopsAcceptLoop)
