@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Serving-path throughput benchmark: N pipelined clients x M
+ * scenarios each against an in-process gpmd (ScenarioService +
+ * GpmServer over loopback), measured three times over the cache
+ * hierarchy:
+ *
+ *   cold         empty memory + empty disk — every scenario computes
+ *   warm-memory  same scenarios against the same daemon — memory hits
+ *   warm-disk    fresh daemon over the same --cache-dir — disk hits
+ *
+ * Each client writes all of its submit requests back-to-back
+ * (pipelining) and then collects the responses, so the run exercises
+ * the writer queue and out-of-order completion, not just the sweep
+ * engine. Per-phase results go to stdout and to BENCH_sweep.json as
+ * one NDJSON record:
+ *
+ *   { "bench": "service_throughput", "phase": ..., "clients": N,
+ *     "scenarios": M, "wall_ms": ..., "scenarios_per_sec": ...,
+ *     "p50_ms": ..., "p99_ms": ... }
+ *
+ * Latencies are per-scenario completion times from the moment the
+ * client starts sending its pipeline (so the p99 of the cold phase
+ * reflects queueing behind the whole batch, by design).
+ *
+ * Knobs: GPM_BENCH_CLIENTS (default 4), GPM_BENCH_SCENARIOS per
+ * client (default 8), plus the usual GPM_SCALE / GPM_PROFILE_CACHE.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <dirent.h>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common.hh"
+#include "service/server.hh"
+#include "service/service.hh"
+
+namespace
+{
+
+using namespace gpm;
+
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return fallback;
+    long v = std::atol(s);
+    return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+/** The scenario a given (client, slot) pair submits: one combo, one
+ *  policy, a budget unique to the pair so every scenario hashes
+ *  differently (all misses when cold). */
+std::string
+scenarioLine(std::size_t client, std::size_t slot,
+             std::size_t perClient)
+{
+    double budget = 0.60 +
+        0.39 *
+            static_cast<double>(client * perClient + slot) /
+            static_cast<double>(perClient * 64);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":\"c%zu-%zu\",\"verb\":\"submit\","
+                  "\"scenario\":{\"combo\":[\"mcf\",\"crafty\"],"
+                  "\"policy\":\"MaxBIPS\",\"budget\":%.6f}}\n",
+                  client, slot, budget);
+    return buf;
+}
+
+struct PhaseResult
+{
+    double wallMs = 0.0;
+    std::vector<double> latenciesMs; // one per scenario
+    std::size_t failures = 0;
+};
+
+/** One client: pipeline all requests, then collect all responses. */
+void
+runClient(std::uint16_t port, std::size_t client,
+          std::size_t perClient, std::vector<double> &latencies,
+          std::atomic<std::size_t> &failures)
+{
+    auto conn = TcpStream::connectTo("127.0.0.1", port);
+    if (!conn.ok())
+        fatal("client %zu: %s", client, conn.error().c_str());
+    TcpStream stream = std::move(conn.value());
+
+    std::string pipeline;
+    for (std::size_t k = 0; k < perClient; k++)
+        pipeline += scenarioLine(client, k, perClient);
+
+    bench::WallTimer timer;
+    if (!stream.writeAll(pipeline))
+        fatal("client %zu: send failed", client);
+    std::string line;
+    for (std::size_t k = 0; k < perClient; k++) {
+        if (stream.readLine(line) != TcpStream::ReadStatus::Line)
+            fatal("client %zu: connection lost after %zu of %zu "
+                  "responses",
+                  client, k, perClient);
+        latencies.push_back(timer.ms());
+        if (line.find("\"ok\":true") == std::string::npos)
+            failures++;
+    }
+}
+
+PhaseResult
+runPhase(ScenarioService &svc, std::size_t clients,
+         std::size_t perClient)
+{
+    auto listener = TcpListener::listenOn("127.0.0.1", 0);
+    if (!listener.ok())
+        fatal("listen: %s", listener.error().c_str());
+    GpmServer server(svc, std::move(listener.value()));
+    std::thread accept([&] { server.run(); });
+    std::uint16_t port = server.port();
+
+    PhaseResult res;
+    std::vector<std::vector<double>> lats(clients);
+    std::atomic<std::size_t> failures{0};
+    bench::WallTimer wall;
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < clients; c++)
+            threads.emplace_back(runClient, port, c, perClient,
+                                 std::ref(lats[c]),
+                                 std::ref(failures));
+        for (auto &t : threads)
+            t.join();
+    }
+    res.wallMs = wall.ms();
+    res.failures = failures.load();
+    for (auto &l : lats)
+        res.latenciesMs.insert(res.latenciesMs.end(), l.begin(),
+                               l.end());
+    std::sort(res.latenciesMs.begin(), res.latenciesMs.end());
+
+    server.requestStop();
+    accept.join();
+    server.stopAndDrain();
+    return res;
+}
+
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+void
+report(const char *phase, std::size_t clients,
+       std::size_t perClient, const PhaseResult &res)
+{
+    double total = static_cast<double>(clients * perClient);
+    double perSec =
+        res.wallMs > 0.0 ? total / (res.wallMs / 1000.0) : 0.0;
+    double p50 = percentile(res.latenciesMs, 0.50);
+    double p99 = percentile(res.latenciesMs, 0.99);
+    std::printf("%-12s %5.0f scen/s  p50 %8.1f ms  p99 %8.1f ms  "
+                "wall %8.1f ms%s\n",
+                phase, perSec, p50, p99, res.wallMs,
+                res.failures ? "  [FAILURES]" : "");
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{ \"bench\": \"service_throughput\", \"phase\": \"%s\", "
+        "\"clients\": %zu, \"scenarios\": %zu, \"wall_ms\": %.1f, "
+        "\"scenarios_per_sec\": %.1f, \"p50_ms\": %.1f, "
+        "\"p99_ms\": %.1f }",
+        phase, clients, perClient, res.wallMs, perSec, p50, p99);
+    bench::appendBenchLine(buf);
+}
+
+/** Fresh scratch directory for the disk tier. */
+std::string
+makeCacheDir()
+{
+    char tmpl[] = "/tmp/gpm_bench_cache_XXXXXX";
+    if (!::mkdtemp(tmpl))
+        fatal("mkdtemp failed");
+    return tmpl;
+}
+
+void
+removeTree(const std::string &dir)
+{
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (const dirent *e = ::readdir(d)) {
+            std::string name = e->d_name;
+            if (name != "." && name != "..")
+                ::unlink((dir + "/" + name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::size_t clients = envSize("GPM_BENCH_CLIENTS", 4);
+    std::size_t perClient = envSize("GPM_BENCH_SCENARIOS", 8);
+
+    bench::banner("Serving-path throughput",
+                  "pipelined clients against an in-process gpmd, "
+                  "cold / warm-memory / warm-disk");
+    std::printf("%zu clients x %zu scenarios each\n\n", clients,
+                perClient);
+
+    bench::Env env;
+    std::string cacheDir = makeCacheDir();
+
+    ServiceOptions opts;
+    opts.workers = 2;
+    opts.queueCapacity = clients * perClient + 8;
+    opts.sweepConcurrency = 1;
+    opts.cacheDir = cacheDir;
+
+    {
+        ScenarioService svc(env.lib, env.dvfs, opts);
+        report("cold", clients, perClient,
+               runPhase(svc, clients, perClient));
+        report("warm-memory", clients, perClient,
+               runPhase(svc, clients, perClient));
+        svc.drain();
+    }
+    {
+        // Fresh daemon over the same cache directory: memory tier
+        // empty, disk tier warm.
+        ScenarioService svc(env.lib, env.dvfs, opts);
+        report("warm-disk", clients, perClient,
+               runPhase(svc, clients, perClient));
+        ServiceStats s = svc.stats();
+        std::printf("\nwarm-disk daemon: diskHits=%llu "
+                    "cacheMisses=%llu\n",
+                    static_cast<unsigned long long>(s.diskHits),
+                    static_cast<unsigned long long>(s.cacheMisses));
+        svc.drain();
+    }
+
+    removeTree(cacheDir);
+    return 0;
+}

@@ -218,21 +218,53 @@ migrateLegacySweepJson(const std::string &path)
  *
  * serial_ms/speedup are null for benches that only measure the
  * parallel engine. Pass serial_ms <= 0 to mean "not measured".
- *
- * Each record goes out as a single O_APPEND write, so concurrent
+ */
+/**
+ * Append one complete NDJSON record (a one-line JSON object, no
+ * trailing newline) to the bench log (BENCH_sweep.json, overridable
+ * with GPM_BENCH_JSON) as a single O_APPEND write, so concurrent
  * bench runs and interrupted processes can never interleave bytes
- * within a record or truncate earlier ones (the old read-splice-
- * rewrite of a JSON array could do both). Legacy array files are
+ * within a record or truncate earlier ones. Legacy array files are
  * converted in place first via migrateLegacySweepJson().
  */
+inline void
+appendBenchLine(std::string record)
+{
+    const char *p = std::getenv("GPM_BENCH_JSON");
+    std::string path = p ? p : "BENCH_sweep.json";
+    record += '\n';
+
+    migrateLegacySweepJson(path);
+
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                    0644);
+    if (fd < 0) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    // One write per record (well under PIPE_BUF): appends from
+    // concurrent processes land whole, in some order.
+    const char *data = record.c_str();
+    std::size_t left = record.size();
+    while (left > 0) {
+        ssize_t wrote = ::write(fd, data, left);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("short write to %s", path.c_str());
+            break;
+        }
+        data += wrote;
+        left -= static_cast<std::size_t>(wrote);
+    }
+    ::close(fd);
+}
+
 inline void
 appendSweepJson(const std::string &bench, std::size_t points,
                 std::size_t threads, double serial_ms,
                 double parallel_ms)
 {
-    const char *p = std::getenv("GPM_BENCH_JSON");
-    std::string path = p ? p : "BENCH_sweep.json";
-
     std::string entry = "{ \"bench\": \"" + bench + "\"";
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -256,32 +288,7 @@ appendSweepJson(const std::string &bench, std::size_t points,
                       parallel_ms);
     }
     entry += buf;
-    entry += '\n';
-
-    migrateLegacySweepJson(path);
-
-    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
-                    0644);
-    if (fd < 0) {
-        warn("cannot write %s", path.c_str());
-        return;
-    }
-    // One write per record (well under PIPE_BUF): appends from
-    // concurrent processes land whole, in some order.
-    const char *data = entry.c_str();
-    std::size_t left = entry.size();
-    while (left > 0) {
-        ssize_t wrote = ::write(fd, data, left);
-        if (wrote < 0) {
-            if (errno == EINTR)
-                continue;
-            warn("short write to %s", path.c_str());
-            break;
-        }
-        data += wrote;
-        left -= static_cast<std::size_t>(wrote);
-    }
-    ::close(fd);
+    appendBenchLine(std::move(entry));
 }
 
 } // namespace gpm::bench

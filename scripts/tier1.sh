@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, a gpmd
-# end-to-end smoke (ephemeral port, gpmctl ping + submit, graceful
-# SIGTERM shutdown), a chaos smoke (fault-injected daemon: worker
-# crashes + stalled connections, gpmctl retries converging under a
-# deadline, supervisor-restored workers, clean drain — see
-# docs/ROBUSTNESS.md), then a ThreadSanitizer build running the
-# concurrency-sensitive tests (thread pool + sweep determinism) and
-# the same gpmd + chaos smokes under TSan. The TSan stage can be
+# end-to-end smoke (ephemeral port, gpmctl ping + submit + batch
+# submit, graceful SIGTERM shutdown, then a restart over the same
+# --cache-dir asserting disk-tier persistence and LRU eviction), a
+# chaos smoke (fault-injected daemon: worker crashes + stalled
+# connections, gpmctl retries converging under a deadline,
+# supervisor-restored workers, clean drain — see docs/ROBUSTNESS.md),
+# a deadline smoke (worker-stall outliving a request deadline must
+# cancel the sweep mid-computation), then a ThreadSanitizer build
+# running the concurrency-sensitive tests (thread pool + sweep
+# determinism) and the same smokes under TSan. The TSan stage can be
 # skipped with GPM_SKIP_TSAN=1 (e.g. on toolchains without libtsan).
 #
 # Usage: scripts/tier1.sh [build-dir]
@@ -20,31 +23,55 @@ BUILD="${1:-build}"
 # TSan daemon does not re-profile.
 SMOKE_SCALE=0.03
 SMOKE_CACHE="$PWD/$BUILD/gpm_profiles_smoke.bin"
+
+# Wait until the daemon ($1 = pid, $2 = log) prints
+# "gpmd: listening on HOST:PORT" (profile building first runs at
+# most once per cache file) and echo the port.
+wait_gpmd_port() {
+    local pid=$1 log=$2 port="" i
+    for i in $(seq 1 600); do
+        port=$(sed -n 's/^gpmd: listening on .*:\([0-9]*\)$/\1/p' \
+            "$log")
+        [ -n "$port" ] && { echo "$port"; return 0; }
+        kill -0 "$pid" 2>/dev/null ||
+            { echo "gpmd exited early:" >&2; cat "$log" >&2
+              return 1; }
+        sleep 0.5
+    done
+    echo "gpmd never listened:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# Graceful shutdown ($1 = pid, $2 = log): SIGTERM must drain and
+# exit 0 with a clean shutdown line.
+stop_gpmd() {
+    local pid=$1 log=$2 rc=0
+    kill -TERM "$pid"
+    wait "$pid" || rc=$?
+    [ "$rc" -eq 0 ] ||
+        { echo "gpmd exit code $rc:"; cat "$log"; return 1; }
+    grep -q 'gpmd: shutdown complete' "$log" ||
+        { echo "no clean shutdown:"; cat "$log"; return 1; }
+}
+
 gpmd_smoke() {
     local bdir=$1
     local gpmd="$bdir/src/service/gpmd"
     local gpmctl="$bdir/src/service/gpmctl"
-    local log
+    local log cache_dir batch
     log=$(mktemp)
+    cache_dir=$(mktemp -d)
+    batch=$(mktemp)
 
     "$gpmd" --port 0 --scale "$SMOKE_SCALE" \
-        --profile-cache "$SMOKE_CACHE" >"$log" 2>&1 &
+        --profile-cache "$SMOKE_CACHE" \
+        --cache-dir "$cache_dir" >"$log" 2>&1 &
     local pid=$!
     trap 'kill "$pid" 2>/dev/null || true' RETURN
 
-    # The daemon prints "gpmd: listening on HOST:PORT" once ready
-    # (profile building first runs at most once per cache file).
-    local port="" i
-    for i in $(seq 1 600); do
-        port=$(sed -n 's/^gpmd: listening on .*:\([0-9]*\)$/\1/p' \
-            "$log")
-        [ -n "$port" ] && break
-        kill -0 "$pid" 2>/dev/null ||
-            { echo "gpmd exited early:"; cat "$log"; return 1; }
-        sleep 0.5
-    done
-    [ -n "$port" ] ||
-        { echo "gpmd never listened:"; cat "$log"; return 1; }
+    local port
+    port=$(wait_gpmd_port "$pid" "$log") || return 1
 
     "$gpmctl" --port "$port" ping
     "$gpmctl" --port "$port" submit \
@@ -56,14 +83,97 @@ gpmd_smoke() {
     "$gpmctl" --port "$port" stats |
         grep -q '"cacheHits":1'
 
-    # Graceful shutdown: SIGTERM must drain and exit 0.
-    kill -TERM "$pid"
-    local rc=0
-    wait "$pid" || rc=$?
-    [ "$rc" -eq 0 ] ||
-        { echo "gpmd exit code $rc:"; cat "$log"; return 1; }
-    grep -q 'gpmd: shutdown complete' "$log" ||
-        { echo "no clean shutdown:"; cat "$log"; return 1; }
+    # Batch submit: one request, one NDJSON result line per scenario
+    # in input order; exit 0 means every scenario succeeded. The
+    # first entry repeats the earlier submit, so it comes back
+    # cached.
+    cat >"$batch" <<'EOF'
+{"combo": ["mcf", "crafty"], "policy": "MaxBIPS", "budget": 0.8}
+{"combo": ["mcf"], "policy": "MaxBIPS", "budget": 0.7}
+{"combo": ["mcf"], "policy": "MaxBIPS", "budget": 0.9}
+EOF
+    local out
+    out=$("$gpmctl" --port "$port" submit-batch @"$batch")
+    [ "$(echo "$out" | wc -l)" -eq 3 ] ||
+        { echo "batch: expected 3 result lines:"; echo "$out"
+          return 1; }
+    echo "$out" | head -1 | grep -q '"cached":true' ||
+        { echo "batch: first entry not served from cache:"
+          echo "$out"; return 1; }
+    "$gpmctl" --port "$port" stats |
+        grep -q '"batchRequests":1'
+
+    stop_gpmd "$pid" "$log" || return 1
+
+    # Restart over the same --cache-dir: the disk tier must serve
+    # the earlier scenario without recomputation. The 1-byte disk
+    # budget does not purge restored entries at startup (budget is
+    # enforced on writes), but the next computed scenario triggers
+    # LRU eviction.
+    : >"$log"
+    "$gpmd" --port 0 --scale "$SMOKE_SCALE" \
+        --profile-cache "$SMOKE_CACHE" \
+        --cache-dir "$cache_dir" --cache-disk-bytes 1 \
+        >"$log" 2>&1 &
+    pid=$!
+    port=$(wait_gpmd_port "$pid" "$log") || return 1
+
+    "$gpmctl" --port "$port" submit \
+        --combo mcf,crafty --policy MaxBIPS --budget 0.8 |
+        grep -q '"cached":true' ||
+        { echo "restart: disk tier did not serve the scenario"
+          return 1; }
+    "$gpmctl" --port "$port" submit \
+        --combo mcf --policy MaxBIPS --budget 0.65 >/dev/null
+    local stats
+    stats=$("$gpmctl" --port "$port" stats)
+    echo "$stats" | grep -q '"diskHits":1' ||
+        { echo "restart: no disk hit counted: $stats"; return 1; }
+    echo "$stats" | grep -q '"diskEvictions":[1-9]' ||
+        { echo "restart: no disk eviction at budget: $stats"
+          return 1; }
+
+    stop_gpmd "$pid" "$log" || return 1
+    rm -rf "$cache_dir"
+    rm -f "$log" "$batch"
+}
+
+# A deterministic mid-sweep deadline: the armed worker stall (400 ms,
+# probability 1) outlives the request's 100 ms deadline, so the sweep
+# must cancel cooperatively between budget points and answer
+# deadline_exceeded — the worker is freed without finishing the
+# sweep.
+gpmd_deadline() {
+    local bdir=$1
+    local gpmd="$bdir/src/service/gpmd"
+    local gpmctl="$bdir/src/service/gpmctl"
+    local log
+    log=$(mktemp)
+
+    GPMD_FAULT="worker-stall:1:400,seed:3" \
+        "$gpmd" --port 0 --scale "$SMOKE_SCALE" \
+        --profile-cache "$SMOKE_CACHE" >"$log" 2>&1 &
+    local pid=$!
+    trap 'kill "$pid" 2>/dev/null || true' RETURN
+
+    local port
+    port=$(wait_gpmd_port "$pid" "$log") || return 1
+
+    # gpmctl exits 2 on the (expected) server-side error.
+    local out rc=0
+    out=$("$gpmctl" --port "$port" submit \
+        --combo mcf --policy MaxBIPS --budget 0.8 \
+        --deadline-ms 100) || rc=$?
+    [ "$rc" -eq 2 ] ||
+        { echo "deadline: expected exit 2, got $rc: $out"
+          return 1; }
+    echo "$out" | grep -q 'deadline_exceeded' ||
+        { echo "deadline: wrong error: $out"; return 1; }
+    "$gpmctl" --port "$port" stats |
+        grep -q '"cancelledMidSweep":1' ||
+        { echo "deadline: cancellation not counted"; return 1; }
+
+    stop_gpmd "$pid" "$log" || return 1
     rm -f "$log"
 }
 
@@ -85,17 +195,8 @@ gpmd_chaos() {
     local pid=$!
     trap 'kill "$pid" 2>/dev/null || true' RETURN
 
-    local port="" i
-    for i in $(seq 1 600); do
-        port=$(sed -n 's/^gpmd: listening on .*:\([0-9]*\)$/\1/p' \
-            "$log")
-        [ -n "$port" ] && break
-        kill -0 "$pid" 2>/dev/null ||
-            { echo "gpmd exited early:"; cat "$log"; return 1; }
-        sleep 0.5
-    done
-    [ -n "$port" ] ||
-        { echo "gpmd never listened:"; cat "$log"; return 1; }
+    local port
+    port=$(wait_gpmd_port "$pid" "$log") || return 1
     grep -q 'FAULT INJECTION ARMED' "$log" ||
         { echo "faults not armed:"; cat "$log"; return 1; }
 
@@ -123,13 +224,7 @@ gpmd_chaos() {
         { echo "no crashes injected: $stats"; return 1; }
 
     # And SIGTERM still drains cleanly with faults armed.
-    kill -TERM "$pid"
-    local rc=0
-    wait "$pid" || rc=$?
-    [ "$rc" -eq 0 ] ||
-        { echo "gpmd exit code $rc:"; cat "$log"; return 1; }
-    grep -q 'gpmd: shutdown complete' "$log" ||
-        { echo "no clean shutdown:"; cat "$log"; return 1; }
+    stop_gpmd "$pid" "$log" || return 1
     rm -f "$log"
 }
 
@@ -138,11 +233,14 @@ cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j
 
-echo "== tier-1: gpmd smoke (ping / submit / drain) =="
+echo "== tier-1: gpmd smoke (ping / submit / batch / restart) =="
 gpmd_smoke "$BUILD"
 
 echo "== tier-1: gpmd chaos smoke (faults / retries / recovery) =="
 gpmd_chaos "$BUILD"
+
+echo "== tier-1: gpmd deadline smoke (mid-sweep cancellation) =="
+gpmd_deadline "$BUILD"
 
 if [ "${GPM_SKIP_TSAN:-0}" = "1" ]; then
     echo "== tier-1: TSan stage skipped (GPM_SKIP_TSAN=1) =="
@@ -162,5 +260,8 @@ gpmd_smoke "$BUILD-tsan"
 
 echo "== tier-1: gpmd chaos smoke under TSan =="
 gpmd_chaos "$BUILD-tsan"
+
+echo "== tier-1: gpmd deadline smoke under TSan =="
+gpmd_deadline "$BUILD-tsan"
 
 echo "== tier-1: all stages passed =="

@@ -1,6 +1,7 @@
 #include "experiment.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "core/policies.hh"
@@ -202,17 +203,30 @@ ExperimentRunner::validate(const SweepSpec &spec)
 
 Expected<std::vector<PolicyEval>, SweepError>
 ExperimentRunner::trySweep(const SweepSpec &spec,
-                           std::size_t concurrency)
+                           std::size_t concurrency,
+                           const CancelToken *cancel)
 {
     if (auto err = validate(spec))
         return Expected<std::vector<PolicyEval>,
                         SweepError>::failure(std::move(*err));
-    return sweep(spec, concurrency);
+    auto out = sweep(spec, concurrency, cancel);
+    if (out.size() < spec.points.size()) {
+        SweepError err;
+        err.pointIndex = out.size();
+        err.message = "sweep cancelled after " +
+            std::to_string(out.size()) + " of " +
+            std::to_string(spec.points.size()) + " points";
+        err.cancelled = true;
+        return Expected<std::vector<PolicyEval>,
+                        SweepError>::failure(std::move(err));
+    }
+    return out;
 }
 
 std::vector<PolicyEval>
 ExperimentRunner::sweep(const SweepSpec &spec,
-                        std::size_t concurrency)
+                        std::size_t concurrency,
+                        const CancelToken *cancel)
 {
     std::vector<PolicyEval> out(spec.points.size());
     if (spec.points.empty())
@@ -238,15 +252,36 @@ ExperimentRunner::sweep(const SweepSpec &spec,
         }
     }
     pool.parallelFor(unique_combos.size(), [&](std::size_t i) {
+        if (cancel && cancel->cancelled())
+            return;
         cacheFor(unique_combos[i]->combo);
     });
 
+    // The cancellation checkpoint sits between points: a token that
+    // fires mid-sweep stops further points from starting but never
+    // interrupts one in flight, so every computed point is still
+    // bitwise-identical to its serial evaluation.
+    std::atomic<bool> skipped{false};
     pool.parallelFor(spec.points.size(), [&](std::size_t i) {
+        if (cancel && cancel->cancelled()) {
+            skipped.store(true, std::memory_order_relaxed);
+            return;
+        }
         const SweepPoint &p = spec.points[i];
         out[i] = p.policy == "Static"
             ? evaluateStatic(p.combo, p.budgetFrac, p.staticFit)
             : evaluate(p.combo, p.policy, p.budgetFrac);
     });
+    if (skipped.load(std::memory_order_relaxed)) {
+        // Count the completed prefix so trySweep can report how far
+        // the sweep got, then truncate: a cancelled sweep returns
+        // fewer results than points, never silent default entries.
+        std::size_t done = 0;
+        for (const auto &ev : out)
+            if (!ev.policy.empty())
+                done++;
+        out.resize(std::min(done, out.size()));
+    }
     return out;
 }
 

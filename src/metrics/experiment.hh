@@ -23,6 +23,7 @@
 #include "metrics/metrics.hh"
 #include "sim/cmp_sim.hh"
 #include "trace/phase_profile.hh"
+#include "util/cancel.hh"
 #include "util/expected.hh"
 
 namespace gpm
@@ -38,6 +39,10 @@ struct SweepError
 {
     std::size_t pointIndex = 0;
     std::string message;
+    /** True when the sweep was abandoned by a CancelToken rather
+     *  than rejected: at least one point was skipped, and the
+     *  partial results were discarded. */
+    bool cancelled = false;
 };
 
 /** One evaluated (policy, budget) point. */
@@ -159,21 +164,36 @@ class ExperimentRunner
      * simulation; threads only decide *when* a point runs, never
      * what it computes).
      *
+     * Cooperative cancellation: when @p cancel is non-null it is
+     * checked before every point; once it reports cancelled the
+     * remaining points are skipped and the returned vector is
+     * truncated to the number of points that completed — shorter
+     * than spec.size() signals cancellation, and the partial
+     * contents are not meaningful (use trySweep for a structured
+     * outcome). Completed points are unaffected — cancellation
+     * decides *whether* a point runs, never what it computes.
+     *
      * @param concurrency thread count; 0 = GPM_THREADS env or
      *        hardware concurrency
+     * @param cancel optional cooperative cancellation token
      */
     std::vector<PolicyEval> sweep(const SweepSpec &spec,
-                                  std::size_t concurrency = 0);
+                                  std::size_t concurrency = 0,
+                                  const CancelToken *cancel = nullptr);
 
     /**
      * sweep() with a structured error channel: validate() the spec
      * up front and return a SweepError instead of fatal()ing when a
      * point names an unknown policy or workload, has an empty combo,
-     * or a non-positive/non-finite budget fraction. On success the
-     * result is exactly what sweep() returns.
+     * or a non-positive/non-finite budget fraction. If @p cancel
+     * fires mid-sweep (at least one point was skipped) the partial
+     * result is discarded and a SweepError with cancelled = true is
+     * returned instead. On success the result is exactly what
+     * sweep() returns.
      */
     Expected<std::vector<PolicyEval>, SweepError>
-    trySweep(const SweepSpec &spec, std::size_t concurrency = 0);
+    trySweep(const SweepSpec &spec, std::size_t concurrency = 0,
+             const CancelToken *cancel = nullptr);
 
     /**
      * Check every point of @p spec against the known policy and

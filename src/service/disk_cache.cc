@@ -1,0 +1,328 @@
+#include "service/disk_cache.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include "service/fault.hh"
+#include "util/logging.hh"
+
+namespace gpm
+{
+
+namespace
+{
+
+/** On-disk entry layout: magic, payload length, CRC32(payload),
+ *  payload bytes. All integers little-endian (the only hosts this
+ *  targets); the magic doubles as a format version. */
+constexpr char kMagic[8] = {'G', 'P', 'M', 'C',
+                            'A', 'C', 'H', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 8 + 4;
+
+/** Plain table-driven CRC32 (IEEE 802.3 polynomial). */
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    static const auto table = [] {
+        std::vector<std::uint32_t> t(256);
+        for (std::uint32_t i = 0; i < 256; i++) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; k++)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t c = 0xffffffffu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; i++)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void
+putLe(std::string &out, std::uint64_t v, int bytes)
+{
+    for (int i = 0; i < bytes; i++)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+std::uint64_t
+getLe(const char *p, int bytes)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; i++)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+            << (8 * i);
+    return v;
+}
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char chunk[1 << 14];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        out.append(chunk, got);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace
+
+DiskCache::DiskCache(std::string dir_, std::uint64_t maxBytes_)
+    : dir(std::move(dir_)), maxBytes(maxBytes_)
+{
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+        warn("disk cache: cannot create %s: %s", dir.c_str(),
+             std::strerror(errno));
+    std::lock_guard<std::mutex> lock(mtx);
+    scanDirLocked();
+}
+
+std::string
+DiskCache::fileNameFor(std::uint64_t hash)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx.gpmc",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::string
+DiskCache::pathFor(std::uint64_t hash) const
+{
+    return dir + "/" + fileNameFor(hash);
+}
+
+void
+DiskCache::scanDirLocked()
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    struct Found
+    {
+        std::uint64_t hash;
+        std::uint64_t bytes;
+        time_t mtime;
+    };
+    std::vector<Found> found;
+    while (const dirent *e = ::readdir(d)) {
+        const char *name = e->d_name;
+        std::size_t len = std::strlen(name);
+        if (len != 16 + 5 || std::strcmp(name + 16, ".gpmc") != 0)
+            continue;
+        char *end = nullptr;
+        std::uint64_t hash = std::strtoull(name, &end, 16);
+        if (end != name + 16)
+            continue;
+        struct stat st;
+        std::string path = dir + "/" + name;
+        if (::stat(path.c_str(), &st) != 0 ||
+            !S_ISREG(st.st_mode))
+            continue;
+        found.push_back({hash,
+                         static_cast<std::uint64_t>(st.st_size),
+                         st.st_mtime});
+    }
+    ::closedir(d);
+    // Oldest first so the LRU back holds the stalest entries; ties
+    // break on hash for a deterministic order.
+    std::sort(found.begin(), found.end(),
+              [](const Found &a, const Found &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.hash < b.hash;
+              });
+    for (const Found &f : found)
+        insertLocked(f.hash, f.bytes);
+}
+
+void
+DiskCache::insertLocked(std::uint64_t hash, std::uint64_t bytes)
+{
+    auto it = index.find(hash);
+    if (it != index.end()) {
+        totalBytes -= it->second->bytes;
+        it->second->bytes = bytes;
+        totalBytes += bytes;
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    lru.push_front({hash, bytes});
+    index[hash] = lru.begin();
+    totalBytes += bytes;
+}
+
+void
+DiskCache::touchLocked(std::uint64_t hash)
+{
+    auto it = index.find(hash);
+    if (it != index.end())
+        lru.splice(lru.begin(), lru, it->second);
+}
+
+void
+DiskCache::forgetLocked(std::uint64_t hash)
+{
+    auto it = index.find(hash);
+    if (it == index.end())
+        return;
+    totalBytes -= it->second->bytes;
+    lru.erase(it->second);
+    index.erase(it);
+}
+
+void
+DiskCache::evictToBudgetLocked()
+{
+    if (maxBytes == 0)
+        return;
+    while (totalBytes > maxBytes && !lru.empty()) {
+        const Entry victim = lru.back();
+        // Unlink before forgetting so a failed unlink (already gone
+        // — e.g. another daemon evicted it) still drops the entry.
+        if (::unlink(pathFor(victim.hash).c_str()) != 0 &&
+            errno != ENOENT)
+            warn("disk cache: cannot evict %s: %s",
+                 fileNameFor(victim.hash).c_str(),
+                 std::strerror(errno));
+        forgetLocked(victim.hash);
+        evictions++;
+    }
+}
+
+void
+DiskCache::quarantineLocked(const std::string &path,
+                            std::uint64_t hash)
+{
+    quarantined++;
+    std::string aside = path + ".corrupt";
+    if (::rename(path.c_str(), aside.c_str()) != 0) {
+        warn("disk cache: cannot quarantine %s: %s", path.c_str(),
+             std::strerror(errno));
+        ::unlink(path.c_str());
+    } else {
+        warn("disk cache: quarantined corrupt entry %s",
+             aside.c_str());
+    }
+    forgetLocked(hash);
+}
+
+bool
+DiskCache::get(std::uint64_t hash, std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::string path = pathFor(hash);
+    std::string raw;
+    // Probe the filesystem even when the index misses: another
+    // process sharing the directory may have committed the entry
+    // after our startup scan.
+    if (!readWholeFile(path, raw)) {
+        forgetLocked(hash); // index said present, disk disagrees
+        misses++;
+        return false;
+    }
+
+    bool corrupt = raw.size() < kHeaderBytes ||
+        std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0;
+    std::uint64_t len = 0;
+    std::uint32_t crc = 0;
+    if (!corrupt) {
+        len = getLe(raw.data() + 8, 8);
+        crc = static_cast<std::uint32_t>(getLe(raw.data() + 16, 4));
+        corrupt = raw.size() != kHeaderBytes + len ||
+            crc32(raw.data() + kHeaderBytes, len) != crc;
+    }
+    if (!corrupt && fault::armed() &&
+        fault::fire(fault::Point::DiskReadCorrupt))
+        corrupt = true;
+    if (corrupt) {
+        quarantineLocked(path, hash);
+        misses++;
+        return false;
+    }
+
+    payload.assign(raw, kHeaderBytes, len);
+    insertLocked(hash, raw.size());
+    hits++;
+    return true;
+}
+
+void
+DiskCache::put(std::uint64_t hash, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (index.count(hash)) {
+        touchLocked(hash);
+        return;
+    }
+    if (fault::armed() && fault::fire(fault::Point::DiskWriteFail)) {
+        writeFailures++;
+        return;
+    }
+
+    std::string blob;
+    blob.reserve(kHeaderBytes + payload.size());
+    blob.append(kMagic, sizeof(kMagic));
+    putLe(blob, payload.size(), 8);
+    putLe(blob, crc32(payload.data(), payload.size()), 4);
+    blob += payload;
+
+    // Process-unique temp name in the same directory, so the final
+    // rename is atomic and two daemons sharing the directory can
+    // never interleave bytes; whichever commits last wins with a
+    // byte-identical entry anyway.
+    std::string tmp = pathFor(hash) + ".tmp." +
+        std::to_string(static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        writeFailures++;
+        warn("disk cache: cannot write %s: %s", tmp.c_str(),
+             std::strerror(errno));
+        return;
+    }
+    bool ok =
+        std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+    ok = std::fflush(f) == 0 && ok;
+    std::fclose(f);
+    if (!ok || ::rename(tmp.c_str(), pathFor(hash).c_str()) != 0) {
+        writeFailures++;
+        warn("disk cache: cannot commit %s: %s",
+             fileNameFor(hash).c_str(), std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return;
+    }
+
+    insertLocked(hash, blob.size());
+    evictToBudgetLocked();
+}
+
+DiskCacheStats
+DiskCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    DiskCacheStats s;
+    s.hits = hits;
+    s.misses = misses;
+    s.evictions = evictions;
+    s.quarantined = quarantined;
+    s.writeFailures = writeFailures;
+    s.entries = lru.size();
+    s.bytes = totalBytes;
+    return s;
+}
+
+} // namespace gpm

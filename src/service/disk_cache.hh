@@ -1,0 +1,134 @@
+/**
+ * @file
+ * DiskCache — the persistent tier of the scenario service's result
+ * cache. One file per entry under a cache directory, named by the
+ * canonical scenario hash (`<16-hex>.gpmc`), holding a small header
+ * (magic, payload length, CRC32) followed by the payload bytes.
+ *
+ * Durability and sharing: every write goes to a process-unique temp
+ * file in the same directory and is rename()d into place, so the
+ * rename is the commit point — a reader (this process, a restarted
+ * daemon, or another daemon sharing the directory) either sees a
+ * complete, checksummed entry or no entry at all, never a torn one.
+ * Entries written by other processes are found by probing the
+ * filesystem on an index miss, so a fleet sharing one directory
+ * shares one served-scenario corpus.
+ *
+ * Integrity: a read whose magic, length or CRC does not match is
+ * *quarantined* — renamed aside to `<name>.corrupt` (unlinked if
+ * even that fails) and reported as a miss, so a damaged entry is
+ * recomputed exactly once and never served.
+ *
+ * Capacity: an in-memory LRU (seeded from file mtimes at startup,
+ * oldest first) bounds the directory's total bytes. The budget is
+ * enforced on insertion only — put() evicts least-recently-used
+ * entries until the directory fits — so a restart with a smaller
+ * budget keeps existing entries readable until the next write.
+ *
+ * Fault injection (chaos testing, see fault.hh): `disk-read-corrupt`
+ * makes a successful read behave as CRC-corrupt; `disk-write-fail`
+ * fails a put before anything touches the disk.
+ *
+ * Thread-safety: all methods are safe from any thread (one internal
+ * mutex; file I/O happens under it — entries are small and the tier
+ * sits behind the in-memory cache).
+ */
+
+#ifndef GPM_SERVICE_DISK_CACHE_HH
+#define GPM_SERVICE_DISK_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace gpm
+{
+
+/** Counters since construction (quarantines include real
+ *  corruption and injected `disk-read-corrupt` fires). */
+struct DiskCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t writeFailures = 0;
+    std::size_t entries = 0;
+    std::uint64_t bytes = 0; ///< tracked on-disk payload bytes
+};
+
+class DiskCache
+{
+  public:
+    /**
+     * @param dir       cache directory (created if missing)
+     * @param maxBytes  LRU bound on tracked entry bytes; 0 means
+     *                  unbounded
+     */
+    DiskCache(std::string dir, std::uint64_t maxBytes);
+
+    DiskCache(const DiskCache &) = delete;
+    DiskCache &operator=(const DiskCache &) = delete;
+
+    /**
+     * Load the entry for @p hash into @p payload. Probes the
+     * filesystem even on an index miss (another process may have
+     * committed the entry), verifies the CRC, and quarantines
+     * corrupt files. True only when a verified payload was read.
+     */
+    bool get(std::uint64_t hash, std::string &payload);
+
+    /**
+     * Persist @p payload under @p hash (write-temp-then-rename),
+     * then evict least-recently-used entries until the tracked
+     * bytes fit the budget. An entry already present just has its
+     * recency bumped — payloads are content-deterministic per hash,
+     * so rewriting would change nothing.
+     */
+    void put(std::uint64_t hash, const std::string &payload);
+
+    DiskCacheStats stats() const;
+
+    const std::string &directory() const { return dir; }
+
+    /** `<16-hex>.gpmc`, the entry file name for @p hash. */
+    static std::string fileNameFor(std::uint64_t hash);
+
+  private:
+    struct Entry
+    {
+        std::uint64_t hash = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    void scanDirLocked();
+    void touchLocked(std::uint64_t hash);
+    void insertLocked(std::uint64_t hash, std::uint64_t bytes);
+    void forgetLocked(std::uint64_t hash);
+    void evictToBudgetLocked();
+    void quarantineLocked(const std::string &path,
+                          std::uint64_t hash);
+    std::string pathFor(std::uint64_t hash) const;
+
+    mutable std::mutex mtx;
+    std::string dir;
+    std::uint64_t maxBytes;
+
+    /** Recency list, most recent at front. */
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+        index;
+    std::uint64_t totalBytes = 0;
+
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t writeFailures = 0;
+};
+
+} // namespace gpm
+
+#endif // GPM_SERVICE_DISK_CACHE_HH

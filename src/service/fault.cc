@@ -44,8 +44,9 @@ state()
 }
 
 constexpr const char *kNames[kPoints] = {
-    "accept-delay", "conn-stall", "read-drop", "worker-throw",
-    "worker-stall", "response-delay",
+    "accept-delay",      "conn-stall",   "read-drop",
+    "worker-throw",      "worker-stall", "response-delay",
+    "disk-read-corrupt", "disk-write-fail",
 };
 
 void

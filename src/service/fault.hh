@@ -23,6 +23,10 @@
  *                   request — pins the worker and its inFlight slot)
  *   response-delay  sleep between computing a response and writing
  *                   it (slow response path)
+ *   disk-read-corrupt  treat a disk-cache entry as CRC-corrupt on
+ *                   read (exercises quarantine + recompute)
+ *   disk-write-fail    fail a disk-cache write (the entry is simply
+ *                   not persisted; serving is unaffected)
  *
  * Spec grammar (comma-separated, whitespace-free):
  *
@@ -61,6 +65,8 @@ enum class Point : std::size_t
     WorkerThrow,
     WorkerStall,
     ResponseDelay,
+    DiskReadCorrupt,
+    DiskWriteFail,
     kCount
 };
 

@@ -13,6 +13,16 @@
  *       [--delta-us X] [--contention] [--sensor-noise X] \
  *       [--deadline-ms X]
  *   gpmctl submit --json '<scenario object>'
+ *   gpmctl submit-batch @FILE.ndjson
+ *
+ * submit-batch reads one scenario object per line from FILE, sends
+ * them as a single submit_batch request, and prints one result line
+ * per scenario on stdout in input order (the server answers in
+ * completion order; gpmctl reorders by "index"). Exit 0 only when
+ * every scenario succeeded. Retries (below) re-send the whole
+ * batch, never a subset, and nothing is printed until the full
+ * response set arrived — a mid-stream retry cannot duplicate
+ * output.
  *
  * Retry options (see docs/ROBUSTNESS.md): --retries N (additional
  * attempts after the first, default 0), --retry-base-ms B (backoff
@@ -29,12 +39,14 @@
  * transport failure (including deadline exhaustion).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "service/json.hh"
@@ -52,7 +64,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: gpmctl [--host H] [--port P] [retry options] "
-        "<ping|stats|shutdown|submit> [submit options]\n"
+        "<ping|stats|shutdown|submit|submit-batch> "
+        "[submit options | @FILE.ndjson]\n"
         "retry options: [--retries N] [--retry-base-ms B] "
         "[--deadline MS]\n"
         "  [--timeout-ms T] [--seed S]\n"
@@ -101,7 +114,7 @@ main(int argc, char **argv)
     // Scenario pieces for `submit`.
     std::string combo_arg, combo_key, policy, budget_arg,
         budgets_arg;
-    std::string static_fit, json_arg;
+    std::string static_fit, json_arg, batch_file;
     double explore_us = -1.0, delta_us = -1.0, sensor_noise = -1.0;
     double request_deadline_ms = -1.0;
     bool contention = false;
@@ -166,19 +179,24 @@ main(int argc, char **argv)
             die("unknown option '" + a + "' (try --help)");
         else if (command.empty())
             command = a;
+        else if (command == "submit-batch" && batch_file.empty() &&
+                 a[0] == '@')
+            batch_file = a.substr(1);
         else
             die("unexpected argument '" + a + "'");
     }
 
     if (command != "ping" && command != "stats" &&
-        command != "shutdown" && command != "submit") {
+        command != "shutdown" && command != "submit" &&
+        command != "submit-batch") {
         usage();
         return 1;
     }
 
     Value request = Value::object();
     request.set("id", "gpmctl");
-    request.set("verb", command);
+    request.set("verb", command == "submit-batch" ? "submit_batch"
+                                                  : command);
 
     if (command == "submit") {
         Value scenario = Value::object();
@@ -233,6 +251,50 @@ main(int argc, char **argv)
         request.set("scenario", std::move(scenario));
     }
 
+    std::size_t batch_count = 0;
+    if (command == "submit-batch") {
+        if (batch_file.empty())
+            die("submit-batch needs an @FILE.ndjson argument");
+        std::FILE *f = std::fopen(batch_file.c_str(), "rb");
+        if (!f)
+            die("cannot open '" + batch_file + "'");
+        std::string text;
+        char chunk[1 << 14];
+        std::size_t got;
+        while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+            text.append(chunk, got);
+        bool read_ok = !std::ferror(f);
+        std::fclose(f);
+        if (!read_ok)
+            die("cannot read '" + batch_file + "'");
+        // One scenario object per non-blank line; reject the whole
+        // file on the first malformed line rather than sending a
+        // batch the server will reject anyway.
+        Value scenarios = Value::array();
+        std::size_t line_no = 0, pos = 0;
+        while (pos < text.size()) {
+            std::size_t nl = text.find('\n', pos);
+            std::string ln = text.substr(
+                pos, nl == std::string::npos ? std::string::npos
+                                             : nl - pos);
+            pos = nl == std::string::npos ? text.size() : nl + 1;
+            line_no++;
+            if (!ln.empty() && ln.back() == '\r')
+                ln.pop_back();
+            if (ln.find_first_not_of(" \t") == std::string::npos)
+                continue;
+            auto parsed = gpm::json::parse(ln);
+            if (!parsed.ok())
+                die(batch_file + ":" + std::to_string(line_no) +
+                    ": " + parsed.error().message);
+            scenarios.push(std::move(parsed.value()));
+            batch_count++;
+        }
+        if (batch_count == 0)
+            die("'" + batch_file + "' holds no scenarios");
+        request.set("scenarios", std::move(scenarios));
+    }
+
     const std::string wire = request.dump() + "\n";
     const auto start = std::chrono::steady_clock::now();
     auto elapsed_ms = [&] {
@@ -273,6 +335,81 @@ main(int argc, char **argv)
             }
             if (!stream.writeAll(wire)) {
                 failure = "failed to send request";
+            } else if (command == "submit-batch") {
+                // Buffer the full response set before printing
+                // anything: a retry re-sends the whole batch, so
+                // partial output from a failed attempt would be
+                // duplicated.
+                std::vector<std::pair<std::size_t, std::string>>
+                    results;
+                std::string batch_error;
+                while (results.size() < batch_count &&
+                       failure.empty() && batch_error.empty()) {
+                    std::string ln;
+                    switch (stream.readLine(ln)) {
+                    case gpm::TcpStream::ReadStatus::Line: {
+                        auto parsed = gpm::json::parse(ln);
+                        if (!parsed.ok()) {
+                            failure = "unparseable response line";
+                            break;
+                        }
+                        const Value *idx =
+                            parsed.value().find("index");
+                        if (!idx || !idx->isNumber()) {
+                            // Batch-level line: the one-and-only
+                            // response (admission error).
+                            batch_error = ln;
+                            break;
+                        }
+                        results.emplace_back(
+                            static_cast<std::size_t>(
+                                idx->asNumber()),
+                            ln);
+                        break;
+                    }
+                    case gpm::TcpStream::ReadStatus::Timeout:
+                        failure =
+                            "timed out waiting for batch responses";
+                        break;
+                    default:
+                        failure = "connection closed mid-batch";
+                    }
+                }
+                if (!batch_error.empty()) {
+                    auto parsed = gpm::json::parse(batch_error);
+                    const Value *err =
+                        parsed.value().find("error");
+                    std::string code;
+                    if (err && err->find("code") &&
+                        err->find("code")->isString())
+                        code = err->find("code")->asString();
+                    bool transient = code == "busy" ||
+                        code == "internal_error";
+                    if (!transient || attempt >= retries) {
+                        std::printf("%s\n", batch_error.c_str());
+                        return 2;
+                    }
+                    failure = "server rejected the batch with '" +
+                        code + "'";
+                } else if (failure.empty()) {
+                    // Full set received: print in input order,
+                    // exit non-zero if any scenario failed.
+                    std::sort(results.begin(), results.end(),
+                              [](const auto &a, const auto &b) {
+                                  return a.first < b.first;
+                              });
+                    int rc = 0;
+                    for (const auto &r : results) {
+                        auto parsed = gpm::json::parse(r.second);
+                        const Value *ok = parsed.ok()
+                            ? parsed.value().find("ok")
+                            : nullptr;
+                        if (!(ok && ok->isBool() && ok->asBool()))
+                            rc = 2;
+                        std::printf("%s\n", r.second.c_str());
+                    }
+                    return rc;
+                }
             } else {
                 switch (stream.readLine(response)) {
                 case gpm::TcpStream::ReadStatus::Line:

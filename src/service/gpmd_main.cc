@@ -64,6 +64,10 @@ usage(const char *argv0)
         "  --cache N          LRU result-cache entries (default "
         "128)\n"
         "  --sweep-threads N  threads per sweep; 0 = auto\n"
+        "  --cache-dir DIR    persistent result-cache directory\n"
+        "                     (unset = memory-only caching)\n"
+        "  --cache-disk-bytes N  disk-cache LRU byte budget\n"
+        "                     (default 64 MiB; 0 = unbounded)\n"
         "  --scale S          workload length scale (default "
         "GPM_SCALE or 1.0)\n"
         "  --profile-cache P  prebuild all profiles into/from this\n"
@@ -118,6 +122,12 @@ parseArgs(int argc, char **argv)
         else if (a == "--sweep-threads")
             cfg.service.sweepConcurrency =
                 static_cast<std::size_t>(std::atol(need(i))), i++;
+        else if (a == "--cache-dir")
+            cfg.service.cacheDir = need(i), i++;
+        else if (a == "--cache-disk-bytes")
+            cfg.service.cacheDiskBytes = static_cast<std::uint64_t>(
+                                             std::atoll(need(i))),
+            i++;
         else if (a == "--scale") {
             double v = std::atof(need(i));
             cfg.scale = v > 0.0 ? v : 1.0;

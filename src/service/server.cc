@@ -1,6 +1,7 @@
 #include "service/server.hh"
 
-#include <sys/socket.h>
+#include <condition_variable>
+#include <cstdio>
 
 #include "service/fault.hh"
 #include "util/logging.hh"
@@ -9,6 +10,56 @@ namespace gpm
 {
 
 using json::Value;
+
+struct GpmServer::ConnState
+{
+    explicit ConnState(int fd) : stream(fd) {}
+
+    TcpStream stream;
+    /** Serializes response-line writes from the reader thread and
+     *  worker-thread completion callbacks. */
+    std::mutex writeMtx;
+    /** A write failed; the reader stops reading new requests. */
+    std::atomic<bool> broken{false};
+
+    std::mutex pendMtx;
+    std::condition_variable pendCv;
+    /** Dispatched responses not yet written. */
+    std::size_t pending = 0;
+
+    void
+    addPending(std::size_t n)
+    {
+        std::lock_guard<std::mutex> lock(pendMtx);
+        pending += n;
+    }
+
+    void
+    decPending(std::size_t n = 1)
+    {
+        {
+            std::lock_guard<std::mutex> lock(pendMtx);
+            pending -= n;
+        }
+        pendCv.notify_all();
+    }
+
+    std::size_t
+    pendingCount()
+    {
+        std::lock_guard<std::mutex> lock(pendMtx);
+        return pending;
+    }
+
+    /** Block until every dispatched response has been written (or
+     *  abandoned via decPending). */
+    void
+    waitIdle()
+    {
+        std::unique_lock<std::mutex> lock(pendMtx);
+        pendCv.wait(lock, [&] { return pending == 0; });
+    }
+};
 
 GpmServer::GpmServer(ScenarioService &svc_, TcpListener listener_,
                      ServerOptions opts_)
@@ -29,16 +80,17 @@ GpmServer::run()
             fault::maybeDelay(fault::Point::AcceptDelay);
         std::lock_guard<std::mutex> lock(connMtx);
         if (stopping) {
-            ::shutdown(cfd, SHUT_RDWR);
-            ::close(cfd);
+            auto doomed = std::make_shared<ConnState>(cfd);
+            doomed->stream.shutdownBoth();
             return;
         }
         connections++;
-        std::size_t slot = connFds.size();
-        connFds.push_back(cfd);
+        std::size_t slot = conns.size();
+        auto conn = std::make_shared<ConnState>(cfd);
+        conns.push_back(conn);
         connBusy.push_back(0);
-        connThreads.emplace_back(&GpmServer::serveConn, this, cfd,
-                                 slot);
+        connThreads.emplace_back(&GpmServer::serveConn, this,
+                                 std::move(conn), slot);
     }
 }
 
@@ -58,19 +110,20 @@ GpmServer::stopAndDrain()
             return;
         drained = true;
     }
-    // Finish queued scenario work first: connections blocked in
-    // submit() get their responses before their sockets go away.
+    // Finish dispatched scenario work first: every pending response
+    // is computed and written (the workers invoke the connections'
+    // completion callbacks) before any socket goes away.
     svc.drain();
     {
         std::lock_guard<std::mutex> lock(connMtx);
         stopping = true;
         // Only idle connections (blocked in readLine) are shut down
-        // here; one mid-request finishes writing its response, sees
+        // here; one mid-request finishes its inline handling, sees
         // `stopping`, and exits on its own — a drain never cuts off
         // a response whose work was already done.
-        for (std::size_t i = 0; i < connFds.size(); i++)
-            if (connFds[i] >= 0 && !connBusy[i])
-                ::shutdown(connFds[i], SHUT_RDWR);
+        for (std::size_t i = 0; i < conns.size(); i++)
+            if (conns[i] && !connBusy[i])
+                conns[i]->stream.shutdownBoth();
     }
     for (auto &t : connThreads)
         if (t.joinable())
@@ -105,21 +158,88 @@ okResponse(const Value &id, Value result)
     return root.dump();
 }
 
+std::string
+hashHex(std::uint64_t hash)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+/** Single-submit response: the payload is already serialized JSON,
+ *  spliced in verbatim so cached and computed responses are
+ *  byte-identical in their "result" field. */
+std::string
+submitResponse(const Value &id, const ScenarioService::Response &r)
+{
+    if (!r.ok)
+        return errorResponse(id, r.errorCode, r.errorMessage);
+    Value head = Value::object();
+    head.set("id", id);
+    head.set("ok", true);
+    head.set("cached", r.cacheHit);
+    std::string out = head.dump();
+    out.pop_back(); // strip '}'
+    out += ",\"result\":" + r.payload + "}";
+    return out;
+}
+
+/** One submit_batch per-scenario response line: position in the
+ *  request array plus the canonical hash, so clients can match
+ *  out-of-order completions however they prefer. */
+std::string
+batchResponse(const Value &id, std::size_t index,
+              const ScenarioService::Response &r)
+{
+    Value head = Value::object();
+    head.set("id", id);
+    head.set("ok", r.ok);
+    head.set("index", index);
+    head.set("hash", hashHex(r.hash));
+    if (!r.ok) {
+        Value err = Value::object();
+        err.set("code", r.errorCode);
+        err.set("message", r.errorMessage);
+        head.set("error", std::move(err));
+        return head.dump();
+    }
+    head.set("cached", r.cacheHit);
+    std::string out = head.dump();
+    out.pop_back(); // strip '}'
+    out += ",\"result\":" + r.payload + "}";
+    return out;
+}
+
 } // namespace
 
 void
-GpmServer::serveConn(int fd, std::size_t slot)
+GpmServer::writeLine(ConnState &conn, const std::string &line)
 {
-    TcpStream stream(fd);
+    if (fault::armed())
+        fault::maybeDelay(fault::Point::ResponseDelay);
+    std::lock_guard<std::mutex> lock(conn.writeMtx);
+    if (!conn.stream.writeAll(line + "\n"))
+        conn.broken.store(true, std::memory_order_relaxed);
+}
+
+void
+GpmServer::serveConn(std::shared_ptr<ConnState> conn,
+                     std::size_t slot)
+{
     if (opts.idleTimeoutMs > 0)
-        stream.setReadTimeoutMs(opts.idleTimeoutMs);
+        conn->stream.setReadTimeoutMs(opts.idleTimeoutMs);
     if (opts.writeTimeoutMs > 0)
-        stream.setWriteTimeoutMs(opts.writeTimeoutMs);
+        conn->stream.setWriteTimeoutMs(opts.writeTimeoutMs);
     std::string line;
     for (;;) {
         TcpStream::ReadStatus st =
-            stream.readLine(line, opts.maxLineBytes);
+            conn->stream.readLine(line, opts.maxLineBytes);
         if (st == TcpStream::ReadStatus::Timeout) {
+            // A connection still owed responses is waiting on
+            // workers, not idling — keep reading (pipelining).
+            if (conn->pendingCount() > 0)
+                continue;
             // Idle reap: a silent client no longer pins its thread.
             idleReaped++;
             break;
@@ -128,13 +248,12 @@ GpmServer::serveConn(int fd, std::size_t slot)
             // Answer structurally, then close: past an overrun the
             // stream can no longer be framed into lines.
             lineTooLong++;
-            stream.writeAll(errorResponse(
-                                Value(nullptr), "line_too_long",
-                                "request line exceeds " +
-                                    std::to_string(
-                                        opts.maxLineBytes) +
-                                    " bytes") +
-                            "\n");
+            writeLine(*conn,
+                      errorResponse(Value(nullptr), "line_too_long",
+                                    "request line exceeds " +
+                                        std::to_string(
+                                            opts.maxLineBytes) +
+                                        " bytes"));
             break;
         }
         if (st != TcpStream::ReadStatus::Line)
@@ -147,8 +266,8 @@ GpmServer::serveConn(int fd, std::size_t slot)
         requests++;
         {
             // Mark the slot mid-request so a concurrent
-            // stopAndDrain() lets this response go out instead of
-            // shutting the socket down underneath the write.
+            // stopAndDrain() lets the inline handling finish
+            // instead of shutting the socket down underneath it.
             std::lock_guard<std::mutex> lock(connMtx);
             if (stopping)
                 break;
@@ -157,69 +276,89 @@ GpmServer::serveConn(int fd, std::size_t slot)
         if (fault::armed())
             fault::maybeDelay(fault::Point::ConnStall);
         bool want_stop = false;
-        std::string response = handleLine(line, want_stop);
-        if (fault::armed())
-            fault::maybeDelay(fault::Point::ResponseDelay);
-        bool wrote = stream.writeAll(response + "\n");
+        handleLine(conn, line, want_stop);
         bool stop_now;
         {
             std::lock_guard<std::mutex> lock(connMtx);
             connBusy[slot] = 0;
             stop_now = stopping;
         }
-        if (!wrote || stop_now)
+        if (conn->broken.load(std::memory_order_relaxed) ||
+            stop_now)
             break;
         if (want_stop) {
             requestStop();
             break;
         }
     }
-    // Mark the slot dead *before* the fd closes so stopAndDrain()
-    // can never shut down a kernel-recycled fd number.
+    // Every dispatched response must be written (or abandoned)
+    // before the stream can die: worker callbacks hold a reference
+    // to this ConnState and write through it.
+    conn->waitIdle();
+    // Drop the server's reference *before* the fd closes so
+    // stopAndDrain() can never shut down a kernel-recycled fd.
     std::lock_guard<std::mutex> lock(connMtx);
-    connFds[slot] = -1;
+    conns[slot].reset();
 }
 
-std::string
-GpmServer::handleLine(const std::string &line, bool &want_stop)
+void
+GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
+                      const std::string &line, bool &want_stop)
 {
     Value id(nullptr);
 
     auto parsed = json::parse(line);
-    if (!parsed.ok())
-        return errorResponse(id, "parse",
-                             parsed.error().message + " at offset " +
-                                 std::to_string(
-                                     parsed.error().offset));
+    if (!parsed.ok()) {
+        writeLine(*conn,
+                  errorResponse(id, "parse",
+                                parsed.error().message +
+                                    " at offset " +
+                                    std::to_string(
+                                        parsed.error().offset)));
+        return;
+    }
     const Value &req = parsed.value();
-    if (!req.isObject())
-        return errorResponse(id, "parse",
-                             "request must be a JSON object");
+    if (!req.isObject()) {
+        writeLine(*conn,
+                  errorResponse(id, "parse",
+                                "request must be a JSON object"));
+        return;
+    }
 
     if (const Value *rid = req.find("id")) {
-        if (!rid->isScalar())
-            return errorResponse(id, "invalid",
-                                 "id must be a scalar");
+        if (!rid->isScalar()) {
+            writeLine(*conn, errorResponse(id, "invalid",
+                                           "id must be a scalar"));
+            return;
+        }
         id = *rid;
     }
     for (const auto &[key, val] : req.asObject()) {
         (void)val;
-        if (key != "id" && key != "verb" && key != "scenario")
-            return errorResponse(
-                id, "invalid", "unknown request field '" + key +
-                    "'");
+        if (key != "id" && key != "verb" && key != "scenario" &&
+            key != "scenarios") {
+            writeLine(*conn,
+                      errorResponse(id, "invalid",
+                                    "unknown request field '" +
+                                        key + "'"));
+            return;
+        }
     }
 
     const Value *verb = req.find("verb");
-    if (!verb || !verb->isString())
-        return errorResponse(id, "invalid",
-                             "missing or non-string 'verb'");
+    if (!verb || !verb->isString()) {
+        writeLine(*conn,
+                  errorResponse(id, "invalid",
+                                "missing or non-string 'verb'"));
+        return;
+    }
     const std::string &v = verb->asString();
 
     if (v == "ping") {
         Value result = Value::object();
         result.set("pong", true);
-        return okResponse(id, std::move(result));
+        writeLine(*conn, okResponse(id, std::move(result)));
+        return;
     }
 
     if (v == "stats") {
@@ -238,46 +377,114 @@ GpmServer::handleLine(const std::string &line, bool &want_stop)
         result.set("shedDeadline", s.shedDeadline);
         result.set("workerCrashes", s.workerCrashes);
         result.set("workersAlive", s.workersAlive);
+        result.set("batchRequests", s.batchRequests);
+        result.set("diskHits", s.diskHits);
+        result.set("diskEvictions", s.diskEvictions);
+        result.set("diskQuarantined", s.diskQuarantined);
+        result.set("diskEntries", s.diskEntries);
+        result.set("diskBytes", s.diskBytes);
+        result.set("cancelledMidSweep", s.cancelledMidSweep);
         result.set("connections", connections.load());
         result.set("requests", requests.load());
         result.set("idleReaped", idleReaped.load());
         result.set("lineTooLong", lineTooLong.load());
         result.set("faultsArmed", fault::armed());
-        return okResponse(id, std::move(result));
+        writeLine(*conn, okResponse(id, std::move(result)));
+        return;
     }
 
     if (v == "submit") {
         const Value *scenario = req.find("scenario");
-        if (!scenario)
-            return errorResponse(id, "invalid",
-                                 "submit needs a 'scenario'");
+        if (!scenario) {
+            writeLine(*conn,
+                      errorResponse(id, "invalid",
+                                    "submit needs a 'scenario'"));
+            return;
+        }
         auto spec = parseScenario(*scenario);
-        if (!spec.ok())
-            return errorResponse(id, "invalid", spec.error());
-        ScenarioService::Response r = svc.submit(spec.value());
-        if (!r.ok)
-            return errorResponse(id, r.errorCode, r.errorMessage);
-        // The payload is already serialized JSON; splice it in
-        // verbatim so cached and computed responses are
-        // byte-identical in their "result" field.
-        Value head = Value::object();
-        head.set("id", id);
-        head.set("ok", true);
-        head.set("cached", r.cacheHit);
-        std::string out = head.dump();
-        out.pop_back(); // strip '}'
-        out += ",\"result\":" + r.payload + "}";
-        return out;
+        if (!spec.ok()) {
+            writeLine(*conn,
+                      errorResponse(id, "invalid", spec.error()));
+            return;
+        }
+        // Dispatch and return to reading: the response line is
+        // written whenever the service completes it (immediately
+        // for cache hits and rejections).
+        conn->addPending(1);
+        GpmServer *self = this;
+        svc.submitAsync(
+            spec.value(),
+            [self, conn, id](ScenarioService::Response &&r) {
+                self->writeLine(*conn, submitResponse(id, r));
+                conn->decPending();
+            });
+        return;
+    }
+
+    if (v == "submit_batch") {
+        const Value *scenarios = req.find("scenarios");
+        if (!scenarios || !scenarios->isArray()) {
+            writeLine(*conn,
+                      errorResponse(
+                          id, "invalid",
+                          "submit_batch needs a 'scenarios' array"));
+            return;
+        }
+        const Value::Array &arr = scenarios->asArray();
+        if (arr.empty()) {
+            writeLine(*conn,
+                      errorResponse(id, "invalid",
+                                    "'scenarios' must not be "
+                                    "empty"));
+            return;
+        }
+        std::vector<ScenarioSpec> specs;
+        specs.reserve(arr.size());
+        for (std::size_t i = 0; i < arr.size(); i++) {
+            auto spec = parseScenario(arr[i]);
+            if (!spec.ok()) {
+                writeLine(*conn,
+                          errorResponse(id, "invalid",
+                                        "scenario " +
+                                            std::to_string(i) +
+                                            ": " + spec.error()));
+                return;
+            }
+            specs.push_back(std::move(spec.value()));
+        }
+        // Count the whole batch as pending before dispatch: hit
+        // callbacks fire synchronously inside submitBatch.
+        conn->addPending(specs.size());
+        GpmServer *self = this;
+        auto outcome = svc.submitBatch(
+            specs,
+            [self, conn, id](std::size_t index,
+                             ScenarioService::Response &&r) {
+                self->writeLine(*conn, batchResponse(id, index, r));
+                conn->decPending();
+            });
+        if (!outcome.admitted) {
+            // No per-scenario callback fired or ever will: answer
+            // with one batch-level error line (no "index").
+            conn->decPending(specs.size());
+            writeLine(*conn,
+                      errorResponse(id, outcome.errorCode,
+                                    outcome.errorMessage));
+        }
+        return;
     }
 
     if (v == "shutdown") {
         want_stop = true;
         Value result = Value::object();
         result.set("stopping", true);
-        return okResponse(id, std::move(result));
+        writeLine(*conn, okResponse(id, std::move(result)));
+        return;
     }
 
-    return errorResponse(id, "invalid", "unknown verb '" + v + "'");
+    writeLine(*conn,
+              errorResponse(id, "invalid",
+                            "unknown verb '" + v + "'"));
 }
 
 } // namespace gpm

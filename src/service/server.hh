@@ -2,18 +2,32 @@
  * @file
  * GpmServer — the NDJSON-over-TCP front end of a ScenarioService.
  *
- * Protocol (one JSON object per line, each answered with one JSON
- * object line; see docs/SERVICE.md for the full contract):
+ * Protocol (one JSON object per line; see docs/SERVICE.md for the
+ * full contract):
  *
  *   {"id": <scalar?>, "verb": "ping"}
  *   {"id": <scalar?>, "verb": "stats"}
  *   {"id": <scalar?>, "verb": "submit", "scenario": {...}}
+ *   {"id": <scalar?>, "verb": "submit_batch", "scenarios": [...]}
  *   {"id": <scalar?>, "verb": "shutdown"}
  *
  * Responses echo the request id and carry either "result" (with
  * "cached" for submits) or "error": {"code", "message"} with codes
  * parse | invalid | busy | draining | deadline_exceeded |
  * internal_error | line_too_long.
+ *
+ * Pipelining: a client may send further request lines before
+ * earlier responses arrive. submit and submit_batch are dispatched
+ * asynchronously — the connection's reader keeps reading while
+ * workers compute — and responses are written as results complete,
+ * not in request order; clients match them by "id". Each response
+ * line is written atomically under a per-connection writer lock.
+ *
+ * submit_batch admits its scenarios all-or-nothing and answers with
+ * either ONE batch-level error line (no "index") or exactly one
+ * line per scenario carrying "index" (position in the request
+ * array) and "hash" (canonical scenario hash, 16 hex digits), in
+ * completion order.
  *
  * Connection model: thread per connection off a blocking accept
  * loop. run() blocks until requestStop() (callable from a signal
@@ -23,11 +37,11 @@
  * SIGINT/SIGTERM draining path.
  *
  * Hardening (see docs/ROBUSTNESS.md): a connection idle past
- * ServerOptions::idleTimeoutMs is reaped, so a silent client can no
- * longer pin its thread forever; a request line longer than
- * maxLineBytes is answered with a structured "line_too_long" error
- * before the connection closes (framing is unrecoverable past an
- * overrun). Both are off/large by default.
+ * ServerOptions::idleTimeoutMs with no responses outstanding is
+ * reaped (a connection still owed responses is working, not idle);
+ * a request line longer than maxLineBytes is answered with a
+ * structured "line_too_long" error before the connection closes
+ * (framing is unrecoverable past an overrun).
  */
 
 #ifndef GPM_SERVICE_SERVER_HH
@@ -35,6 +49,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -49,8 +64,8 @@ namespace gpm
 /** GpmServer hardening knobs. */
 struct ServerOptions
 {
-    /** Reap a connection with no received bytes for this long;
-     *  0 = never (the pre-hardening behavior). */
+    /** Reap a connection with no received bytes *and* no pending
+     *  responses for this long; 0 = never. */
     int idleTimeoutMs = 0;
     /** Bound each wait for a response write to make progress;
      *  0 = block forever. */
@@ -84,8 +99,9 @@ class GpmServer
 
     /**
      * Graceful teardown after run() returns: drain the service
-     * (queued submits complete), close the remaining connections,
-     * join connection threads. Idempotent.
+     * (dispatched submits complete and their responses are
+     * written), close the remaining connections, join connection
+     * threads. Idempotent.
      */
     void stopAndDrain();
 
@@ -99,9 +115,24 @@ class GpmServer
     std::uint64_t lineTooLongCount() const { return lineTooLong; }
 
   private:
-    void serveConn(int fd, std::size_t slot);
-    std::string handleLine(const std::string &line,
-                           bool &want_stop);
+    /**
+     * Everything a response writer needs, shared between the
+     * connection's reader thread and the worker threads completing
+     * its dispatched scenarios. The reader owns the read side; any
+     * thread may write a response line under writeMtx. `pending`
+     * counts dispatched-but-unwritten responses; the reader waits
+     * for it to hit zero before letting the stream die.
+     */
+    struct ConnState;
+
+    void serveConn(std::shared_ptr<ConnState> conn,
+                   std::size_t slot);
+    void handleLine(const std::shared_ptr<ConnState> &conn,
+                    const std::string &line, bool &want_stop);
+    /** Write one response line (appends '\n') under the
+     *  connection's writer lock; a failed write marks the
+     *  connection broken. */
+    void writeLine(ConnState &conn, const std::string &line);
 
     ScenarioService &svc;
     TcpListener listener;
@@ -109,13 +140,12 @@ class GpmServer
 
     std::mutex connMtx;
     std::vector<std::thread> connThreads;
-    /** fd per thread slot; -1 once that connection has finished
-     *  (fds are reused by the kernel, so stale entries must never
-     *  be shut down). */
-    std::vector<int> connFds;
+    /** Live connection per thread slot; reset once that connection
+     *  has finished (so stopAndDrain() never touches a dead one). */
+    std::vector<std::shared_ptr<ConnState>> conns;
     /** Per-slot "mid-request" flag: stopAndDrain() only shuts down
-     *  idle connections, so a response in flight is always written
-     *  before its socket goes away. */
+     *  idle connections, so a response being handled inline is
+     *  always written before its socket goes away. */
     std::vector<char> connBusy;
     bool stopping = false;
     bool drained = false;

@@ -3,6 +3,7 @@
 #include <exception>
 #include <future>
 #include <stdexcept>
+#include <utility>
 
 #include "service/fault.hh"
 #include "util/logging.hh"
@@ -10,25 +11,29 @@
 namespace gpm
 {
 
-/** One queued request: the spec, its hash, the caller's rendezvous,
- *  and the admission-time deadline (when the spec carries one). */
+/** One queued request: the spec, its hash, the completion callback,
+ *  and the admission-time deadline expressed as a CancelToken the
+ *  sweep engine polls between points. */
 struct ScenarioService::Job
 {
     ScenarioSpec spec;
     std::uint64_t hash = 0;
     bool hasDeadline = false;
-    std::chrono::steady_clock::time_point deadline;
-    std::promise<Response> done;
+    CancelToken cancel;
+    Callback done;
 };
 
 ScenarioService::ScenarioService(ProfileLibrary &lib_,
                                  const DvfsTable &dvfs_,
                                  ServiceOptions opts_)
-    : lib(lib_), dvfs(dvfs_), opts(opts_),
+    : lib(lib_), dvfs(dvfs_), opts(std::move(opts_)),
       startTime(std::chrono::steady_clock::now())
 {
     if (opts.workers == 0)
         opts.workers = 1;
+    if (!opts.cacheDir.empty())
+        disk = std::make_unique<DiskCache>(opts.cacheDir,
+                                           opts.cacheDiskBytes);
     workers.reserve(opts.workers);
     for (std::size_t i = 0; i < opts.workers; i++) {
         workers.emplace_back(&ScenarioService::workerLoop, this, i);
@@ -53,14 +58,26 @@ ScenarioService::runnerFor(const ScenarioSpec &spec)
 }
 
 bool
-ScenarioService::cacheGet(std::uint64_t hash, std::string &payload)
+ScenarioService::cacheGet(std::uint64_t hash, std::string &payload,
+                          bool &diskHit)
 {
-    std::lock_guard<std::mutex> lock(cacheMtx);
-    auto it = cacheIndex.find(hash);
-    if (it == cacheIndex.end())
+    diskHit = false;
+    {
+        std::lock_guard<std::mutex> lock(cacheMtx);
+        auto it = cacheIndex.find(hash);
+        if (it != cacheIndex.end()) {
+            lru.splice(lru.begin(), lru, it->second);
+            payload = it->second->second;
+            return true;
+        }
+    }
+    if (!disk || !disk->get(hash, payload))
         return false;
-    lru.splice(lru.begin(), lru, it->second);
-    payload = it->second->second;
+    diskHit = true;
+    // Promote into the memory tier so the next hit skips the disk.
+    // cachePut's write-through is a recency touch here — the entry
+    // is already on disk byte-identical.
+    cachePut(hash, payload);
     return true;
 }
 
@@ -68,71 +85,192 @@ void
 ScenarioService::cachePut(std::uint64_t hash,
                           const std::string &payload)
 {
-    if (opts.cacheCapacity == 0)
-        return;
-    std::lock_guard<std::mutex> lock(cacheMtx);
-    auto it = cacheIndex.find(hash);
-    if (it != cacheIndex.end()) {
-        lru.splice(lru.begin(), lru, it->second);
-        it->second->second = payload;
-        return;
+    std::pair<std::uint64_t, std::string> demoted;
+    bool hasDemoted = false;
+    if (opts.cacheCapacity != 0) {
+        std::lock_guard<std::mutex> lock(cacheMtx);
+        auto it = cacheIndex.find(hash);
+        if (it != cacheIndex.end()) {
+            lru.splice(lru.begin(), lru, it->second);
+            it->second->second = payload;
+        } else {
+            lru.emplace_front(hash, payload);
+            cacheIndex[hash] = lru.begin();
+            if (lru.size() > opts.cacheCapacity) {
+                demoted = std::move(lru.back());
+                cacheIndex.erase(demoted.first);
+                lru.pop_back();
+                hasDemoted = true;
+            }
+        }
     }
-    lru.emplace_front(hash, payload);
-    cacheIndex[hash] = lru.begin();
-    if (lru.size() > opts.cacheCapacity) {
-        cacheIndex.erase(lru.back().first);
-        lru.pop_back();
+    // Disk I/O happens outside cacheMtx — DiskCache locks itself.
+    if (disk) {
+        disk->put(hash, payload);
+        // Demotion: the entry leaving memory was written through
+        // when it was produced, so this is normally just a recency
+        // bump keeping warm entries away from the disk LRU's tail.
+        if (hasDemoted)
+            disk->put(demoted.first, demoted.second);
     }
+}
+
+std::unique_ptr<ScenarioService::Job>
+ScenarioService::makeJob(const ScenarioSpec &spec,
+                         std::uint64_t hash, Callback done)
+{
+    auto job = std::make_unique<Job>();
+    job->spec = spec;
+    job->hash = hash;
+    job->done = std::move(done);
+    if (spec.deadlineMs > 0.0) {
+        job->hasDeadline = true;
+        job->cancel.setDeadlineAfterMs(spec.deadlineMs);
+    }
+    return job;
 }
 
 ScenarioService::Response
 ScenarioService::submit(const ScenarioSpec &spec)
+{
+    std::promise<Response> done;
+    std::future<Response> fut = done.get_future();
+    submitAsync(spec, [&done](Response &&r) {
+        done.set_value(std::move(r));
+    });
+    return fut.get();
+}
+
+void
+ScenarioService::submitAsync(const ScenarioSpec &spec,
+                             Callback done)
 {
     Response r;
     if (auto err = validateScenario(spec)) {
         invalidCount++;
         r.errorCode = "invalid";
         r.errorMessage = std::move(*err);
-        return r;
+        done(std::move(r));
+        return;
     }
     r.hash = spec.hash();
 
-    if (cacheGet(r.hash, r.payload)) {
+    bool diskHit = false;
+    if (cacheGet(r.hash, r.payload, diskHit)) {
         cacheHits++;
+        if (diskHit)
+            diskHits++;
         served++;
         r.ok = true;
         r.cacheHit = true;
-        return r;
+        r.diskHit = diskHit;
+        done(std::move(r));
+        return;
     }
 
-    auto job = std::make_unique<Job>();
-    job->spec = spec;
-    job->hash = r.hash;
-    if (spec.deadlineMs > 0.0) {
-        job->hasDeadline = true;
-        job->deadline = std::chrono::steady_clock::now() +
-            std::chrono::microseconds(static_cast<std::int64_t>(
-                spec.deadlineMs * 1000.0));
-    }
-    std::future<Response> fut = job->done.get_future();
+    auto job = makeJob(spec, r.hash, std::move(done));
+    Callback rejected; // fired outside the lock
     {
         std::lock_guard<std::mutex> lock(queueMtx);
         if (draining) {
             r.errorCode = "draining";
             r.errorMessage = "service is shutting down";
-            return r;
-        }
-        if (queue.size() >= opts.queueCapacity) {
+            rejected = std::move(job->done);
+        } else if (queue.size() >= opts.queueCapacity) {
             rejectedBusy++;
             r.errorCode = "busy";
             r.errorMessage = "request queue is full, retry later";
-            return r;
+            rejected = std::move(job->done);
+        } else {
+            cacheMisses++;
+            queue.push_back(std::move(job));
         }
-        cacheMisses++;
-        queue.push_back(std::move(job));
+    }
+    if (rejected) {
+        rejected(std::move(r));
+        return;
     }
     queueCv.notify_one();
-    return fut.get();
+}
+
+ScenarioService::BatchOutcome
+ScenarioService::submitBatch(
+    const std::vector<ScenarioSpec> &specs,
+    std::function<void(std::size_t, Response &&)> done)
+{
+    batchRequests++;
+    BatchOutcome out;
+
+    // Validate everything before anything runs: a batch with one
+    // malformed entry is a caller bug, not a partial workload.
+    for (std::size_t i = 0; i < specs.size(); i++) {
+        if (auto err = validateScenario(specs[i])) {
+            invalidCount++;
+            out.errorCode = "invalid";
+            out.errorIndex = i;
+            out.errorMessage = "scenario " + std::to_string(i) +
+                ": " + *err;
+            return out;
+        }
+    }
+
+    // Resolve the cache for every entry first, so admission can be
+    // all-or-nothing over the *misses* only. No counters yet — a
+    // rejected batch must not inflate hit stats.
+    struct Hit
+    {
+        std::size_t index;
+        Response r;
+    };
+    std::vector<Hit> hits;
+    std::vector<std::unique_ptr<Job>> misses;
+    for (std::size_t i = 0; i < specs.size(); i++) {
+        Response r;
+        r.hash = specs[i].hash();
+        bool diskHit = false;
+        if (cacheGet(r.hash, r.payload, diskHit)) {
+            r.ok = true;
+            r.cacheHit = true;
+            r.diskHit = diskHit;
+            hits.push_back({i, std::move(r)});
+            continue;
+        }
+        misses.push_back(makeJob(
+            specs[i], r.hash, [done, i](Response &&resp) {
+                done(i, std::move(resp));
+            }));
+    }
+
+    if (!misses.empty()) {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        if (draining) {
+            out.errorCode = "draining";
+            out.errorMessage = "service is shutting down";
+            return out;
+        }
+        if (queue.size() + misses.size() > opts.queueCapacity) {
+            rejectedBusy++;
+            out.errorCode = "busy";
+            out.errorMessage = "queue cannot admit " +
+                std::to_string(misses.size()) +
+                " scenarios, retry later";
+            return out;
+        }
+        cacheMisses += misses.size();
+        for (auto &job : misses)
+            queue.push_back(std::move(job));
+    }
+    queueCv.notify_all();
+
+    out.admitted = true;
+    for (auto &h : hits) {
+        cacheHits++;
+        if (h.r.diskHit)
+            diskHits++;
+        served++;
+        done(h.index, std::move(h.r));
+    }
+    return out;
 }
 
 ScenarioService::Response
@@ -158,7 +296,7 @@ ScenarioService::submitJsonText(const std::string &text)
 }
 
 ScenarioService::Response
-ScenarioService::execute(const Job &job)
+ScenarioService::execute(Job &job)
 {
     if (fault::armed())
         fault::maybeDelay(fault::Point::WorkerStall);
@@ -169,9 +307,21 @@ ScenarioService::execute(const Job &job)
     Response r;
     r.hash = job.hash;
     ExperimentRunner &runner = runnerFor(job.spec);
-    auto swept = runner.trySweep(job.spec.sweepSpec(),
-                                 opts.sweepConcurrency);
+    auto swept = runner.trySweep(
+        job.spec.sweepSpec(), opts.sweepConcurrency,
+        job.hasDeadline ? &job.cancel : nullptr);
     if (!swept.ok()) {
+        if (swept.error().cancelled) {
+            // The deadline passed while the sweep was running; the
+            // engine abandoned the remaining points and freed this
+            // worker early.
+            cancelledMidSweep++;
+            r.errorCode = "deadline_exceeded";
+            r.errorMessage = "deadline of " +
+                std::to_string(job.spec.deadlineMs) +
+                " ms expired mid-sweep: " + swept.error().message;
+            return r;
+        }
         // validateScenario() should have caught anything trySweep
         // rejects; if not, surface it rather than dying.
         r.errorCode = "invalid";
@@ -207,8 +357,7 @@ ScenarioService::workerLoop(std::size_t slot)
 
         // Deadline shed: the caller stopped caring — answer with a
         // structured error instead of burning a worker on it.
-        if (job->hasDeadline &&
-            std::chrono::steady_clock::now() > job->deadline) {
+        if (job->hasDeadline && job->cancel.cancelled()) {
             shedDeadline++;
             Response r;
             r.hash = job->hash;
@@ -216,7 +365,7 @@ ScenarioService::workerLoop(std::size_t slot)
             r.errorMessage = "deadline of " +
                 std::to_string(job->spec.deadlineMs) +
                 " ms expired before a worker was available";
-            job->done.set_value(std::move(r));
+            job->done(std::move(r));
             continue;
         }
 
@@ -241,7 +390,7 @@ ScenarioService::workerLoop(std::size_t slot)
         }
         inFlight--;
         if (!crashed) {
-            job->done.set_value(std::move(r));
+            job->done(std::move(r));
             continue;
         }
 
@@ -266,7 +415,7 @@ ScenarioService::workerLoop(std::size_t slot)
         }
         if (retire)
             supCv.notify_one();
-        job->done.set_value(std::move(r));
+        job->done(std::move(r));
         if (retire)
             return;
     }
@@ -313,6 +462,9 @@ ScenarioService::stats() const
     s.invalid = invalidCount.load();
     s.shedDeadline = shedDeadline.load();
     s.workerCrashes = workerCrashes.load();
+    s.batchRequests = batchRequests.load();
+    s.diskHits = diskHits.load();
+    s.cancelledMidSweep = cancelledMidSweep.load();
     s.workersAlive = aliveWorkers.load();
     s.inFlight = inFlight.load();
     {
@@ -322,6 +474,13 @@ ScenarioService::stats() const
     {
         std::lock_guard<std::mutex> lock(cacheMtx);
         s.cacheSize = lru.size();
+    }
+    if (disk) {
+        DiskCacheStats d = disk->stats();
+        s.diskEvictions = d.evictions;
+        s.diskQuarantined = d.quarantined;
+        s.diskEntries = d.entries;
+        s.diskBytes = d.bytes;
     }
     s.uptimeSec = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - startTime)

@@ -4,29 +4,40 @@
  * the sweep engine. Owns the ExperimentRunners (one per distinct
  * sim-knob configuration, built lazily over one shared
  * ProfileLibrary), a bounded FIFO request queue drained by a fixed
- * set of worker threads, and an LRU cache of serialized result
- * payloads keyed by the canonical scenario hash.
+ * set of worker threads, and a two-tier result cache keyed by the
+ * canonical scenario hash: an in-memory LRU of payload strings in
+ * front of an optional persistent DiskCache (see disk_cache.hh).
  *
- * Backpressure: submit() never blocks the caller on a full system —
- * when the queue already holds queueCapacity requests the submit is
- * rejected immediately with the "busy" error code (high-water-mark
- * admission control; a capacity of 0 rejects everything that is not
- * a cache hit). Accepted requests block their calling thread until
- * the result is ready, which is what the thread-per-connection
- * transport wants.
+ * Cache hierarchy: lookups go memory → disk; a disk hit is promoted
+ * into memory, and a payload demoted out of the memory LRU remains
+ * on disk (computed payloads are written through), so the working
+ * set survives restarts and daemons sharing one --cache-dir share
+ * one corpus. Payloads are canonical JSON and deterministic per
+ * hash, so every tier serves the same bytes a direct sweep would.
  *
- * Determinism: a scenario is compiled to a SweepSpec and served by
- * ExperimentRunner::trySweep, whose results are bitwise-identical
- * to a serial evaluation in spec order; payloads are canonical JSON
- * with round-trip double formatting. The same scenario therefore
- * always yields the same payload bytes, whether computed or served
- * from cache.
+ * Submission paths:
+ *  - submit() — blocking: validate, serve from cache when possible,
+ *    otherwise queue and wait. Rejected immediately with "busy" when
+ *    the queue holds queueCapacity requests (high-water-mark
+ *    admission; capacity 0 rejects every miss).
+ *  - submitAsync() — same pipeline, but the caller passes a
+ *    completion callback instead of blocking; cache hits and
+ *    rejections invoke it synchronously, computed results invoke it
+ *    from a worker thread. This is what lets one connection keep
+ *    many scenarios in flight (pipelining, batch submit).
+ *  - submitBatch() — all-or-nothing admission of N scenarios:
+ *    every entry is validated up front, then either ALL misses are
+ *    enqueued (and each scenario's callback fires as its result
+ *    completes, in whatever order workers finish) or the whole
+ *    batch is rejected with one structured error.
  *
  * Robustness (see docs/ROBUSTNESS.md):
- *  - Deadlines: a spec may carry deadlineMs; a queued request whose
- *    deadline expires before a worker pops it is shed with the
- *    "deadline_exceeded" error instead of being computed for a
- *    caller that has given up.
+ *  - Deadlines: a spec may carry deadlineMs. A queued request whose
+ *    deadline expires before a worker pops it is shed with
+ *    "deadline_exceeded"; one that expires *mid-computation* is
+ *    cancelled cooperatively between sweep points (CancelToken
+ *    through ExperimentRunner::trySweep), freeing the worker without
+ *    waiting for the full sweep.
  *  - Crash containment: any exception thrown during sweep execution
  *    becomes a structured "internal_error" response. The throwing
  *    worker then retires (its state is no longer trusted) and a
@@ -42,6 +53,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -51,7 +63,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "service/disk_cache.hh"
 #include "service/scenario.hh"
+#include "util/cancel.hh"
 
 namespace gpm
 {
@@ -64,27 +78,39 @@ struct ServiceOptions
     /** Queue high-water mark; submits beyond it are rejected with
      *  "busy". 0 rejects every cache miss. */
     std::size_t queueCapacity = 64;
-    /** LRU result-cache capacity in entries (0 disables caching). */
+    /** In-memory LRU result-cache capacity in entries (0 disables
+     *  the memory tier). */
     std::size_t cacheCapacity = 128;
     /** Threads per sweep (ExperimentRunner::sweep concurrency);
      *  0 = GPM_THREADS / hardware concurrency. */
     std::size_t sweepConcurrency = 0;
+    /** Persistent cache directory; empty disables the disk tier. */
+    std::string cacheDir;
+    /** Disk-tier LRU byte budget (0 = unbounded). */
+    std::uint64_t cacheDiskBytes = 64ull << 20;
 };
 
 /** A stats() snapshot (all counters since construction). */
 struct ServiceStats
 {
     std::uint64_t served = 0;      ///< responses with ok payloads
-    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheHits = 0;   ///< either tier
     std::uint64_t cacheMisses = 0; ///< accepted, computed requests
     std::uint64_t rejectedBusy = 0;
     std::uint64_t invalid = 0;     ///< failed validation
     std::uint64_t shedDeadline = 0;  ///< shed, deadline expired
     std::uint64_t workerCrashes = 0; ///< contained worker throws
+    std::uint64_t batchRequests = 0; ///< submitBatch() calls
+    std::uint64_t diskHits = 0;      ///< hits promoted disk→memory
+    std::uint64_t diskEvictions = 0; ///< disk entries LRU-evicted
+    std::uint64_t diskQuarantined = 0; ///< corrupt entries set aside
+    std::uint64_t cancelledMidSweep = 0; ///< deadlines hit mid-sweep
     std::size_t workersAlive = 0;  ///< workers currently running
     std::size_t queueDepth = 0;    ///< requests waiting right now
     std::size_t inFlight = 0;      ///< requests being computed
-    std::size_t cacheSize = 0;
+    std::size_t cacheSize = 0;     ///< memory-tier entries
+    std::size_t diskEntries = 0;   ///< disk-tier entries
+    std::uint64_t diskBytes = 0;   ///< disk-tier tracked bytes
     double uptimeSec = 0.0;
     /** cacheHits / (cacheHits + cacheMisses), 0 when unserved. */
     double cacheHitRate = 0.0;
@@ -93,7 +119,7 @@ struct ServiceStats
 class ScenarioService
 {
   public:
-    /** One submit()'s outcome. */
+    /** One scenario's outcome. */
     struct Response
     {
         bool ok = false;
@@ -104,7 +130,27 @@ class ScenarioService
         /** Canonical result payload (see serializeResults). */
         std::string payload;
         bool cacheHit = false;
+        /** The hit was served from the disk tier (implies
+         *  cacheHit). */
+        bool diskHit = false;
         std::uint64_t hash = 0;
+    };
+
+    /** Completion callback: invoked exactly once per scenario,
+     *  either synchronously from the submitting thread (cache hit,
+     *  rejection) or later from a worker thread. */
+    using Callback = std::function<void(Response &&)>;
+
+    /** submitBatch()'s admission outcome. When !admitted no
+     *  per-scenario callback has fired or ever will. */
+    struct BatchOutcome
+    {
+        bool admitted = false;
+        /** "invalid" | "busy" | "draining" when !admitted. */
+        std::string errorCode;
+        std::string errorMessage;
+        /** Offending scenario for "invalid". */
+        std::size_t errorIndex = 0;
     };
 
     ScenarioService(ProfileLibrary &lib, const DvfsTable &dvfs,
@@ -122,6 +168,29 @@ class ScenarioService
      * the high-water mark rejects it.
      */
     Response submit(const ScenarioSpec &spec);
+
+    /**
+     * submit() without blocking: @p done fires exactly once with
+     * the outcome — synchronously (before submitAsync returns) for
+     * validation errors, cache hits and rejections, from a worker
+     * thread for computed results. The callback must be safe to
+     * invoke from either context and must not call back into
+     * drain().
+     */
+    void submitAsync(const ScenarioSpec &spec, Callback done);
+
+    /**
+     * Admit @p specs as one unit. Every spec is validated before
+     * anything runs; on any validation failure, a full queue
+     * (queueDepth + misses would exceed queueCapacity) or a
+     * draining service, the whole batch is rejected and no
+     * callback fires. Once admitted, @p done fires exactly once
+     * per scenario with its index — cache hits synchronously, in
+     * order; misses from worker threads in completion order.
+     */
+    BatchOutcome
+    submitBatch(const std::vector<ScenarioSpec> &specs,
+                std::function<void(std::size_t, Response &&)> done);
 
     /** parse + parseScenario + submit, mapping JSON errors to the
      *  "parse" code and schema errors to "invalid". */
@@ -142,10 +211,17 @@ class ScenarioService
     struct Job;
 
     ExperimentRunner &runnerFor(const ScenarioSpec &spec);
-    Response execute(const Job &job);
+    Response execute(Job &job);
     void workerLoop(std::size_t slot);
     void supervisorLoop();
-    bool cacheGet(std::uint64_t hash, std::string &payload);
+    std::unique_ptr<Job> makeJob(const ScenarioSpec &spec,
+                                 std::uint64_t hash, Callback done);
+    /** Two-tier lookup: memory, then disk (promoting the hit).
+     *  Counts nothing — callers own the stats. */
+    bool cacheGet(std::uint64_t hash, std::string &payload,
+                  bool &diskHit);
+    /** Insert into the memory tier and write through to disk; a
+     *  payload the insert demotes keeps its disk entry fresh. */
     void cachePut(std::uint64_t hash, const std::string &payload);
 
     ProfileLibrary &lib;
@@ -174,13 +250,17 @@ class ScenarioService
     std::deque<std::size_t> retiredSlots;
     std::thread supervisor;
 
-    /** LRU payload cache: recency list + hash index into it. */
+    /** Memory tier: recency list + hash index into it. */
     mutable std::mutex cacheMtx;
     std::list<std::pair<std::uint64_t, std::string>> lru;
     std::unordered_map<
         std::uint64_t,
         std::list<std::pair<std::uint64_t, std::string>>::iterator>
         cacheIndex;
+
+    /** Disk tier (null when opts.cacheDir is empty). Internally
+     *  locked; never touched while holding cacheMtx. */
+    std::unique_ptr<DiskCache> disk;
 
     std::atomic<std::uint64_t> served{0};
     std::atomic<std::uint64_t> cacheHits{0};
@@ -189,6 +269,9 @@ class ScenarioService
     std::atomic<std::uint64_t> invalidCount{0};
     std::atomic<std::uint64_t> shedDeadline{0};
     std::atomic<std::uint64_t> workerCrashes{0};
+    std::atomic<std::uint64_t> batchRequests{0};
+    std::atomic<std::uint64_t> diskHits{0};
+    std::atomic<std::uint64_t> cancelledMidSweep{0};
     std::atomic<std::size_t> aliveWorkers{0};
     std::atomic<std::size_t> inFlight{0};
 };

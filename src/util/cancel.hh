@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CancelToken — cooperative cancellation for long-running
+ * computations. A token is either cancelled explicitly (cancel())
+ * or implicitly by an attached wall-clock deadline; workers poll
+ * cancelled() at natural checkpoints (the sweep engine checks
+ * between budget points) and abandon remaining work.
+ *
+ * Thread-safety: cancel() and cancelled() may race freely from any
+ * thread. setDeadline() must happen-before the token is shared
+ * (it is a setup-time call, not a control channel).
+ */
+
+#ifndef GPM_UTIL_CANCEL_HH
+#define GPM_UTIL_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+
+namespace gpm
+{
+
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation. Idempotent, callable from any thread. */
+    void
+    cancel()
+    {
+        flag.store(true, std::memory_order_release);
+    }
+
+    /** Cancel automatically once @p deadline passes. Call before
+     *  sharing the token with workers. */
+    void
+    setDeadline(std::chrono::steady_clock::time_point deadline)
+    {
+        deadlineAt = deadline;
+        hasDeadline = true;
+    }
+
+    /** setDeadline(now + ms), for callers holding a relative QoS
+     *  budget. */
+    void
+    setDeadlineAfterMs(double ms)
+    {
+        setDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(
+                        static_cast<std::int64_t>(ms * 1000.0)));
+    }
+
+    /** True once cancel() was called or the deadline passed. The
+     *  deadline check latches into the flag, so later calls are one
+     *  atomic load. */
+    bool
+    cancelled() const
+    {
+        if (flag.load(std::memory_order_acquire))
+            return true;
+        if (hasDeadline &&
+            std::chrono::steady_clock::now() >= deadlineAt) {
+            flag.store(true, std::memory_order_release);
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    mutable std::atomic<bool> flag{false};
+    bool hasDeadline = false;
+    std::chrono::steady_clock::time_point deadlineAt{};
+};
+
+} // namespace gpm
+
+#endif // GPM_UTIL_CANCEL_HH

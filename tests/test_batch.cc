@@ -1,0 +1,570 @@
+/** @file The high-throughput serving path: submitBatch all-or-nothing
+ *  admission and out-of-order completion streaming, batch fan-out
+ *  across the worker pool, cooperative mid-sweep deadline
+ *  cancellation, the two-tier (memory + disk) result cache across
+ *  restarts and shared directories, and the submit_batch wire verb
+ *  over a pipelined connection. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <dirent.h>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "service/fault.hh"
+#include "service/server.hh"
+#include "service/service.hh"
+
+namespace gpm
+{
+namespace
+{
+
+DvfsTable &
+testDvfs()
+{
+    static DvfsTable d = DvfsTable::classic3();
+    return d;
+}
+
+ProfileLibrary &
+testLib()
+{
+    static ProfileLibrary l(testDvfs(), 0.03);
+    return l;
+}
+
+/** Collects streamed batch completions across worker threads. */
+struct Collector
+{
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::vector<std::pair<std::size_t, ScenarioService::Response>>
+        done;
+
+    std::function<void(std::size_t, ScenarioService::Response &&)>
+    sink()
+    {
+        return [this](std::size_t i,
+                      ScenarioService::Response &&r) {
+            std::lock_guard<std::mutex> lock(mtx);
+            done.emplace_back(i, std::move(r));
+            cv.notify_all();
+        };
+    }
+
+    bool
+    waitFor(std::size_t n)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        return cv.wait_for(lock, std::chrono::seconds(30),
+                           [&] { return done.size() >= n; });
+    }
+
+    std::size_t
+    count()
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return done.size();
+    }
+};
+
+class BatchTest : public ::testing::Test
+{
+  protected:
+    static DvfsTable &
+    dvfs()
+    {
+        return testDvfs();
+    }
+
+    static ProfileLibrary &
+    lib()
+    {
+        return testLib();
+    }
+
+    void
+    TearDown() override
+    {
+        fault::disarm();
+        if (!cacheDir.empty())
+            removeTree(cacheDir);
+    }
+
+    /** A single-budget scenario; @p budget varies the cache key. */
+    static ScenarioSpec
+    scenario(double budget = 0.8)
+    {
+        ScenarioSpec s;
+        s.combo = {"mcf"};
+        s.policy = "MaxBIPS";
+        s.budgets = {budget};
+        return s;
+    }
+
+    /** Lazily-created scratch directory for the disk tier. */
+    const std::string &
+    makeCacheDir()
+    {
+        if (cacheDir.empty()) {
+            char tmpl[] = "/tmp/gpm_batch_cache_XXXXXX";
+            EXPECT_NE(::mkdtemp(tmpl), nullptr);
+            cacheDir = tmpl;
+        }
+        return cacheDir;
+    }
+
+    static void
+    removeTree(const std::string &dir)
+    {
+        if (DIR *d = ::opendir(dir.c_str())) {
+            while (const dirent *e = ::readdir(d)) {
+                std::string name = e->d_name;
+                if (name != "." && name != "..")
+                    ::unlink((dir + "/" + name).c_str());
+            }
+            ::closedir(d);
+        }
+        ::rmdir(dir.c_str());
+    }
+
+    std::string cacheDir;
+};
+
+TEST_F(BatchTest, InvalidEntryRejectsWholeBatchBeforeAnythingRuns)
+{
+    ScenarioService svc(lib(), dvfs());
+    std::vector<ScenarioSpec> specs = {scenario(0.7), scenario(0.8),
+                                       scenario(0.9)};
+    specs[1].policy = "NoSuchPolicy";
+
+    Collector got;
+    auto outcome = svc.submitBatch(specs, got.sink());
+    EXPECT_FALSE(outcome.admitted);
+    EXPECT_EQ(outcome.errorCode, "invalid");
+    EXPECT_EQ(outcome.errorIndex, 1u);
+    EXPECT_NE(outcome.errorMessage.find("scenario 1"),
+              std::string::npos);
+    EXPECT_NE(outcome.errorMessage.find("NoSuchPolicy"),
+              std::string::npos);
+    // Nothing ran: no callbacks, no counters moved.
+    EXPECT_EQ(got.count(), 0u);
+    ServiceStats s = svc.stats();
+    EXPECT_EQ(s.cacheMisses, 0u);
+    EXPECT_EQ(s.served, 0u);
+}
+
+TEST_F(BatchTest, FullQueueRejectsWholeBatchAllOrNothing)
+{
+    ServiceOptions opts;
+    opts.queueCapacity = 1; // room for one miss, batch needs two
+    ScenarioService svc(lib(), dvfs(), opts);
+    Collector got;
+    auto outcome = svc.submitBatch({scenario(0.7), scenario(0.8)},
+                                   got.sink());
+    EXPECT_FALSE(outcome.admitted);
+    EXPECT_EQ(outcome.errorCode, "busy");
+    EXPECT_EQ(got.count(), 0u);
+    EXPECT_EQ(svc.stats().cacheMisses, 0u);
+    EXPECT_EQ(svc.stats().rejectedBusy, 1u);
+}
+
+TEST_F(BatchTest, DrainingServiceRejectsBatches)
+{
+    ScenarioService svc(lib(), dvfs());
+    svc.drain();
+    Collector got;
+    auto outcome = svc.submitBatch({scenario()}, got.sink());
+    EXPECT_FALSE(outcome.admitted);
+    EXPECT_EQ(outcome.errorCode, "draining");
+    EXPECT_EQ(got.count(), 0u);
+}
+
+TEST_F(BatchTest, MixedHitMissBatchStreamsEveryScenarioOnce)
+{
+    ScenarioService svc(lib(), dvfs());
+    // Prime the cache with one of the three.
+    auto primed = svc.submit(scenario(0.8));
+    ASSERT_TRUE(primed.ok);
+
+    Collector got;
+    auto outcome = svc.submitBatch(
+        {scenario(0.7), scenario(0.8), scenario(0.9)}, got.sink());
+    ASSERT_TRUE(outcome.admitted) << outcome.errorCode;
+    ASSERT_TRUE(got.waitFor(3));
+    EXPECT_EQ(got.count(), 3u);
+
+    bool seen[3] = {false, false, false};
+    for (auto &[idx, r] : got.done) {
+        ASSERT_LT(idx, 3u);
+        EXPECT_FALSE(seen[idx]) << "duplicate completion " << idx;
+        seen[idx] = true;
+        ASSERT_TRUE(r.ok) << r.errorCode << ": " << r.errorMessage;
+        EXPECT_EQ(r.cacheHit, idx == 1);
+    }
+    // The hit's bytes are the primed submit's bytes.
+    for (auto &[idx, r] : got.done) {
+        if (idx == 1) {
+            EXPECT_EQ(r.payload, primed.payload);
+        }
+    }
+
+    ServiceStats s = svc.stats();
+    EXPECT_EQ(s.batchRequests, 1u);
+    EXPECT_EQ(s.cacheHits, 1u);
+    EXPECT_EQ(s.cacheMisses, 3u); // primed + two batch misses
+    EXPECT_EQ(s.served, 4u);
+}
+
+TEST_F(BatchTest, BatchMissesFanOutAcrossTheWorkerPool)
+{
+    // Four misses on four workers should take roughly one
+    // single-scenario time, not four. CPU work serializes on a
+    // 1-core host, so the per-scenario cost is dominated by an
+    // injected 250 ms worker stall — stalls overlap iff the batch
+    // genuinely fans out. Serial execution would exceed 1000 ms.
+    ServiceOptions opts;
+    opts.workers = 4;
+    opts.sweepConcurrency = 1;
+    ScenarioService svc(lib(), dvfs(), opts);
+    // Warm the profile/runner caches outside the timed window.
+    ASSERT_TRUE(svc.submit(scenario(0.99)).ok);
+
+    ASSERT_FALSE(fault::arm("worker-stall:1:250,seed:1"));
+    Collector got;
+    auto t0 = std::chrono::steady_clock::now();
+    auto outcome = svc.submitBatch(
+        {scenario(0.61), scenario(0.66), scenario(0.71),
+         scenario(0.76)},
+        got.sink());
+    ASSERT_TRUE(outcome.admitted) << outcome.errorCode;
+    ASSERT_TRUE(got.waitFor(4));
+    double wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    fault::disarm();
+
+    for (auto &[idx, r] : got.done)
+        ASSERT_TRUE(r.ok) << idx << ": " << r.errorMessage;
+    EXPECT_GE(wallMs, 250.0); // every miss really stalled
+    EXPECT_LT(wallMs, 900.0) << "batch did not run in parallel";
+}
+
+TEST_F(BatchTest, DeadlineExpiringMidSweepCancelsCooperatively)
+{
+    // One worker, a 300 ms stall before the sweep, a 100 ms
+    // deadline: the job is popped immediately (so it is NOT shed
+    // from the queue), the deadline expires during the stall, and
+    // the sweep cancels at its first budget-point check.
+    ServiceOptions opts;
+    opts.workers = 1;
+    ScenarioService svc(lib(), dvfs(), opts);
+    ASSERT_FALSE(fault::arm("worker-stall:1:300,seed:1"));
+
+    ScenarioSpec spec = scenario(0.8);
+    spec.deadlineMs = 100.0;
+    auto r = svc.submit(spec);
+    fault::disarm();
+
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.errorCode, "deadline_exceeded");
+    EXPECT_NE(r.errorMessage.find("mid-sweep"), std::string::npos)
+        << r.errorMessage;
+    ServiceStats s = svc.stats();
+    EXPECT_EQ(s.cancelledMidSweep, 1u);
+    EXPECT_EQ(s.shedDeadline, 0u);
+    EXPECT_EQ(s.served, 0u);
+
+    // The worker is free and healthy: the same scenario without a
+    // deadline computes normally.
+    auto again = svc.submit(scenario(0.8));
+    EXPECT_TRUE(again.ok) << again.errorCode;
+}
+
+TEST_F(BatchTest, DiskTierServesRestartBitIdentically)
+{
+    const std::string &dir = makeCacheDir();
+    ServiceOptions opts;
+    opts.cacheDir = dir;
+
+    std::string firstPayload;
+    {
+        ScenarioService svc(lib(), dvfs(), opts);
+        auto r = svc.submit(scenario(0.8));
+        ASSERT_TRUE(r.ok) << r.errorCode;
+        EXPECT_FALSE(r.cacheHit);
+        firstPayload = r.payload;
+        svc.drain();
+    } // "restart": the memory tier dies with the service
+
+    ScenarioService revived(lib(), dvfs(), opts);
+    auto r = revived.submit(scenario(0.8));
+    ASSERT_TRUE(r.ok) << r.errorCode;
+    EXPECT_TRUE(r.cacheHit);
+    EXPECT_TRUE(r.diskHit);
+    EXPECT_EQ(r.payload, firstPayload);
+
+    // And the disk bytes are exactly what a direct sweep produces.
+    ScenarioSpec spec = scenario(0.8);
+    ExperimentRunner direct(lib(), dvfs(), spec.simConfig());
+    EXPECT_EQ(r.payload,
+              serializeResults(spec, direct.sweep(spec.sweepSpec())));
+
+    ServiceStats s = revived.stats();
+    EXPECT_EQ(s.diskHits, 1u);
+    EXPECT_EQ(s.cacheHits, 1u);
+    EXPECT_EQ(s.cacheMisses, 0u);
+}
+
+TEST_F(BatchTest, CorruptDiskEntryQuarantinedAndRecomputed)
+{
+    // Chaos: a corrupt disk entry must never reach a client — it is
+    // quarantined and the scenario recomputed, with the recomputed
+    // bytes identical to the originals.
+    const std::string &dir = makeCacheDir();
+    ServiceOptions opts;
+    opts.cacheDir = dir;
+
+    std::string firstPayload;
+    {
+        ScenarioService svc(lib(), dvfs(), opts);
+        auto r = svc.submit(scenario(0.8));
+        ASSERT_TRUE(r.ok);
+        firstPayload = r.payload;
+        svc.drain();
+    }
+
+    ASSERT_FALSE(fault::arm("disk-read-corrupt,seed:1"));
+    ScenarioService revived(lib(), dvfs(), opts);
+    auto r = revived.submit(scenario(0.8));
+    fault::disarm();
+    ASSERT_TRUE(r.ok) << r.errorCode;
+    EXPECT_FALSE(r.cacheHit); // recomputed, not served corrupt
+    EXPECT_EQ(r.payload, firstPayload);
+    ServiceStats s = revived.stats();
+    EXPECT_EQ(s.diskQuarantined, 1u);
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_EQ(s.cacheMisses, 1u);
+}
+
+TEST_F(BatchTest, DiskTierEvictsToByteBudget)
+{
+    // Measure one entry's disk footprint, then rerun with a budget
+    // that fits one entry but not two.
+    const std::string &dir = makeCacheDir();
+    std::uint64_t oneEntryBytes;
+    {
+        ServiceOptions opts;
+        opts.cacheDir = dir;
+        opts.cacheDiskBytes = 0; // unbounded
+        ScenarioService svc(lib(), dvfs(), opts);
+        ASSERT_TRUE(svc.submit(scenario(0.7)).ok);
+        oneEntryBytes = svc.stats().diskBytes;
+        ASSERT_GT(oneEntryBytes, 0u);
+        svc.drain();
+    }
+    removeTree(dir);
+    cacheDir.clear();
+    makeCacheDir();
+
+    ServiceOptions opts;
+    opts.cacheDir = cacheDir;
+    opts.cacheDiskBytes = oneEntryBytes + 64;
+    ScenarioService svc(lib(), dvfs(), opts);
+    ASSERT_TRUE(svc.submit(scenario(0.7)).ok);
+    ASSERT_TRUE(svc.submit(scenario(0.9)).ok);
+    ServiceStats s = svc.stats();
+    EXPECT_GE(s.diskEvictions, 1u);
+    EXPECT_EQ(s.diskEntries, 1u);
+    EXPECT_LE(s.diskBytes, oneEntryBytes + 64);
+}
+
+TEST_F(BatchTest, TwoLiveServicesShareOneCacheDirectory)
+{
+    const std::string &dir = makeCacheDir();
+    ServiceOptions opts;
+    opts.cacheDir = dir;
+    ScenarioService a(lib(), dvfs(), opts);
+    ScenarioService b(lib(), dvfs(), opts);
+
+    auto computed = a.submit(scenario(0.8));
+    ASSERT_TRUE(computed.ok);
+    EXPECT_FALSE(computed.cacheHit);
+
+    // b never computed this scenario; its disk probe finds a's
+    // write and serves the identical bytes.
+    auto shared = b.submit(scenario(0.8));
+    ASSERT_TRUE(shared.ok);
+    EXPECT_TRUE(shared.cacheHit);
+    EXPECT_TRUE(shared.diskHit);
+    EXPECT_EQ(shared.payload, computed.payload);
+    EXPECT_EQ(b.stats().diskHits, 1u);
+}
+
+/** submit_batch and pipelining over real loopback sockets. */
+class BatchServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto listener = TcpListener::listenOn("127.0.0.1", 0);
+        ASSERT_TRUE(listener.ok()) << listener.error();
+        svc = std::make_unique<ScenarioService>(testLib(),
+                                                testDvfs());
+        server = std::make_unique<GpmServer>(
+            *svc, std::move(listener.value()));
+        port = server->port();
+        ASSERT_NE(port, 0);
+        acceptThread = std::thread([this] { server->run(); });
+    }
+
+    void
+    TearDown() override
+    {
+        server->requestStop();
+        if (acceptThread.joinable())
+            acceptThread.join();
+        server->stopAndDrain();
+        server.reset();
+        svc.reset();
+    }
+
+    TcpStream
+    connect()
+    {
+        auto conn = TcpStream::connectTo("127.0.0.1", port);
+        EXPECT_TRUE(conn.ok()) << (conn.ok() ? "" : conn.error());
+        return conn.ok() ? std::move(conn.value()) : TcpStream();
+    }
+
+    static json::Value
+    parseOk(const std::string &text)
+    {
+        auto r = json::parse(text);
+        EXPECT_TRUE(r.ok()) << text;
+        return r.ok() ? r.value() : json::Value();
+    }
+
+    std::unique_ptr<ScenarioService> svc;
+    std::unique_ptr<GpmServer> server;
+    std::uint16_t port = 0;
+    std::thread acceptThread;
+};
+
+TEST_F(BatchServerTest, BatchStreamsPerScenarioLinesAndPipelines)
+{
+    // One write carrying a 2-scenario batch AND a pipelined ping:
+    // the client owes nothing before sending the second request.
+    const std::string wire =
+        R"({"id": "b", "verb": "submit_batch", "scenarios": [)"
+        R"({"combo": ["mcf"], "policy": "MaxBIPS", "budget": 0.7},)"
+        R"({"combo": ["mcf"], "policy": "MaxBIPS", "budget": 0.9}]})"
+        "\n"
+        R"({"id": "p", "verb": "ping"})"
+        "\n";
+
+    TcpStream c = connect();
+    ASSERT_TRUE(c.writeAll(wire));
+
+    bool sawPing = false;
+    bool sawIndex[2] = {false, false};
+    for (int i = 0; i < 3; i++) {
+        std::string line;
+        ASSERT_EQ(c.readLine(line), TcpStream::ReadStatus::Line);
+        json::Value r = parseOk(line);
+        ASSERT_TRUE(r.find("ok") && r.find("ok")->asBool()) << line;
+        if (r.find("id")->asString() == "p") {
+            sawPing = true;
+            continue;
+        }
+        // A per-scenario batch line: index, 16-hex hash, spliced
+        // result identical to a direct sweep.
+        EXPECT_EQ(r.find("id")->asString(), "b");
+        ASSERT_TRUE(r.find("index"));
+        auto idx =
+            static_cast<std::size_t>(r.find("index")->asNumber());
+        ASSERT_LT(idx, 2u);
+        sawIndex[idx] = true;
+        ASSERT_TRUE(r.find("hash"));
+        EXPECT_EQ(r.find("hash")->asString().size(), 16u);
+        EXPECT_FALSE(r.find("cached")->asBool());
+
+        ScenarioSpec spec;
+        spec.combo = {"mcf"};
+        spec.policy = "MaxBIPS";
+        spec.budgets = {idx == 0 ? 0.7 : 0.9};
+        ExperimentRunner direct(testLib(), testDvfs(),
+                                spec.simConfig());
+        std::string payload =
+            serializeResults(spec, direct.sweep(spec.sweepSpec()));
+        ASSERT_TRUE(r.find("result"));
+        EXPECT_EQ(r.find("result")->canonical(),
+                  parseOk(payload).canonical());
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(spec.hash()));
+        EXPECT_EQ(r.find("hash")->asString(), hex);
+    }
+    EXPECT_TRUE(sawPing);
+    EXPECT_TRUE(sawIndex[0]);
+    EXPECT_TRUE(sawIndex[1]);
+
+    // The stats verb counts the batch and the cache traffic.
+    std::string statsLine;
+    ASSERT_TRUE(c.writeAll("{\"verb\": \"stats\"}\n"));
+    ASSERT_EQ(c.readLine(statsLine), TcpStream::ReadStatus::Line);
+    json::Value stats = parseOk(statsLine);
+    const json::Value *sr = stats.find("result");
+    ASSERT_TRUE(sr);
+    EXPECT_EQ(sr->find("batchRequests")->asNumber(), 1.0);
+    EXPECT_EQ(sr->find("cacheMisses")->asNumber(), 2.0);
+    EXPECT_EQ(sr->find("diskHits")->asNumber(), 0.0);
+    EXPECT_EQ(sr->find("cancelledMidSweep")->asNumber(), 0.0);
+}
+
+TEST_F(BatchServerTest, BatchLevelErrorsAreOneLineWithNoIndex)
+{
+    TcpStream c = connect();
+
+    // An invalid scenario rejects the whole batch with one line.
+    ASSERT_TRUE(c.writeAll(
+        R"({"id": "b", "verb": "submit_batch", "scenarios": [)"
+        R"({"combo": ["mcf"], "policy": "MaxBIPS", "budget": 0.7},)"
+        R"({"combo": ["mcf"], "policy": "Nope", "budget": 0.9}]})"
+        "\n"));
+    std::string line;
+    ASSERT_EQ(c.readLine(line), TcpStream::ReadStatus::Line);
+    json::Value r = parseOk(line);
+    EXPECT_FALSE(r.find("ok")->asBool());
+    EXPECT_EQ(r.find("index"), nullptr);
+    EXPECT_EQ(r.find("error")->find("code")->asString(), "invalid");
+    EXPECT_NE(
+        r.find("error")->find("message")->asString().find(
+            "scenario 1"),
+        std::string::npos);
+
+    // An empty scenarios array is invalid, not a zero-line no-op.
+    ASSERT_TRUE(c.writeAll(
+        R"({"id": "b", "verb": "submit_batch", "scenarios": []})"
+        "\n"));
+    ASSERT_EQ(c.readLine(line), TcpStream::ReadStatus::Line);
+    r = parseOk(line);
+    EXPECT_FALSE(r.find("ok")->asBool());
+    EXPECT_EQ(r.find("error")->find("code")->asString(), "invalid");
+
+    // The connection survives both errors.
+    ASSERT_TRUE(c.writeAll(R"({"verb": "ping"})" "\n"));
+    ASSERT_EQ(c.readLine(line), TcpStream::ReadStatus::Line);
+    EXPECT_TRUE(parseOk(line).find("ok")->asBool());
+}
+
+} // namespace
+} // namespace gpm

@@ -179,6 +179,39 @@ TEST_F(SweepTest, TrySweepMatchesSweepOnValidSpecs)
     expectIdentical(r.sweep(s, 2), tried.value());
 }
 
+TEST_F(SweepTest, CancelTokenStopsSweepBetweenPoints)
+{
+    SweepSpec s = spec();
+    ExperimentRunner r(lib(), dvfs());
+
+    // A pre-cancelled token: the sweep abandons the spec at its
+    // first checkpoint and returns a truncated result.
+    CancelToken cancelled;
+    cancelled.cancel();
+    EXPECT_LT(r.sweep(s, 2, &cancelled).size(), s.size());
+
+    auto tried = r.trySweep(s, 2, &cancelled);
+    ASSERT_FALSE(tried.ok());
+    EXPECT_TRUE(tried.error().cancelled);
+    EXPECT_NE(tried.error().message.find("cancelled"),
+              std::string::npos);
+
+    // An expired deadline behaves exactly like cancel().
+    CancelToken expired;
+    expired.setDeadlineAfterMs(0.0);
+    EXPECT_TRUE(expired.cancelled());
+    EXPECT_FALSE(r.trySweep(s, 2, &expired).ok());
+
+    // A live token (and a far-future deadline) is a no-op: same
+    // bytes as an uncancelled sweep.
+    CancelToken live;
+    live.setDeadlineAfterMs(600000.0);
+    auto ok = r.trySweep(s, 2, &live);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_FALSE(live.cancelled());
+    expectIdentical(r.sweep(s, 2), ok.value());
+}
+
 TEST_F(SweepTest, ConcurrentRunnersShareOneProfileLibrary)
 {
     // Two runners sweeping through the same ProfileLibrary at once:
