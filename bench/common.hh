@@ -52,6 +52,15 @@ cachePathFromEnv()
     return s ? s : "gpm_profiles.bin";
 }
 
+/** Content-addressed profile-store directory from
+ *  GPM_PROFILE_CACHE_DIR; empty = use the monolithic cache file. */
+inline std::string
+cacheDirFromEnv()
+{
+    const char *s = std::getenv("GPM_PROFILE_CACHE_DIR");
+    return s ? s : "";
+}
+
 /** Owns the DVFS table and the shared, disk-cached profiles. */
 class Env
 {
@@ -60,7 +69,13 @@ class Env
         : dvfs(DvfsTable::classic3()), scale(scaleFromEnv()),
           lib(dvfs, scale)
     {
-        if (scale != 1.0) {
+        if (std::string dir = cacheDirFromEnv(); !dir.empty()) {
+            // Content-addressed store: entries are keyed by the
+            // profile inputs (scale included), so one directory
+            // serves every scale.
+            lib.attachStore(dir);
+            lib.buildSuite();
+        } else if (scale != 1.0) {
             // Scaled runs get their own cache file.
             char buf[64];
             std::snprintf(buf, sizeof(buf), ".s%g", scale);

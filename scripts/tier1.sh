@@ -3,7 +3,9 @@
 # end-to-end smoke (ephemeral port, gpmctl ping + submit + batch
 # submit, graceful SIGTERM shutdown, then a restart over the same
 # --cache-dir asserting disk-tier persistence and LRU eviction), a
-# chaos smoke (fault-injected daemon: worker crashes + stalled
+# profile-store smoke (cold start populates --profile-cache-dir;
+# a restart over the warm store must perform zero profile builds
+# and serve bitwise-identical submit payloads), a chaos smoke (fault-injected daemon: worker crashes + stalled
 # connections, gpmctl retries converging under a deadline,
 # supervisor-restored workers, clean drain — see docs/ROBUSTNESS.md),
 # a deadline smoke (worker-stall outliving a request deadline must
@@ -53,6 +55,82 @@ stop_gpmd() {
         { echo "gpmd exit code $rc:"; cat "$log"; return 1; }
     grep -q 'gpmd: shutdown complete' "$log" ||
         { echo "no clean shutdown:"; cat "$log"; return 1; }
+}
+
+# Poll stats until the background prewarm has every suite profile
+# Ready ($1 = gpmctl, $2 = port): submits would work earlier (they
+# wait per entry), but build-counter assertions need a settled
+# library.
+wait_profiles_ready() {
+    local gpmctl=$1 port=$2 i
+    for i in $(seq 1 600); do
+        "$gpmctl" --port "$port" stats 2>/dev/null |
+            grep -q '"profileReady":12' && return 0
+        sleep 0.5
+    done
+    echo "profiles never became ready" >&2
+    return 1
+}
+
+# Cold start over an empty --profile-cache-dir must build and
+# populate the store; a restart over the warm store must perform
+# zero detailed-core builds (profileBuilds:0, profileDiskHits:12)
+# and serve a bitwise-identical payload for the same scenario.
+gpmd_profile_smoke() {
+    local bdir=$1
+    local gpmd="$bdir/src/service/gpmd"
+    local gpmctl="$bdir/src/service/gpmctl"
+    local log store_dir
+    log=$(mktemp)
+    store_dir=$(mktemp -d)
+
+    "$gpmd" --port 0 --scale "$SMOKE_SCALE" \
+        --profile-cache-dir "$store_dir" >"$log" 2>&1 &
+    local pid=$!
+    trap 'kill "$pid" 2>/dev/null || true' RETURN
+
+    local port
+    port=$(wait_gpmd_port "$pid" "$log") || return 1
+    wait_profiles_ready "$gpmctl" "$port" || return 1
+
+    local stats
+    stats=$("$gpmctl" --port "$port" stats)
+    echo "$stats" | grep -q '"profileBuilds":12' ||
+        { echo "cold start did not build the suite: $stats"
+          return 1; }
+    [ "$(ls "$store_dir"/*.gpmp 2>/dev/null | wc -l)" -eq 12 ] ||
+        { echo "store not populated:"; ls "$store_dir"; return 1; }
+
+    local out1
+    out1=$("$gpmctl" --port "$port" submit \
+        --combo mcf,crafty --policy MaxBIPS --budget 0.8)
+    stop_gpmd "$pid" "$log" || return 1
+
+    # Restart over the warm store: zero rebuilds, identical payload.
+    : >"$log"
+    "$gpmd" --port 0 --scale "$SMOKE_SCALE" \
+        --profile-cache-dir "$store_dir" >"$log" 2>&1 &
+    pid=$!
+    port=$(wait_gpmd_port "$pid" "$log") || return 1
+    wait_profiles_ready "$gpmctl" "$port" || return 1
+
+    stats=$("$gpmctl" --port "$port" stats)
+    echo "$stats" | grep -q '"profileBuilds":0' ||
+        { echo "restart rebuilt profiles: $stats"; return 1; }
+    echo "$stats" | grep -q '"profileDiskHits":12' ||
+        { echo "restart did not hit the store: $stats"; return 1; }
+
+    local out2
+    out2=$("$gpmctl" --port "$port" submit \
+        --combo mcf,crafty --policy MaxBIPS --budget 0.8)
+    [ "$out1" = "$out2" ] ||
+        { echo "payload changed across restart:"
+          echo "  first:   $out1"; echo "  restart: $out2"
+          return 1; }
+
+    stop_gpmd "$pid" "$log" || return 1
+    rm -rf "$store_dir"
+    rm -f "$log"
 }
 
 gpmd_smoke() {
@@ -236,6 +314,9 @@ ctest --test-dir "$BUILD" --output-on-failure -j
 echo "== tier-1: gpmd smoke (ping / submit / batch / restart) =="
 gpmd_smoke "$BUILD"
 
+echo "== tier-1: gpmd profile-store smoke (cold / warm restart) =="
+gpmd_profile_smoke "$BUILD"
+
 echo "== tier-1: gpmd chaos smoke (faults / retries / recovery) =="
 gpmd_chaos "$BUILD"
 
@@ -253,10 +334,13 @@ cmake --build "$BUILD-tsan" -j --target gpm_tests gpmd gpmctl
 # Profile building under TSan is slow; the sweep tests rebuild their
 # small-scale profiles on first use, so give them a large timeout.
 "$BUILD-tsan/tests/gpm_tests" \
-    --gtest_filter='ThreadPool.*:SweepTest.*'
+    --gtest_filter='ThreadPool.*:SweepTest.*:ProfileStoreTest.*'
 
 echo "== tier-1: gpmd smoke under TSan =="
 gpmd_smoke "$BUILD-tsan"
+
+echo "== tier-1: gpmd profile-store smoke under TSan =="
+gpmd_profile_smoke "$BUILD-tsan"
 
 echo "== tier-1: gpmd chaos smoke under TSan =="
 gpmd_chaos "$BUILD-tsan"

@@ -9,7 +9,8 @@
 #include <unistd.h>
 #include <vector>
 
-#include "service/fault.hh"
+#include "util/binio.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace gpm
@@ -18,67 +19,11 @@ namespace gpm
 namespace
 {
 
-/** On-disk entry layout: magic, payload length, CRC32(payload),
- *  payload bytes. All integers little-endian (the only hosts this
- *  targets); the magic doubles as a format version. */
+/** On-disk entry layout: binio framing (magic, LE u64 payload
+ *  length, LE u32 CRC32(payload), payload); the magic doubles as a
+ *  format version. */
 constexpr char kMagic[8] = {'G', 'P', 'M', 'C',
                             'A', 'C', 'H', '1'};
-constexpr std::size_t kHeaderBytes = 8 + 8 + 4;
-
-/** Plain table-driven CRC32 (IEEE 802.3 polynomial). */
-std::uint32_t
-crc32(const void *data, std::size_t len)
-{
-    static const auto table = [] {
-        std::vector<std::uint32_t> t(256);
-        for (std::uint32_t i = 0; i < 256; i++) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; k++)
-                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    std::uint32_t c = 0xffffffffu;
-    const auto *p = static_cast<const unsigned char *>(data);
-    for (std::size_t i = 0; i < len; i++)
-        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
-    return c ^ 0xffffffffu;
-}
-
-void
-putLe(std::string &out, std::uint64_t v, int bytes)
-{
-    for (int i = 0; i < bytes; i++)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
-}
-
-std::uint64_t
-getLe(const char *p, int bytes)
-{
-    std::uint64_t v = 0;
-    for (int i = 0; i < bytes; i++)
-        v |= static_cast<std::uint64_t>(
-                 static_cast<unsigned char>(p[i]))
-            << (8 * i);
-    return v;
-}
-
-bool
-readWholeFile(const std::string &path, std::string &out)
-{
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    out.clear();
-    char chunk[1 << 14];
-    std::size_t got;
-    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
-        out.append(chunk, got);
-    bool ok = !std::ferror(f);
-    std::fclose(f);
-    return ok;
-}
 
 } // namespace
 
@@ -230,22 +175,13 @@ DiskCache::get(std::uint64_t hash, std::string &payload)
     // Probe the filesystem even when the index misses: another
     // process sharing the directory may have committed the entry
     // after our startup scan.
-    if (!readWholeFile(path, raw)) {
+    if (!binio::readWholeFile(path, raw)) {
         forgetLocked(hash); // index said present, disk disagrees
         misses++;
         return false;
     }
 
-    bool corrupt = raw.size() < kHeaderBytes ||
-        std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0;
-    std::uint64_t len = 0;
-    std::uint32_t crc = 0;
-    if (!corrupt) {
-        len = getLe(raw.data() + 8, 8);
-        crc = static_cast<std::uint32_t>(getLe(raw.data() + 16, 4));
-        corrupt = raw.size() != kHeaderBytes + len ||
-            crc32(raw.data() + kHeaderBytes, len) != crc;
-    }
+    bool corrupt = !binio::unframe(kMagic, raw, payload);
     if (!corrupt && fault::armed() &&
         fault::fire(fault::Point::DiskReadCorrupt))
         corrupt = true;
@@ -255,7 +191,6 @@ DiskCache::get(std::uint64_t hash, std::string &payload)
         return false;
     }
 
-    payload.assign(raw, kHeaderBytes, len);
     insertLocked(hash, raw.size());
     hits++;
     return true;
@@ -274,35 +209,11 @@ DiskCache::put(std::uint64_t hash, const std::string &payload)
         return;
     }
 
-    std::string blob;
-    blob.reserve(kHeaderBytes + payload.size());
-    blob.append(kMagic, sizeof(kMagic));
-    putLe(blob, payload.size(), 8);
-    putLe(blob, crc32(payload.data(), payload.size()), 4);
-    blob += payload;
-
-    // Process-unique temp name in the same directory, so the final
-    // rename is atomic and two daemons sharing the directory can
-    // never interleave bytes; whichever commits last wins with a
-    // byte-identical entry anyway.
-    std::string tmp = pathFor(hash) + ".tmp." +
-        std::to_string(static_cast<long>(::getpid()));
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f) {
-        writeFailures++;
-        warn("disk cache: cannot write %s: %s", tmp.c_str(),
-             std::strerror(errno));
-        return;
-    }
-    bool ok =
-        std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
-    ok = std::fflush(f) == 0 && ok;
-    std::fclose(f);
-    if (!ok || ::rename(tmp.c_str(), pathFor(hash).c_str()) != 0) {
+    std::string blob = binio::frame(kMagic, payload);
+    if (!binio::writeFileAtomic(pathFor(hash), blob)) {
         writeFailures++;
         warn("disk cache: cannot commit %s: %s",
              fileNameFor(hash).c_str(), std::strerror(errno));
-        ::unlink(tmp.c_str());
         return;
     }
 

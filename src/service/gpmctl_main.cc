@@ -441,7 +441,29 @@ main(int argc, char **argv)
             if (!transient || attempt >= retries) {
                 std::printf("%s\n", response.c_str());
                 const Value *ok = parsed.value().find("ok");
-                return ok && ok->isBool() && ok->asBool() ? 0 : 2;
+                bool is_ok = ok && ok->isBool() && ok->asBool();
+                // After the raw JSON line (which scripts grep),
+                // summarize the profile pipeline for operators:
+                // cold-start cost vs steady-state serving.
+                if (command == "stats" && is_ok) {
+                    const Value *res = parsed.value().find("result");
+                    auto num = [&](const char *key) -> double {
+                        const Value *v =
+                            res ? res->find(key) : nullptr;
+                        return v && v->isNumber() ? v->asNumber()
+                                                  : 0.0;
+                    };
+                    std::fprintf(
+                        stderr,
+                        "gpmctl: profiles: %.0f ready "
+                        "(%.0f built in %.0f ms, %.0f from disk, "
+                        "%.0f quarantined)\n",
+                        num("profileReady"), num("profileBuilds"),
+                        num("profileBuildMs"),
+                        num("profileDiskHits"),
+                        num("profileQuarantined"));
+                }
+                return is_ok ? 0 : 2;
             }
             failure = "server reported '" + code + "'";
         } else if (attempt >= retries) {

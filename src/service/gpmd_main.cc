@@ -14,9 +14,10 @@
 #include <cstring>
 #include <string>
 #include <sys/socket.h>
+#include <thread>
 
 #include "power/dvfs.hh"
-#include "service/fault.hh"
+#include "util/fault.hh"
 #include "service/server.hh"
 #include "service/service.hh"
 #include "trace/phase_profile.hh"
@@ -44,9 +45,15 @@ struct DaemonConfig
     gpm::ServiceOptions service;
     gpm::ServerOptions server;
     double scale = 1.0;
-    /** Non-empty: loadOrBuild() the whole suite against this disk
-     *  cache at startup. Empty: build profiles lazily per combo. */
+    /** Non-empty: loadOrBuild() the whole suite against this
+     *  legacy monolithic cache file at startup. Empty: build
+     *  profiles lazily per combo. */
     std::string profileCache;
+    /** Non-empty: per-workload content-addressed profile store
+     *  directory; the suite is prewarmed into/from it in the
+     *  background while the daemon serves. Wins over
+     *  --profile-cache. */
+    std::string profileCacheDir;
     /** Fault-injection spec (--fault / GPMD_FAULT); empty = off. */
     std::string faultSpec;
 };
@@ -73,6 +80,11 @@ usage(const char *argv0)
         "  --profile-cache P  prebuild all profiles into/from this\n"
         "                     file (default GPM_PROFILE_CACHE;\n"
         "                     unset = build lazily per request)\n"
+        "  --profile-cache-dir DIR  per-workload content-addressed\n"
+        "                     profile store (default\n"
+        "                     GPM_PROFILE_CACHE_DIR); the suite is\n"
+        "                     prewarmed in the background; wins\n"
+        "                     over --profile-cache\n"
         "  --idle-timeout-ms N  reap connections idle this long;\n"
         "                     0 = never (default 60000)\n"
         "  --write-timeout-ms N  per-write progress timeout;\n"
@@ -95,6 +107,9 @@ parseArgs(int argc, char **argv)
         cfg.scale = std::atof(s) > 0.0 ? std::atof(s) : 1.0;
     if (const char *s = std::getenv("GPM_PROFILE_CACHE"); s && *s)
         cfg.profileCache = s;
+    if (const char *s = std::getenv("GPM_PROFILE_CACHE_DIR");
+        s && *s)
+        cfg.profileCacheDir = s;
     if (const char *s = std::getenv("GPMD_FAULT"); s && *s)
         cfg.faultSpec = s;
 
@@ -134,6 +149,8 @@ parseArgs(int argc, char **argv)
             i++;
         } else if (a == "--profile-cache")
             cfg.profileCache = need(i), i++;
+        else if (a == "--profile-cache-dir")
+            cfg.profileCacheDir = need(i), i++;
         else if (a == "--idle-timeout-ms")
             cfg.server.idleTimeoutMs = std::atoi(need(i)), i++;
         else if (a == "--write-timeout-ms")
@@ -169,7 +186,16 @@ main(int argc, char **argv)
 
     gpm::DvfsTable dvfs = gpm::DvfsTable::classic3();
     gpm::ProfileLibrary lib(dvfs, cfg.scale);
-    if (!cfg.profileCache.empty()) {
+    // Prewarm in the background so the listener comes up
+    // immediately: submits that need a still-building profile wait
+    // on that profile's entry, not on the whole suite.
+    std::thread prewarm;
+    if (!cfg.profileCacheDir.empty()) {
+        lib.attachStore(cfg.profileCacheDir);
+        gpm::inform("gpmd: prewarming profiles (store %s)",
+                    cfg.profileCacheDir.c_str());
+        prewarm = std::thread([&lib] { lib.buildSuite(); });
+    } else if (!cfg.profileCache.empty()) {
         std::string path = cfg.profileCache;
         if (cfg.scale != 1.0) {
             // Scaled runs get their own cache file (same naming as
@@ -178,8 +204,8 @@ main(int argc, char **argv)
             std::snprintf(buf, sizeof(buf), ".s%g", cfg.scale);
             path += buf;
         }
-        gpm::inform("gpmd: loading profiles (%s)", path.c_str());
-        lib.loadOrBuild(path);
+        gpm::inform("gpmd: prewarming profiles (%s)", path.c_str());
+        prewarm = std::thread([&lib, path] { lib.loadOrBuild(path); });
     }
 
     gpm::ScenarioService svc(lib, dvfs, cfg.service);
@@ -204,6 +230,8 @@ main(int argc, char **argv)
     std::printf("gpmd: draining\n");
     std::fflush(stdout);
     server.stopAndDrain();
+    if (prewarm.joinable())
+        prewarm.join();
     std::printf("gpmd: shutdown complete\n");
     return 0;
 }

@@ -3,7 +3,7 @@
 #include <condition_variable>
 #include <cstdio>
 
-#include "service/fault.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace gpm
@@ -384,6 +384,11 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
         result.set("diskEntries", s.diskEntries);
         result.set("diskBytes", s.diskBytes);
         result.set("cancelledMidSweep", s.cancelledMidSweep);
+        result.set("profileBuilds", s.profileBuilds);
+        result.set("profileDiskHits", s.profileDiskHits);
+        result.set("profileBuildMs", s.profileBuildMs);
+        result.set("profileReady", s.profileReady);
+        result.set("profileQuarantined", s.profileQuarantined);
         result.set("connections", connections.load());
         result.set("requests", requests.load());
         result.set("idleReaped", idleReaped.load());

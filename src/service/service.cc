@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "service/fault.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace gpm
@@ -481,6 +481,14 @@ ScenarioService::stats() const
         s.diskQuarantined = d.quarantined;
         s.diskEntries = d.entries;
         s.diskBytes = d.bytes;
+    }
+    {
+        ProfileLibraryStats pl = lib.stats();
+        s.profileBuilds = pl.builds;
+        s.profileDiskHits = pl.diskHits;
+        s.profileBuildMs = pl.buildMs;
+        s.profileReady = pl.ready;
+        s.profileQuarantined = pl.storeQuarantined;
     }
     s.uptimeSec = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - startTime)

@@ -105,6 +105,11 @@ struct ServiceStats
     std::uint64_t diskEvictions = 0; ///< disk entries LRU-evicted
     std::uint64_t diskQuarantined = 0; ///< corrupt entries set aside
     std::uint64_t cancelledMidSweep = 0; ///< deadlines hit mid-sweep
+    std::uint64_t profileBuilds = 0;   ///< detailed-core suite builds
+    std::uint64_t profileDiskHits = 0; ///< profiles loaded from disk
+    std::uint64_t profileBuildMs = 0;  ///< cumulative sim time [ms]
+    std::uint64_t profileReady = 0;    ///< profiles ready to serve
+    std::uint64_t profileQuarantined = 0; ///< corrupt store entries
     std::size_t workersAlive = 0;  ///< workers currently running
     std::size_t queueDepth = 0;    ///< requests waiting right now
     std::size_t inFlight = 0;      ///< requests being computed

@@ -1,13 +1,16 @@
 #include "phase_profile.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 
+#include "trace/profile_store.hh"
 #include "trace/profiler.hh"
 #include "trace/workload.hh"
+#include "util/binio.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace gpm
 {
@@ -197,6 +200,45 @@ namespace
 {
 constexpr std::uint32_t profileMagic = 0x47504d50; // "GPMP"
 constexpr std::uint32_t profileVersion = 3;
+
+/** Bumped when profile *semantics* change without a WorkloadSpec /
+ *  DvfsTable / CoreConfig knob changing (e.g. a core-model fix);
+ *  mixed into workloadFingerprint() so stale store entries
+ *  re-address instead of serving old numbers. */
+constexpr std::uint64_t storeSemanticVersion = 1;
+
+std::uint64_t
+elapsedMs(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+/** FNV-1a accumulator shared by the fingerprint functions. */
+struct Fnv
+{
+    std::uint64_t h = 1469598103934665603ULL;
+
+    void mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+    /** Doubles are mixed at fixed precision, matching the legacy
+     *  suite fingerprint's idiom. */
+    void mixD(double v) { mix(static_cast<std::uint64_t>(v * 1e6)); }
+    void mixS(const std::string &s)
+    {
+        mix(s.size());
+        for (char c : s)
+            mix(static_cast<unsigned char>(c));
+    }
+};
+
 } // namespace
 
 ProfileLibrary::ProfileLibrary(const DvfsTable &dvfs_,
@@ -205,111 +247,341 @@ ProfileLibrary::ProfileLibrary(const DvfsTable &dvfs_,
 {
 }
 
+ProfileLibrary::~ProfileLibrary() = default;
+
 std::uint64_t
 ProfileLibrary::fingerprint() const
 {
     // FNV-1a over the parameters that determine profile contents.
-    std::uint64_t h = 1469598103934665603ULL;
-    auto mix = [&h](std::uint64_t v) {
-        for (int i = 0; i < 8; i++) {
-            h ^= (v >> (8 * i)) & 0xff;
-            h *= 1099511628211ULL;
-        }
-    };
-    mix(profileVersion);
-    mix(static_cast<std::uint64_t>(lengthScale * 1e6));
-    mix(dvfs.numModes());
+    Fnv f;
+    f.mix(profileVersion);
+    f.mix(static_cast<std::uint64_t>(lengthScale * 1e6));
+    f.mix(dvfs.numModes());
     for (std::size_t m = 0; m < dvfs.numModes(); m++) {
-        mix(static_cast<std::uint64_t>(
+        f.mix(static_cast<std::uint64_t>(
             dvfs.frequency(static_cast<PowerMode>(m))));
-        mix(static_cast<std::uint64_t>(
+        f.mix(static_cast<std::uint64_t>(
             dvfs.voltage(static_cast<PowerMode>(m)) * 1e6));
     }
     for (const auto &w : spec2000Suite()) {
-        mix(w.seed);
-        mix(w.totalInsts);
-        mix(w.phases.size());
+        f.mix(w.seed);
+        f.mix(w.totalInsts);
+        f.mix(w.phases.size());
         for (const auto &ph : w.phases) {
-            mix(ph.lengthInsts);
-            mix(static_cast<std::uint64_t>(ph.fracLoad * 1e6));
-            mix(static_cast<std::uint64_t>(ph.coldFrac * 1e6));
-            mix(static_cast<std::uint64_t>(ph.chainFrac * 1e6));
-            mix(static_cast<std::uint64_t>(ph.strideFrac * 1e6));
-            mix(static_cast<std::uint64_t>(ph.fracFp * 1e6));
-            mix(static_cast<std::uint64_t>(ph.branchBias * 1e6));
+            f.mix(ph.lengthInsts);
+            f.mixD(ph.fracLoad);
+            f.mixD(ph.coldFrac);
+            f.mixD(ph.chainFrac);
+            f.mixD(ph.strideFrac);
+            f.mixD(ph.fracFp);
+            f.mixD(ph.branchBias);
         }
     }
-    return h;
+    return f.h;
+}
+
+std::uint64_t
+ProfileLibrary::workloadFingerprint(const WorkloadSpec &w) const
+{
+    Fnv f;
+    f.mix(storeSemanticVersion);
+    f.mixD(lengthScale);
+    f.mix(dvfs.numModes());
+    for (std::size_t m = 0; m < dvfs.numModes(); m++) {
+        f.mix(static_cast<std::uint64_t>(
+            dvfs.frequency(static_cast<PowerMode>(m))));
+        f.mixD(dvfs.voltage(static_cast<PowerMode>(m)));
+    }
+
+    // Every WorkloadSpec field: any change re-addresses the entry.
+    f.mixS(w.name);
+    f.mix(w.isFp ? 1 : 0);
+    f.mixS(w.memClass);
+    f.mix(w.totalInsts);
+    f.mix(w.seed);
+    f.mix(w.codeBytes);
+    f.mix(w.hotBytes);
+    f.mix(w.warmBytes);
+    f.mix(w.coldBytes);
+    f.mix(w.streamBytes);
+    f.mix(w.phases.size());
+    for (const auto &ph : w.phases) {
+        f.mix(ph.lengthInsts);
+        f.mixD(ph.fracLoad);
+        f.mixD(ph.fracStore);
+        f.mixD(ph.fracBranch);
+        f.mixD(ph.fracFp);
+        f.mixD(ph.fracFpMul);
+        f.mixD(ph.fracFpDiv);
+        f.mixD(ph.fracIntMul);
+        f.mixD(ph.depP);
+        f.mixD(ph.dep2Prob);
+        f.mixD(ph.strideFrac);
+        f.mixD(ph.hotFrac);
+        f.mixD(ph.warmFrac);
+        f.mixD(ph.coldFrac);
+        f.mixD(ph.chainFrac);
+        f.mixD(ph.branchBias);
+    }
+
+    // Every CoreConfig knob the detailed core model reads.
+    f.mix(cfg.dispatchWidth);
+    f.mix(cfg.fetchWidth);
+    f.mix(cfg.windowSize);
+    f.mix(cfg.rsMem);
+    f.mix(cfg.rsFix);
+    f.mix(cfg.rsFp);
+    f.mix(cfg.physGpr);
+    f.mix(cfg.physFpr);
+    f.mix(cfg.archGpr);
+    f.mix(cfg.archFpr);
+    f.mix(cfg.numLsu);
+    f.mix(cfg.numFxu);
+    f.mix(cfg.numFpu);
+    f.mix(cfg.numBru);
+    f.mix(cfg.mshrs);
+    f.mix(cfg.frontendDelay);
+    f.mix(cfg.redirectPenalty);
+    f.mix(cfg.bpredEntries);
+    for (const CacheConfig *c : {&cfg.l1d, &cfg.l1i, &cfg.l2}) {
+        f.mix(c->sizeBytes);
+        f.mix(c->ways);
+        f.mix(c->blockBytes);
+    }
+    f.mix(cfg.l1LatCycles);
+    f.mixD(cfg.l2LatNs);
+    f.mixD(cfg.memLatNs);
+    f.mix(cfg.latIntAlu);
+    f.mix(cfg.latIntMul);
+    f.mix(cfg.latFpAlu);
+    f.mix(cfg.latFpMul);
+    f.mix(cfg.latFpDiv);
+    f.mix(cfg.latBranch);
+    f.mix(cfg.latAgen);
+    return f.h;
+}
+
+ProfileLibrary::Slot &
+ProfileLibrary::slotForLocked(const std::string &name)
+{
+    auto &up = slots[name];
+    if (!up) {
+        up = std::make_unique<Slot>();
+        order.push_back(up.get());
+    }
+    return *up;
+}
+
+void
+ProfileLibrary::publishLocked(Slot &s, WorkloadProfile &&p,
+                              bool fromDisk, std::uint64_t build_ms)
+{
+    s.profile = std::move(p);
+    s.state = Slot::State::Ready;
+    counters.ready++;
+    if (fromDisk) {
+        counters.diskHits++;
+    } else {
+        counters.builds++;
+        counters.buildMs += build_ms;
+    }
+    cv.notify_all();
+}
+
+void
+ProfileLibrary::attachStore(const std::string &dir)
+{
+    store = std::make_unique<ProfileStore>(dir);
 }
 
 const WorkloadProfile &
 ProfileLibrary::get(const std::string &name)
 {
-    {
-        std::shared_lock<std::shared_mutex> lock(mtx);
-        for (const auto &p : profiles)
-            if (p.name == name)
-                return p;
+    std::unique_lock<std::mutex> lock(mtx);
+    Slot &s = slotForLocked(name);
+    // Wait out another thread's in-flight build; if that build
+    // fails (slot reverts to Empty) the first waiter claims it.
+    while (s.state == Slot::State::Building)
+        cv.wait(lock);
+    if (s.state == Slot::State::Ready)
+        return s.profile;
+    s.state = Slot::State::Building;
+    lock.unlock();
+
+    WorkloadProfile p;
+    bool from_disk = false;
+    std::uint64_t ms = 0;
+    try {
+        const WorkloadSpec &spec = workload(name);
+        std::uint64_t fp = workloadFingerprint(spec);
+        if (store && store->load(name, fp, p)) {
+            from_disk = true;
+        } else {
+            auto t0 = std::chrono::steady_clock::now();
+            Profiler profiler(dvfs, cfg);
+            p = profiler.profileWorkload(spec, lengthScale);
+            ms = elapsedMs(t0);
+            if (store)
+                store->save(name, fp, p);
+        }
+    } catch (...) {
+        lock.lock();
+        s.state = Slot::State::Empty;
+        cv.notify_all();
+        throw;
     }
-    std::unique_lock<std::shared_mutex> lock(mtx);
-    // Another thread may have built it between the locks.
-    for (const auto &p : profiles)
-        if (p.name == name)
-            return p;
-    Profiler profiler(dvfs);
-    profiles.push_back(
-        profiler.profileWorkload(workload(name), lengthScale));
-    return profiles.back();
+    lock.lock();
+    publishLocked(s, std::move(p), from_disk, ms);
+    return s.profile;
 }
 
 void
-ProfileLibrary::loadOrBuild(const std::string &path)
+ProfileLibrary::buildSuite(std::size_t concurrency)
+{
+    struct Pending
+    {
+        const WorkloadSpec *spec;
+        Slot *slot;
+        std::vector<ModeProfile> modes;
+        std::vector<std::uint64_t> modeMs;
+    };
+    std::vector<Pending> pending;     // claimed by us, suite order
+    std::vector<std::string> foreign; // being built by others
+
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        for (const auto &w : spec2000Suite()) {
+            Slot &s = slotForLocked(w.name);
+            if (s.state == Slot::State::Ready)
+                continue;
+            if (s.state == Slot::State::Building) {
+                foreign.push_back(w.name);
+                continue;
+            }
+            s.state = Slot::State::Building;
+            pending.push_back({&w, &s, {}, {}});
+        }
+    }
+
+    // Probe the store serially first: a disk read is cheap next to
+    // a detailed-core run, and publishing early unblocks waiters.
+    if (store) {
+        for (auto it = pending.begin(); it != pending.end();) {
+            WorkloadProfile p;
+            if (store->load(it->spec->name,
+                            workloadFingerprint(*it->spec), p)) {
+                std::unique_lock<std::mutex> lock(mtx);
+                publishLocked(*it->slot, std::move(p), true, 0);
+                it = pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    const std::size_t n_modes = dvfs.numModes();
+    if (!pending.empty()) {
+        inform("building %zu suite profiles (%zu detailed-core "
+               "runs, concurrency %zu)",
+               pending.size(), pending.size() * n_modes,
+               concurrency ? concurrency : defaultConcurrency());
+        for (auto &pw : pending) {
+            pw.modes.resize(n_modes);
+            pw.modeMs.resize(n_modes);
+        }
+        Profiler profiler(dvfs, cfg);
+        try {
+            // One task per (workload x mode): the modes of one
+            // workload are independent deterministic runs, and a
+            // flat task list keeps all cores busy even when one
+            // workload dominates the suite.
+            gpm::parallelFor(
+                concurrency, pending.size() * n_modes,
+                [&](std::size_t t) {
+                    Pending &pw = pending[t / n_modes];
+                    auto mi = static_cast<PowerMode>(t % n_modes);
+                    auto t0 = std::chrono::steady_clock::now();
+                    pw.modes[mi] = profiler.profileMode(
+                        *pw.spec, mi, lengthScale);
+                    pw.modeMs[mi] = elapsedMs(t0);
+                });
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(mtx);
+            for (auto &pw : pending)
+                pw.slot->state = Slot::State::Empty;
+            cv.notify_all();
+            throw;
+        }
+        // Assemble + publish in suite order: deterministic slots,
+        // bitwise-identical to a serial profileWorkload() loop.
+        for (auto &pw : pending) {
+            WorkloadProfile p;
+            p.name = pw.spec->name;
+            p.modes = std::move(pw.modes);
+            Profiler::checkModeConsistency(p);
+            std::uint64_t ms = 0;
+            for (std::uint64_t m : pw.modeMs)
+                ms += m;
+            if (store)
+                store->save(p.name,
+                            workloadFingerprint(*pw.spec), p);
+            std::unique_lock<std::mutex> lock(mtx);
+            publishLocked(*pw.slot, std::move(p), false, ms);
+        }
+    }
+
+    // Profiles some other thread was mid-building when we scanned:
+    // get() waits per entry (and rebuilds if that build failed).
+    for (const std::string &name : foreign)
+        get(name);
+}
+
+void
+ProfileLibrary::loadOrBuild(const std::string &path,
+                            std::size_t concurrency)
 {
     if (load(path))
         return;
     inform("profile cache '%s' missing or stale; building suite "
            "profiles (one-time)",
            path.c_str());
-    Profiler profiler(dvfs);
-    profiles.clear();
-    for (const auto &w : spec2000Suite()) {
-        inform("  profiling %s (%llu Minsts x %zu modes)",
-               w.name.c_str(),
-               static_cast<unsigned long long>(
-                   w.totalInsts / 1'000'000),
-               dvfs.numModes());
-        profiles.push_back(profiler.profileWorkload(w, lengthScale));
-    }
+    buildSuite(concurrency);
     save(path);
 }
 
 void
 ProfileLibrary::save(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f) {
-        warn("cannot write profile cache '%s'", path.c_str());
-        return;
+    // Snapshot under the lock; Ready profiles are immutable and
+    // their addresses stable, so serialization can run unlocked.
+    std::vector<const WorkloadProfile *> ready;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        for (const Slot *s : order)
+            if (s->state == Slot::State::Ready)
+                ready.push_back(&s->profile);
     }
-    auto w32 = [f](std::uint32_t v) { std::fwrite(&v, 4, 1, f); };
-    auto w64 = [f](std::uint64_t v) { std::fwrite(&v, 8, 1, f); };
-    w32(profileMagic);
-    w32(profileVersion);
-    w64(fingerprint());
-    w32(static_cast<std::uint32_t>(profiles.size()));
-    for (const auto &p : profiles) {
-        w32(static_cast<std::uint32_t>(p.name.size()));
-        std::fwrite(p.name.data(), 1, p.name.size(), f);
-        w32(static_cast<std::uint32_t>(p.modes.size()));
-        for (const auto &mp : p.modes) {
-            w64(mp.chunkInsts);
-            w64(mp.lastChunkInsts);
-            w32(static_cast<std::uint32_t>(mp.chunks.size()));
-            std::fwrite(mp.chunks.data(), sizeof(ChunkRecord),
-                        mp.chunks.size(), f);
+
+    std::string out;
+    binio::putLe(out, profileMagic, 4);
+    binio::putLe(out, profileVersion, 4);
+    binio::putLe(out, fingerprint(), 8);
+    binio::putLe(out, ready.size(), 4);
+    for (const WorkloadProfile *p : ready) {
+        binio::putLe(out, p->name.size(), 4);
+        out += p->name;
+        binio::putLe(out, p->modes.size(), 4);
+        for (const auto &mp : p->modes) {
+            binio::putLe(out, mp.chunkInsts, 8);
+            binio::putLe(out, mp.lastChunkInsts, 8);
+            binio::putLe(out, mp.chunks.size(), 4);
+            out.append(
+                reinterpret_cast<const char *>(mp.chunks.data()),
+                mp.chunks.size() * sizeof(ChunkRecord));
         }
     }
-    std::fclose(f);
+    if (!binio::writeFileAtomic(path, out))
+        warn("cannot write profile cache '%s'", path.c_str());
 }
 
 bool
@@ -338,7 +610,7 @@ ProfileLibrary::load(const std::string &path)
         return fail();
     if (!r32(count) || count > 1024)
         return fail();
-    std::deque<WorkloadProfile> loaded;
+    std::vector<WorkloadProfile> loaded;
     for (std::uint32_t i = 0; i < count; i++) {
         WorkloadProfile p;
         std::uint32_t name_len = 0;
@@ -365,8 +637,33 @@ ProfileLibrary::load(const std::string &path)
         loaded.push_back(std::move(p));
     }
     std::fclose(f);
-    profiles = std::move(loaded);
+
+    // Wholesale replace (setup-time operation; see class comment).
+    std::unique_lock<std::mutex> lock(mtx);
+    slots.clear();
+    order.clear();
+    counters.ready = 0;
+    for (WorkloadProfile &p : loaded) {
+        Slot &s = slotForLocked(p.name);
+        publishLocked(s, std::move(p), true, 0);
+    }
     return true;
+}
+
+ProfileLibraryStats
+ProfileLibrary::stats() const
+{
+    ProfileLibraryStats s;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        s = counters;
+    }
+    if (store) {
+        ProfileStoreStats ss = store->stats();
+        s.storeQuarantined = ss.quarantined;
+        s.storeWriteFailures = ss.writeFailures;
+    }
+    return s;
 }
 
 } // namespace gpm

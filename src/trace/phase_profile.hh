@@ -19,13 +19,16 @@
 #ifndef GPM_TRACE_PHASE_PROFILE_HH
 #define GPM_TRACE_PHASE_PROFILE_HH
 
+#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <shared_mutex>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "power/dvfs.hh"
+#include "uarch/core_config.hh"
 #include "util/units.hh"
 
 namespace gpm
@@ -159,17 +162,48 @@ class ProfileCursor
     Pos cur;
 };
 
+class ProfileStore;
+struct WorkloadSpec;
+
+/** Monotonic build/cache counters; see ProfileLibrary::stats(). */
+struct ProfileLibraryStats
+{
+    /** Profiles built by running the detailed core model. */
+    std::uint64_t builds = 0;
+    /** Profiles served from the content-addressed disk store (or a
+     *  legacy monolithic cache file, counted once per profile). */
+    std::uint64_t diskHits = 0;
+    /** Cumulative detailed-sim time across (workload x mode) runs
+     *  [ms]. Sums per-mode run times, so under a parallel build it
+     *  exceeds wall clock — it measures work done, not latency. */
+    std::uint64_t buildMs = 0;
+    /** Profiles currently ready to serve. */
+    std::uint64_t ready = 0;
+    /** Corrupt store entries quarantined aside (see ProfileStore). */
+    std::uint64_t storeQuarantined = 0;
+    /** Store writes that failed (entry rebuilt next cold start). */
+    std::uint64_t storeWriteFailures = 0;
+};
+
 /**
  * Builds, caches, and serves WorkloadProfiles for a set of workloads
  * under one DvfsTable. Building runs the detailed core model (see
- * Profiler); profiles are cached in a binary file so benchmarks
+ * Profiler); profiles persist either in a per-workload
+ * content-addressed directory store (attachStore()) or a legacy
+ * monolithic cache file (load()/save()) so benchmarks and daemons
  * start quickly after the first run.
  *
- * get() is safe to call from concurrent sweep threads: lookups take
- * a shared lock and on-demand builds an exclusive one (builds
- * serialize, but sweeps run against a preloaded library where get()
- * is read-only). loadOrBuild()/load()/save() are setup-time
- * operations and must not race with get().
+ * Concurrency: every profile lives in its own slot with a
+ * per-entry build state (Empty -> Building -> Ready), so get() is
+ * safe from concurrent sweep threads, distinct workloads build
+ * concurrently, and a caller needing a profile another thread is
+ * already building waits on *that entry* — never on the whole
+ * suite and never behind a library-wide lock held across a
+ * detailed-core sim. buildSuite() fans the missing
+ * (workload x mode) runs out over a thread pool and assembles
+ * results deterministically in suite order, bitwise-identical to a
+ * serial build. load()/save()/loadOrBuild() may run concurrently
+ * with get() but are intended as setup-time operations.
  */
 class ProfileLibrary
 {
@@ -180,38 +214,103 @@ class ProfileLibrary
      */
     explicit ProfileLibrary(const DvfsTable &dvfs,
                             double length_scale = 1.0);
+    ~ProfileLibrary();
 
     /**
-     * Get the profile for @p name, building it on first use.
-     * The returned reference is stable for the library's lifetime.
+     * Get the profile for @p name, building it on first use (after
+     * probing the attached store, if any). The returned reference
+     * is stable for the library's lifetime. If another thread is
+     * already building @p name, waits for that build.
      */
     const WorkloadProfile &get(const std::string &name);
 
     /**
-     * Load cached profiles from @p path if compatible; otherwise
-     * build all suite profiles and save them to @p path.
+     * Attach the content-addressed profile store rooted at @p dir
+     * (created if missing): get() and buildSuite() then probe it
+     * before building and write through to it after. Attach before
+     * serving traffic.
      */
-    void loadOrBuild(const std::string &path);
+    void attachStore(const std::string &dir);
 
-    /** Serialize all currently built profiles to @p path. */
+    /**
+     * Ensure every suite profile is Ready: probe the attached store
+     * for each missing workload, then fan the remaining
+     * (workload x mode) detailed-core runs out over a transient
+     * thread pool (@p concurrency; 0 = defaultConcurrency()) and
+     * assemble + publish in suite order. Safe to run while get()
+     * serves other threads; assembled profiles are bitwise-identical
+     * to serially built ones.
+     */
+    void buildSuite(std::size_t concurrency = 0);
+
+    /**
+     * Legacy monolithic cache flow: load cached profiles from
+     * @p path if compatible; otherwise build all suite profiles (in
+     * parallel, see buildSuite()) and save them to @p path.
+     */
+    void loadOrBuild(const std::string &path,
+                     std::size_t concurrency = 0);
+
+    /** Serialize all currently Ready profiles to @p path
+     *  (atomically: temp + rename), in legacy monolithic format. */
     void save(const std::string &path) const;
 
     /**
-     * Try to load from @p path.
+     * Try to load a legacy monolithic cache from @p path.
      * @retval false when missing or incompatible.
      */
     bool load(const std::string &path);
 
-    /** Fingerprint of suite + dvfs + scale for cache validation. */
+    /** Fingerprint of suite + dvfs + scale for monolithic cache
+     *  validation. */
     std::uint64_t fingerprint() const;
 
+    /**
+     * Content fingerprint of one workload's profile inputs: store
+     * format version, length scale, the DvfsTable, the CoreConfig,
+     * and every WorkloadSpec field. Addresses entries in the
+     * attached store — changing any input re-addresses (and so
+     * rebuilds) only the profiles it affects.
+     */
+    std::uint64_t workloadFingerprint(const WorkloadSpec &spec) const;
+
+    ProfileLibraryStats stats() const;
+
   private:
+    /** One profile entry; its address never changes once created. */
+    struct Slot
+    {
+        enum class State
+        {
+            Empty,    ///< nothing yet
+            Building, ///< one thread is building/loading it
+            Ready     ///< profile is valid and immutable
+        };
+        State state = State::Empty;
+        WorkloadProfile profile;
+    };
+
+    Slot &slotForLocked(const std::string &name);
+    void publishLocked(Slot &s, WorkloadProfile &&p, bool fromDisk,
+                       std::uint64_t build_ms);
+
     const DvfsTable &dvfs;
     double lengthScale;
-    /** Guards profiles; see the class comment. */
-    mutable std::shared_mutex mtx;
-    /** deque: growing never invalidates references handed out. */
-    std::deque<WorkloadProfile> profiles;
+    /** Core configuration profiled under (Table 1 defaults); mixed
+     *  into workloadFingerprint(). */
+    CoreConfig cfg;
+    /** Guards slots/order/counters; never held across a build. */
+    mutable std::mutex mtx;
+    /** Signalled on every slot state change. */
+    std::condition_variable cv;
+    /** unique_ptr: rehashing never invalidates references handed
+     *  out; map: deterministic iteration. */
+    std::map<std::string, std::unique_ptr<Slot>> slots;
+    /** Slot creation order — save() emits profiles in this order so
+     *  the monolithic format round-trips byte-identically. */
+    std::vector<Slot *> order;
+    std::unique_ptr<ProfileStore> store;
+    ProfileLibraryStats counters;
 };
 
 } // namespace gpm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Content-addressed on-disk store of WorkloadProfiles: one
+ * CRC32-framed file per (workload spec, DvfsTable, length-scale,
+ * core-config) fingerprint, named `<workload>.<16-hex-fp>.gpmp`.
+ *
+ * Because the fingerprint is part of the file name, changing one
+ * knob (a DVFS voltage, a phase fraction, the length scale) simply
+ * addresses different files: only profiles whose inputs actually
+ * changed are rebuilt, stale entries are left behind harmlessly,
+ * and one directory can serve daemons running at different scales
+ * or be shared between hosts.
+ *
+ * Writes are atomic (temp + rename, see binio::writeFileAtomic) so
+ * a crash mid-save never leaves a truncated entry; corrupt or
+ * truncated entries found on read are quarantined aside as
+ * `.corrupt` and rebuilt. The `profile-read-corrupt` /
+ * `profile-write-fail` fault points inject both failure modes for
+ * chaos tests.
+ */
+
+#ifndef GPM_TRACE_PROFILE_STORE_HH
+#define GPM_TRACE_PROFILE_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "trace/phase_profile.hh"
+
+namespace gpm
+{
+
+/** Monotonic counters; see ProfileStore::stats(). */
+struct ProfileStoreStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t writeFailures = 0;
+};
+
+class ProfileStore
+{
+  public:
+    /** Binds to (and creates if missing) directory @p dir. */
+    explicit ProfileStore(std::string dir);
+
+    /**
+     * Load the profile for (@p name, @p fp) into @p out.
+     * @retval false when absent, corrupt (quarantined), or injected
+     *         corrupt via the profile-read-corrupt fault point.
+     */
+    bool load(const std::string &name, std::uint64_t fp,
+              WorkloadProfile &out);
+
+    /**
+     * Persist @p p as the entry for (@p name, @p fp), atomically.
+     * @retval false on I/O failure or the profile-write-fail fault
+     *         point (the profile is simply rebuilt next cold start).
+     */
+    bool save(const std::string &name, std::uint64_t fp,
+              const WorkloadProfile &p);
+
+    /** Entry file name: `<name>.<16-hex-fp>.gpmp`. */
+    static std::string fileNameFor(const std::string &name,
+                                   std::uint64_t fp);
+
+    /** Full path of the entry for (@p name, @p fp). */
+    std::string pathFor(const std::string &name,
+                        std::uint64_t fp) const;
+
+    const std::string &directory() const { return dir; }
+
+    ProfileStoreStats stats() const;
+
+  private:
+    void quarantine(const std::string &path);
+
+    std::string dir;
+    mutable std::mutex mtx; ///< guards the counters only
+    ProfileStoreStats counters;
+};
+
+} // namespace gpm
+
+#endif // GPM_TRACE_PROFILE_STORE_HH

@@ -14,6 +14,53 @@ Profiler::Profiler(const DvfsTable &dvfs_, CoreConfig cfg_,
 {
 }
 
+ModeProfile
+Profiler::profileMode(const WorkloadSpec &spec, PowerMode m,
+                      double length_scale,
+                      std::uint64_t chunk_insts) const
+{
+    GPM_ASSERT(chunk_insts > 0);
+    GPM_ASSERT(m < dvfs.numModes());
+    CorePowerModel power(pwrParams, dvfs);
+    PrivateL2 l2(cfg);
+    MemorySystem mem(cfg, l2);
+    SynthGenerator gen(spec, length_scale);
+    OooCore core(cfg, mem, gen, dvfs.frequency(m));
+
+    ModeProfile mp;
+    mp.chunkInsts = chunk_insts;
+    mp.lastChunkInsts = chunk_insts;
+    for (;;) {
+        CoreRunResult r = core.run(chunk_insts);
+        if (r.instructions == 0)
+            break;
+        ChunkRecord c;
+        c.timePs = r.elapsedPs;
+        c.energyJ = power.energy(r.activity, m);
+        c.l2Accesses =
+            static_cast<std::uint32_t>(r.activity.l2Accesses);
+        c.l2Misses =
+            static_cast<std::uint32_t>(r.activity.l2Misses);
+        mp.chunks.push_back(c);
+        if (r.streamEnded || r.instructions < chunk_insts) {
+            mp.lastChunkInsts = r.instructions;
+            break;
+        }
+    }
+    return mp;
+}
+
+void
+Profiler::checkModeConsistency(const WorkloadProfile &p)
+{
+    for (const ModeProfile &mp : p.modes) {
+        // All modes time the same instruction stream.
+        GPM_ASSERT(mp.chunks.size() ==
+                   p.modes.front().chunks.size());
+        GPM_ASSERT(mp.totalInsts() == p.modes.front().totalInsts());
+    }
+}
+
 WorkloadProfile
 Profiler::profileWorkload(const WorkloadSpec &spec,
                           double length_scale,
@@ -22,44 +69,11 @@ Profiler::profileWorkload(const WorkloadSpec &spec,
     GPM_ASSERT(chunk_insts > 0);
     WorkloadProfile result;
     result.name = spec.name;
-    CorePowerModel power(pwrParams, dvfs);
-
-    for (std::size_t mi = 0; mi < dvfs.numModes(); mi++) {
-        auto m = static_cast<PowerMode>(mi);
-        PrivateL2 l2(cfg);
-        MemorySystem mem(cfg, l2);
-        SynthGenerator gen(spec, length_scale);
-        OooCore core(cfg, mem, gen, dvfs.frequency(m));
-
-        ModeProfile mp;
-        mp.chunkInsts = chunk_insts;
-        mp.lastChunkInsts = chunk_insts;
-        for (;;) {
-            CoreRunResult r = core.run(chunk_insts);
-            if (r.instructions == 0)
-                break;
-            ChunkRecord c;
-            c.timePs = r.elapsedPs;
-            c.energyJ = power.energy(r.activity, m);
-            c.l2Accesses =
-                static_cast<std::uint32_t>(r.activity.l2Accesses);
-            c.l2Misses =
-                static_cast<std::uint32_t>(r.activity.l2Misses);
-            mp.chunks.push_back(c);
-            if (r.streamEnded || r.instructions < chunk_insts) {
-                mp.lastChunkInsts = r.instructions;
-                break;
-            }
-        }
-        if (!result.modes.empty()) {
-            // All modes time the same instruction stream.
-            GPM_ASSERT(mp.chunks.size() ==
-                       result.modes.front().chunks.size());
-            GPM_ASSERT(mp.totalInsts() ==
-                       result.modes.front().totalInsts());
-        }
-        result.modes.push_back(std::move(mp));
-    }
+    for (std::size_t mi = 0; mi < dvfs.numModes(); mi++)
+        result.modes.push_back(
+            profileMode(spec, static_cast<PowerMode>(mi),
+                        length_scale, chunk_insts));
+    checkModeConsistency(result);
     return result;
 }
 

@@ -58,6 +58,26 @@ class Profiler
         const WorkloadSpec &spec, double length_scale = 1.0,
         std::uint64_t chunk_insts = defaultChunkInsts) const;
 
+    /**
+     * Profile @p spec at one mode. Each mode's run is an independent
+     * deterministic simulation over the same instruction stream, so
+     * (workload x mode) runs can be fanned out across threads and
+     * assembled into a WorkloadProfile identical to a serial
+     * profileWorkload() — see checkModeConsistency().
+     */
+    ModeProfile profileMode(
+        const WorkloadSpec &spec, PowerMode m,
+        double length_scale = 1.0,
+        std::uint64_t chunk_insts = defaultChunkInsts) const;
+
+    /**
+     * Assert the cross-mode invariants profileWorkload() guarantees:
+     * every mode timed the same instruction stream (equal chunk
+     * counts and totals). Used by callers that assemble profiles
+     * from independently built ModeProfiles.
+     */
+    static void checkModeConsistency(const WorkloadProfile &p);
+
     /** Summarize a built profile (power/perf vs Turbo per mode). */
     ProfileSummary summarize(const WorkloadProfile &p) const;
 

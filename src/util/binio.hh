@@ -1,0 +1,154 @@
+#ifndef GPM_UTIL_BINIO_HH
+#define GPM_UTIL_BINIO_HH
+
+/**
+ * @file
+ * Small binary-file I/O helpers shared by the on-disk stores (the
+ * result disk cache in service/ and the profile store in trace/):
+ * little-endian integer framing, IEEE CRC32, whole-file reads, and
+ * atomic temp+rename writes. Everything here is header-only and
+ * dependency-free so any layer can use it.
+ *
+ * Framing convention (both stores follow it): an 8-byte magic that
+ * doubles as a format version, a little-endian u64 payload length, a
+ * little-endian u32 CRC32 of the payload, then the payload bytes.
+ * Integers are little-endian unconditionally — the only hosts this
+ * targets.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+namespace gpm
+{
+namespace binio
+{
+
+/** Plain table-driven CRC32 (IEEE 802.3 polynomial). */
+inline std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    static const auto table = [] {
+        std::vector<std::uint32_t> t(256);
+        for (std::uint32_t i = 0; i < 256; i++) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; k++)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t c = 0xffffffffu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; i++)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+inline void
+putLe(std::string &out, std::uint64_t v, int bytes)
+{
+    for (int i = 0; i < bytes; i++)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+inline std::uint64_t
+getLe(const char *p, int bytes)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; i++)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+            << (8 * i);
+    return v;
+}
+
+inline bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char chunk[1 << 14];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        out.append(chunk, got);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+/**
+ * Write `blob` to `path` atomically: a process-unique temp name in
+ * the same directory, flushed, then rename()d over the target. The
+ * rename is the commit point — a crash mid-write leaves only the
+ * temp file, never a truncated target, and two processes sharing
+ * the directory can never interleave bytes. Returns false (and
+ * removes the temp file) on any failure.
+ */
+inline bool
+writeFileAtomic(const std::string &path, const std::string &blob)
+{
+    std::string tmp = path + ".tmp." +
+        std::to_string(static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok =
+        std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+    ok = std::fflush(f) == 0 && ok;
+    std::fclose(f);
+    if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Frame a payload per the store convention: magic (8 bytes), LE u64
+ * payload length, LE u32 CRC32(payload), payload.
+ */
+inline std::string
+frame(const char (&magic)[8], const std::string &payload)
+{
+    std::string blob;
+    blob.reserve(8 + 8 + 4 + payload.size());
+    blob.append(magic, 8);
+    putLe(blob, payload.size(), 8);
+    putLe(blob, crc32(payload.data(), payload.size()), 4);
+    blob += payload;
+    return blob;
+}
+
+/**
+ * Validate a framed blob against `magic` and its CRC; on success
+ * set `payload` to the unframed bytes and return true. Any size,
+ * magic, length, or checksum mismatch returns false.
+ */
+inline bool
+unframe(const char (&magic)[8], const std::string &raw,
+        std::string &payload)
+{
+    constexpr std::size_t kHeaderBytes = 8 + 8 + 4;
+    if (raw.size() < kHeaderBytes ||
+        std::memcmp(raw.data(), magic, 8) != 0)
+        return false;
+    std::uint64_t len = getLe(raw.data() + 8, 8);
+    auto crc = static_cast<std::uint32_t>(getLe(raw.data() + 16, 4));
+    if (raw.size() != kHeaderBytes + len ||
+        crc32(raw.data() + kHeaderBytes, len) != crc)
+        return false;
+    payload.assign(raw, kHeaderBytes, len);
+    return true;
+}
+
+} // namespace binio
+} // namespace gpm
+
+#endif // GPM_UTIL_BINIO_HH

@@ -1,4 +1,4 @@
-#include "service/fault.hh"
+#include "util/fault.hh"
 
 #include <array>
 #include <chrono>
@@ -47,6 +47,7 @@ constexpr const char *kNames[kPoints] = {
     "accept-delay",      "conn-stall",   "read-drop",
     "worker-throw",      "worker-stall", "response-delay",
     "disk-read-corrupt", "disk-write-fail",
+    "profile-read-corrupt", "profile-write-fail",
 };
 
 void

@@ -1,11 +1,14 @@
 /**
  * @file
- * Fault injection for the scenario service — the chaos-testing
- * backbone. A small set of *named fault points* is compiled into the
- * serving path permanently; each point is disarmed by default and
- * costs exactly one relaxed atomic load at its call site until a
- * test (or an operator, via `gpmd --fault` / the GPMD_FAULT
- * environment variable) arms it.
+ * Fault injection for the scenario service and the profile pipeline
+ * — the chaos-testing backbone. A small set of *named fault points*
+ * is compiled into the serving path permanently; each point is
+ * disarmed by default and costs exactly one relaxed atomic load at
+ * its call site until a test (or an operator, via `gpmd --fault` /
+ * the GPMD_FAULT environment variable) arms it.
+ *
+ * (Lives in util/ so every layer can host a fault point: the profile
+ * store in trace/ sits below the service library in the link order.)
  *
  * Fault points:
  *
@@ -27,6 +30,10 @@
  *                   read (exercises quarantine + recompute)
  *   disk-write-fail    fail a disk-cache write (the entry is simply
  *                   not persisted; serving is unaffected)
+ *   profile-read-corrupt  treat a profile-store entry as CRC-corrupt
+ *                   on read (exercises quarantine + rebuild)
+ *   profile-write-fail    fail a profile-store write (the profile is
+ *                   rebuilt next cold start; serving is unaffected)
  *
  * Spec grammar (comma-separated, whitespace-free):
  *
@@ -45,8 +52,8 @@
  * tests do); fire()/maybeDelay() are safe from any thread.
  */
 
-#ifndef GPM_SERVICE_FAULT_HH
-#define GPM_SERVICE_FAULT_HH
+#ifndef GPM_UTIL_FAULT_HH
+#define GPM_UTIL_FAULT_HH
 
 #include <atomic>
 #include <cstdint>
@@ -67,6 +74,8 @@ enum class Point : std::size_t
     ResponseDelay,
     DiskReadCorrupt,
     DiskWriteFail,
+    ProfileReadCorrupt,
+    ProfileWriteFail,
     kCount
 };
 
@@ -117,4 +126,4 @@ std::optional<Point> pointByName(std::string_view name);
 
 } // namespace gpm::fault
 
-#endif // GPM_SERVICE_FAULT_HH
+#endif // GPM_UTIL_FAULT_HH

@@ -16,7 +16,7 @@
 #include <utility>
 #include <vector>
 
-#include "service/fault.hh"
+#include "util/fault.hh"
 #include "service/server.hh"
 #include "service/service.hh"
 

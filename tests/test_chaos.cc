@@ -1,4 +1,4 @@
-/** @file Chaos harness: every fault point in service/fault.hh armed
+/** @file Chaos harness: every fault point in util/fault.hh armed
  *  in turn against a live ScenarioService / GpmServer over loopback,
  *  asserting graceful degradation — structured errors instead of
  *  dead daemons, supervisor-respawned workers, shed expired
@@ -13,7 +13,7 @@
 #include <string>
 #include <thread>
 
-#include "service/fault.hh"
+#include "util/fault.hh"
 #include "service/server.hh"
 #include "util/backoff.hh"
 

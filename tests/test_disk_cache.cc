@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "service/disk_cache.hh"
-#include "service/fault.hh"
+#include "util/fault.hh"
 
 namespace gpm
 {

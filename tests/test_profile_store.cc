@@ -1,0 +1,327 @@
+/**
+ * @file
+ * The parallel profile pipeline: buildSuite() determinism vs a
+ * serial baseline (mirroring test_sweep.cc's contract), the
+ * content-addressed ProfileStore (round trip, fingerprint
+ * addressing, corrupt/truncated-entry quarantine, fault injection),
+ * incremental invalidation, and the legacy monolithic fallback.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/phase_profile.hh"
+#include "trace/profile_store.hh"
+#include "trace/profiler.hh"
+#include "trace/workload.hh"
+#include "util/fault.hh"
+
+namespace gpm
+{
+namespace
+{
+
+/** Tiny scale so a full suite build stays in test time. */
+constexpr double kScale = 0.002;
+
+bool
+identical(const WorkloadProfile &a, const WorkloadProfile &b)
+{
+    if (a.name != b.name || a.modes.size() != b.modes.size())
+        return false;
+    for (std::size_t m = 0; m < a.modes.size(); m++) {
+        const ModeProfile &x = a.modes[m], &y = b.modes[m];
+        if (x.chunkInsts != y.chunkInsts ||
+            x.lastChunkInsts != y.lastChunkInsts ||
+            x.chunks.size() != y.chunks.size())
+            return false;
+        if (std::memcmp(x.chunks.data(), y.chunks.data(),
+                        x.chunks.size() * sizeof(ChunkRecord)) != 0)
+            return false;
+    }
+    return true;
+}
+
+class ProfileStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fault::disarm();
+        char tmpl[] = "/tmp/gpm_profile_store_XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir = tmpl;
+        dvfs = DvfsTable::classic3();
+    }
+
+    void
+    TearDown() override
+    {
+        fault::disarm();
+        std::string cmd = "rm -rf " + dir;
+        ASSERT_EQ(std::system(cmd.c_str()), 0);
+    }
+
+    /** A small profile built directly (one workload, full modes). */
+    WorkloadProfile
+    buildOne(const std::string &name)
+    {
+        Profiler profiler(dvfs);
+        return profiler.profileWorkload(workload(name), kScale);
+    }
+
+    std::string dir;
+    DvfsTable dvfs = DvfsTable::classic3();
+};
+
+TEST_F(ProfileStoreTest, ParallelBuildMatchesSerialBaseline)
+{
+    // Serial reference: the exact profiles a pre-parallel library
+    // would have produced one (workload, mode) at a time.
+    ProfileLibrary serial(dvfs, kScale);
+    serial.buildSuite(1);
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        ProfileLibrary lib(dvfs, kScale);
+        lib.buildSuite(threads);
+        for (const auto &w : spec2000Suite())
+            EXPECT_TRUE(
+                identical(lib.get(w.name), serial.get(w.name)))
+                << w.name << " diverged at concurrency " << threads;
+    }
+}
+
+TEST_F(ProfileStoreTest, StoreRoundTrip)
+{
+    WorkloadProfile p = buildOne("mcf");
+    ProfileStore store(dir);
+    ASSERT_TRUE(store.save("mcf", 0x1234, p));
+
+    WorkloadProfile q;
+    ASSERT_TRUE(store.load("mcf", 0x1234, q));
+    EXPECT_TRUE(identical(p, q));
+    EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST_F(ProfileStoreTest, FingerprintAddressesEntries)
+{
+    WorkloadProfile p = buildOne("mcf");
+    ProfileStore store(dir);
+    ASSERT_TRUE(store.save("mcf", 0x1234, p));
+
+    WorkloadProfile q;
+    // A different fingerprint is a different entry: miss, and the
+    // existing entry is left untouched (no quarantine).
+    EXPECT_FALSE(store.load("mcf", 0x9999, q));
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().quarantined, 0u);
+    EXPECT_TRUE(store.load("mcf", 0x1234, q));
+}
+
+TEST_F(ProfileStoreTest, TruncatedEntryQuarantined)
+{
+    WorkloadProfile p = buildOne("mcf");
+    ProfileStore store(dir);
+    ASSERT_TRUE(store.save("mcf", 7, p));
+    std::string path = store.pathFor("mcf", 7);
+
+    struct stat st;
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    ASSERT_EQ(::truncate(path.c_str(), st.st_size / 2), 0);
+
+    WorkloadProfile q;
+    EXPECT_FALSE(store.load("mcf", 7, q));
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    // The entry was set aside, not deleted, for postmortems...
+    struct stat aside;
+    EXPECT_EQ(::stat((path + ".corrupt").c_str(), &aside), 0);
+    // ...and the slot is clean: a rebuilt profile saves and loads.
+    ASSERT_TRUE(store.save("mcf", 7, p));
+    EXPECT_TRUE(store.load("mcf", 7, q));
+    EXPECT_TRUE(identical(p, q));
+}
+
+TEST_F(ProfileStoreTest, FlippedByteQuarantined)
+{
+    WorkloadProfile p = buildOne("mcf");
+    ProfileStore store(dir);
+    ASSERT_TRUE(store.save("mcf", 7, p));
+    std::string path = store.pathFor("mcf", 7);
+
+    // Flip one payload byte; the CRC catches it.
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+
+    WorkloadProfile q;
+    EXPECT_FALSE(store.load("mcf", 7, q));
+    EXPECT_EQ(store.stats().quarantined, 1u);
+}
+
+TEST_F(ProfileStoreTest, ReadCorruptFaultQuarantinesAndRebuilds)
+{
+    ProfileLibrary lib(dvfs, kScale);
+    lib.attachStore(dir);
+    const WorkloadProfile &built = lib.get("mcf");
+    ASSERT_EQ(lib.stats().builds, 1u);
+
+    // Every read sees an (injected) corrupt entry: a fresh library
+    // quarantines it and rebuilds from scratch...
+    ASSERT_FALSE(fault::arm("profile-read-corrupt:1,seed:1"));
+    ProfileLibrary lib2(dvfs, kScale);
+    lib2.attachStore(dir);
+    const WorkloadProfile &rebuilt = lib2.get("mcf");
+    EXPECT_GE(fault::fires(fault::Point::ProfileReadCorrupt), 1u);
+    fault::disarm();
+
+    ProfileLibraryStats st = lib2.stats();
+    EXPECT_EQ(st.builds, 1u);
+    EXPECT_EQ(st.diskHits, 0u);
+    EXPECT_EQ(st.storeQuarantined, 1u);
+    // ...bitwise-identical (the build is deterministic), and the
+    // rebuild re-persisted it: a third library loads from disk.
+    EXPECT_TRUE(identical(built, rebuilt));
+    ProfileLibrary lib3(dvfs, kScale);
+    lib3.attachStore(dir);
+    lib3.get("mcf");
+    EXPECT_EQ(lib3.stats().diskHits, 1u);
+    EXPECT_EQ(lib3.stats().builds, 0u);
+}
+
+TEST_F(ProfileStoreTest, WriteFailFaultMeansRebuildNextStart)
+{
+    ASSERT_FALSE(fault::arm("profile-write-fail:1,seed:1"));
+    ProfileLibrary lib(dvfs, kScale);
+    lib.attachStore(dir);
+    lib.get("mcf");
+    EXPECT_GE(fault::fires(fault::Point::ProfileWriteFail), 1u);
+    EXPECT_EQ(lib.stats().storeWriteFailures, 1u);
+    fault::disarm();
+
+    // Nothing persisted: the next cold start builds again, and with
+    // the fault gone the entry lands on disk this time.
+    ProfileLibrary lib2(dvfs, kScale);
+    lib2.attachStore(dir);
+    lib2.get("mcf");
+    EXPECT_EQ(lib2.stats().builds, 1u);
+    ProfileLibrary lib3(dvfs, kScale);
+    lib3.attachStore(dir);
+    lib3.get("mcf");
+    EXPECT_EQ(lib3.stats().diskHits, 1u);
+}
+
+TEST_F(ProfileStoreTest, WarmStartBuildsNothing)
+{
+    {
+        ProfileLibrary lib(dvfs, kScale);
+        lib.attachStore(dir);
+        lib.buildSuite(2);
+        EXPECT_EQ(lib.stats().builds, spec2000Suite().size());
+    }
+    ProfileLibrary warm(dvfs, kScale);
+    warm.attachStore(dir);
+    warm.buildSuite(2);
+    ProfileLibraryStats st = warm.stats();
+    EXPECT_EQ(st.builds, 0u);
+    EXPECT_EQ(st.diskHits, spec2000Suite().size());
+    EXPECT_EQ(st.ready, spec2000Suite().size());
+}
+
+TEST_F(ProfileStoreTest, InvalidatingOneEntryRebuildsOnlyIt)
+{
+    {
+        ProfileLibrary lib(dvfs, kScale);
+        lib.attachStore(dir);
+        lib.buildSuite(2);
+    }
+    const WorkloadSpec &victim = spec2000Suite().front();
+    ProfileLibrary lib(dvfs, kScale);
+    lib.attachStore(dir);
+    {
+        ProfileStore probe(dir);
+        ASSERT_EQ(::unlink(probe
+                               .pathFor(victim.name,
+                                        lib.workloadFingerprint(
+                                            victim))
+                               .c_str()),
+                  0);
+    }
+    lib.buildSuite(2);
+    ProfileLibraryStats st = lib.stats();
+    EXPECT_EQ(st.builds, 1u);
+    EXPECT_EQ(st.diskHits, spec2000Suite().size() - 1);
+}
+
+TEST_F(ProfileStoreTest, ScaleChangesWorkloadFingerprint)
+{
+    ProfileLibrary a(dvfs, 0.002), b(dvfs, 0.002), c(dvfs, 0.004);
+    const WorkloadSpec &w = spec2000Suite().front();
+    EXPECT_EQ(a.workloadFingerprint(w), b.workloadFingerprint(w));
+    EXPECT_NE(a.workloadFingerprint(w), c.workloadFingerprint(w));
+    // Distinct workloads address distinct entries.
+    EXPECT_NE(a.workloadFingerprint(spec2000Suite()[0]),
+              a.workloadFingerprint(spec2000Suite()[1]));
+}
+
+TEST_F(ProfileStoreTest, LegacyMonolithicFallbackStillLoads)
+{
+    std::string path = dir + "/legacy.bin";
+    ProfileLibrary lib(dvfs, kScale);
+    lib.get("mcf");
+    lib.get("art");
+    lib.save(path);
+
+    // loadOrBuild takes the legacy read path: everything the file
+    // holds is served without a single detailed-core run.
+    ProfileLibrary lib2(dvfs, kScale);
+    lib2.loadOrBuild(path); // file is compatible -> no build
+    ProfileLibraryStats st = lib2.stats();
+    EXPECT_EQ(st.diskHits, 2u);
+    EXPECT_TRUE(identical(lib2.get("mcf"), lib.get("mcf")));
+    EXPECT_EQ(lib2.stats().builds, 0u);
+}
+
+TEST_F(ProfileStoreTest, TruncatedMonolithicFallsBackToBuild)
+{
+    std::string path = dir + "/legacy.bin";
+    ProfileLibrary lib(dvfs, kScale);
+    lib.get("mcf");
+    lib.save(path);
+
+    struct stat st;
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    ASSERT_EQ(::truncate(path.c_str(), st.st_size - 8), 0);
+
+    ProfileLibrary lib2(dvfs, kScale);
+    EXPECT_FALSE(lib2.load(path));
+}
+
+TEST_F(ProfileStoreTest, SaveIsAtomic)
+{
+    // save() must never leave a partially written file at the
+    // target path; the temp is cleaned up on success.
+    std::string path = dir + "/atomic.bin";
+    ProfileLibrary lib(dvfs, kScale);
+    lib.get("mcf");
+    lib.save(path);
+    ProfileLibrary lib2(dvfs, kScale);
+    EXPECT_TRUE(lib2.load(path));
+    // No stray temp files in the directory.
+    std::string cmd =
+        "ls " + dir + " | grep -q '\\.tmp\\.' && exit 1 || exit 0";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+}
+
+} // namespace
+} // namespace gpm
