@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <sys/socket.h>
 #include <thread>
@@ -190,11 +191,29 @@ main(int argc, char **argv)
     // immediately: submits that need a still-building profile wait
     // on that profile's entry, not on the whole suite.
     std::thread prewarm;
+    // A failed prewarm must not take the daemon down: catch
+    // everything (parallelFor rethrows the first failed build) and
+    // fall back to per-entry lazy builds in ProfileLibrary::get().
+    auto prewarmThread = [&lib](auto warm) {
+        return std::thread([&lib, warm] {
+            try {
+                warm(lib);
+            } catch (const std::exception &e) {
+                gpm::warn("gpmd: profile prewarm failed: %s "
+                          "(profiles will build lazily per request)",
+                          e.what());
+            } catch (...) {
+                gpm::warn("gpmd: profile prewarm failed (profiles "
+                          "will build lazily per request)");
+            }
+        });
+    };
     if (!cfg.profileCacheDir.empty()) {
         lib.attachStore(cfg.profileCacheDir);
         gpm::inform("gpmd: prewarming profiles (store %s)",
                     cfg.profileCacheDir.c_str());
-        prewarm = std::thread([&lib] { lib.buildSuite(); });
+        prewarm = prewarmThread(
+            [](gpm::ProfileLibrary &l) { l.buildSuite(); });
     } else if (!cfg.profileCache.empty()) {
         std::string path = cfg.profileCache;
         if (cfg.scale != 1.0) {
@@ -205,7 +224,9 @@ main(int argc, char **argv)
             path += buf;
         }
         gpm::inform("gpmd: prewarming profiles (%s)", path.c_str());
-        prewarm = std::thread([&lib, path] { lib.loadOrBuild(path); });
+        prewarm = prewarmThread([path](gpm::ProfileLibrary &l) {
+            l.loadOrBuild(path);
+        });
     }
 
     gpm::ScenarioService svc(lib, dvfs, cfg.service);

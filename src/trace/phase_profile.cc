@@ -463,34 +463,40 @@ ProfileLibrary::buildSuite(std::size_t concurrency)
         }
     }
 
-    // Probe the store serially first: a disk read is cheap next to
-    // a detailed-core run, and publishing early unblocks waiters.
-    if (store) {
-        for (auto it = pending.begin(); it != pending.end();) {
-            WorkloadProfile p;
-            if (store->load(it->spec->name,
-                            workloadFingerprint(*it->spec), p)) {
-                std::unique_lock<std::mutex> lock(mtx);
-                publishLocked(*it->slot, std::move(p), true, 0);
-                it = pending.erase(it);
-            } else {
-                ++it;
+    const std::size_t n_modes = dvfs.numModes();
+    // Everything between claiming the slots and publishing them runs
+    // under one catch: any throw (store probe, resize, a build, the
+    // consistency check) reverts the still-Building slots we claimed
+    // to Empty and wakes waiters, so no get() deadlocks on a slot
+    // with no builder behind it.
+    try {
+        // Probe the store serially first: a disk read is cheap next
+        // to a detailed-core run, and publishing early unblocks
+        // waiters.
+        if (store) {
+            for (auto it = pending.begin(); it != pending.end();) {
+                WorkloadProfile p;
+                if (store->load(it->spec->name,
+                                workloadFingerprint(*it->spec), p)) {
+                    std::unique_lock<std::mutex> lock(mtx);
+                    publishLocked(*it->slot, std::move(p), true, 0);
+                    it = pending.erase(it);
+                } else {
+                    ++it;
+                }
             }
         }
-    }
 
-    const std::size_t n_modes = dvfs.numModes();
-    if (!pending.empty()) {
-        inform("building %zu suite profiles (%zu detailed-core "
-               "runs, concurrency %zu)",
-               pending.size(), pending.size() * n_modes,
-               concurrency ? concurrency : defaultConcurrency());
-        for (auto &pw : pending) {
-            pw.modes.resize(n_modes);
-            pw.modeMs.resize(n_modes);
-        }
-        Profiler profiler(dvfs, cfg);
-        try {
+        if (!pending.empty()) {
+            inform("building %zu suite profiles (%zu detailed-core "
+                   "runs, concurrency %zu)",
+                   pending.size(), pending.size() * n_modes,
+                   concurrency ? concurrency : defaultConcurrency());
+            for (auto &pw : pending) {
+                pw.modes.resize(n_modes);
+                pw.modeMs.resize(n_modes);
+            }
+            Profiler profiler(dvfs, cfg);
             // One task per (workload x mode): the modes of one
             // workload are independent deterministic runs, and a
             // flat task list keeps all cores busy even when one
@@ -505,29 +511,34 @@ ProfileLibrary::buildSuite(std::size_t concurrency)
                         *pw.spec, mi, lengthScale);
                     pw.modeMs[mi] = elapsedMs(t0);
                 });
-        } catch (...) {
-            std::unique_lock<std::mutex> lock(mtx);
-            for (auto &pw : pending)
+            // Assemble + publish in suite order: deterministic
+            // slots, bitwise-identical to a serial
+            // profileWorkload() loop.
+            for (auto &pw : pending) {
+                WorkloadProfile p;
+                p.name = pw.spec->name;
+                p.modes = std::move(pw.modes);
+                Profiler::checkModeConsistency(p);
+                std::uint64_t ms = 0;
+                for (std::uint64_t m : pw.modeMs)
+                    ms += m;
+                if (store)
+                    store->save(p.name,
+                                workloadFingerprint(*pw.spec), p);
+                std::unique_lock<std::mutex> lock(mtx);
+                publishLocked(*pw.slot, std::move(p), false, ms);
+            }
+        }
+    } catch (...) {
+        std::unique_lock<std::mutex> lock(mtx);
+        // Published slots are Ready and stay; only revert the ones
+        // still waiting on us (we claimed them, so nobody else can
+        // have moved them).
+        for (auto &pw : pending)
+            if (pw.slot->state == Slot::State::Building)
                 pw.slot->state = Slot::State::Empty;
-            cv.notify_all();
-            throw;
-        }
-        // Assemble + publish in suite order: deterministic slots,
-        // bitwise-identical to a serial profileWorkload() loop.
-        for (auto &pw : pending) {
-            WorkloadProfile p;
-            p.name = pw.spec->name;
-            p.modes = std::move(pw.modes);
-            Profiler::checkModeConsistency(p);
-            std::uint64_t ms = 0;
-            for (std::uint64_t m : pw.modeMs)
-                ms += m;
-            if (store)
-                store->save(p.name,
-                            workloadFingerprint(*pw.spec), p);
-            std::unique_lock<std::mutex> lock(mtx);
-            publishLocked(*pw.slot, std::move(p), false, ms);
-        }
+        cv.notify_all();
+        throw;
     }
 
     // Profiles some other thread was mid-building when we scanned:
@@ -638,13 +649,18 @@ ProfileLibrary::load(const std::string &path)
     }
     std::fclose(f);
 
-    // Wholesale replace (setup-time operation; see class comment).
+    // Merge into the live table: publish into Empty slots only.
+    // load() may run concurrently with get() (gpmd prewarms in the
+    // background while serving), so never destroy or overwrite
+    // slots — callers hold returned profile references, and waiters
+    // are parked on Building entries. Ready/Building slots already
+    // have equivalent content in flight (the fingerprint check above
+    // guarantees the file matches this library's configuration).
     std::unique_lock<std::mutex> lock(mtx);
-    slots.clear();
-    order.clear();
-    counters.ready = 0;
     for (WorkloadProfile &p : loaded) {
         Slot &s = slotForLocked(p.name);
+        if (s.state != Slot::State::Empty)
+            continue;
         publishLocked(s, std::move(p), true, 0);
     }
     return true;

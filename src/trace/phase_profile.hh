@@ -202,8 +202,10 @@ struct ProfileLibraryStats
  * detailed-core sim. buildSuite() fans the missing
  * (workload x mode) runs out over a thread pool and assembles
  * results deterministically in suite order, bitwise-identical to a
- * serial build. load()/save()/loadOrBuild() may run concurrently
- * with get() but are intended as setup-time operations.
+ * serial build. load()/save()/loadOrBuild() are safe to run
+ * concurrently with get(): load() merges into the live table
+ * (publishing only Empty slots, never destroying existing ones) and
+ * save() snapshots Ready profiles under the lock.
  */
 class ProfileLibrary
 {
@@ -256,7 +258,10 @@ class ProfileLibrary
     void save(const std::string &path) const;
 
     /**
-     * Try to load a legacy monolithic cache from @p path.
+     * Try to load a legacy monolithic cache from @p path, merging
+     * its profiles into the library (slots that are already Ready
+     * or Building keep their content — existing get() references
+     * stay valid).
      * @retval false when missing or incompatible.
      */
     bool load(const std::string &path);

@@ -85,10 +85,15 @@ readWholeFile(const std::string &path, std::string &out)
 
 /**
  * Write `blob` to `path` atomically: a process-unique temp name in
- * the same directory, flushed, then rename()d over the target. The
- * rename is the commit point — a crash mid-write leaves only the
- * temp file, never a truncated target, and two processes sharing
- * the directory can never interleave bytes. Returns false (and
+ * the same directory, flushed and fsync()d, then rename()d over the
+ * target. The rename is the commit point — a crash mid-write leaves
+ * only the temp file, never a truncated target, and two processes
+ * sharing the directory can never interleave bytes. The fsync makes
+ * the blob's pages durable before the rename can commit, so even
+ * after a power loss the target holds either the old or the
+ * complete new contents (the directory entry itself is not synced:
+ * a power loss immediately after can drop the rename, which
+ * resurfaces the old file — never a torn one). Returns false (and
  * removes the temp file) on any failure.
  */
 inline bool
@@ -102,6 +107,7 @@ writeFileAtomic(const std::string &path, const std::string &blob)
     bool ok =
         std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
     ok = std::fflush(f) == 0 && ok;
+    ok = ::fsync(::fileno(f)) == 0 && ok;
     std::fclose(f);
     if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
         ::unlink(tmp.c_str());

@@ -164,6 +164,33 @@ TEST(ProfileLibrary, SaveLoadRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(ProfileLibrary, LoadMergesWithoutInvalidatingReferences)
+{
+    // gpmd prewarms load() on a background thread while get()
+    // serves: a load must merge into the live table, never clear
+    // it — references handed out earlier stay valid.
+    auto dvfs = DvfsTable::classic3();
+    std::string path =
+        ::testing::TempDir() + "/gpm_profiles_merge.bin";
+    ProfileLibrary lib(dvfs, 0.002);
+    lib.get("mcf");
+    lib.get("art");
+    lib.save(path);
+
+    ProfileLibrary lib2(dvfs, 0.002);
+    const WorkloadProfile *mcf = &lib2.get("mcf");
+    std::uint64_t insts = mcf->at(modes::Turbo).totalInsts();
+    ASSERT_TRUE(lib2.load(path));
+    // The pre-existing Ready slot survives the load by address...
+    EXPECT_EQ(mcf, &lib2.get("mcf"));
+    EXPECT_EQ(mcf->at(modes::Turbo).totalInsts(), insts);
+    // ...and only the file's other profile merged in from disk.
+    EXPECT_EQ(lib2.stats().diskHits, 1u);
+    lib2.get("art");
+    EXPECT_EQ(lib2.stats().builds, 1u);
+    std::remove(path.c_str());
+}
+
 TEST(ProfileLibrary, LoadRejectsWrongScale)
 {
     auto dvfs = DvfsTable::classic3();
