@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full test suite, a gpmd
+# Tier-1 verification: the standard build + full test suite, a
+# policy-kernel smoke (many-core bench at 64 cores emitting
+# well-formed NDJSON; p99 latencies reported, not gated), a gpmd
 # end-to-end smoke (ephemeral port, gpmctl ping + submit + batch
 # submit, graceful SIGTERM shutdown, then a restart over the same
 # --cache-dir asserting disk-tier persistence and LRU eviction), a
@@ -154,6 +156,12 @@ gpmd_smoke() {
     "$gpmctl" --port "$port" ping
     "$gpmctl" --port "$port" submit \
         --combo mcf,crafty --policy MaxBIPS --budget 0.8 >/dev/null
+    # The many-core approximate engine is reachable end to end: a
+    # WaterFill submit must produce a real sweep result.
+    "$gpmctl" --port "$port" submit \
+        --combo mcf,crafty --policy WaterFill --budget 0.8 |
+        grep -q '"ok":true' ||
+        { echo "WaterFill submit failed"; return 1; }
     # The repeat must be served from cache; assert via stats.
     "$gpmctl" --port "$port" submit \
         --combo mcf,crafty --policy MaxBIPS --budget 0.8 |
@@ -214,6 +222,37 @@ EOF
     stop_gpmd "$pid" "$log" || return 1
     rm -rf "$cache_dir"
     rm -f "$log" "$batch"
+}
+
+# Policy-kernel smoke: the many-core bench at 64 cores, one timed
+# iteration, must emit one well-formed NDJSON record per approximate
+# policy into its bench log. The p99 decision latencies are echoed
+# for trend-watching but NOT gated — CI boxes are too noisy for a
+# hard microsecond bound (the recorded BENCH_sweep.json numbers from
+# quiet machines are the reference; see docs/PERF.md).
+policy_kernel_smoke() {
+    local bdir=$1
+    local out
+    out=$(mktemp)
+    GPM_MANYCORE_N=64 GPM_MANYCORE_ITERS=1 \
+        GPM_SCALE="$SMOKE_SCALE" \
+        GPM_PROFILE_CACHE="$SMOKE_CACHE" \
+        GPM_BENCH_JSON="$out" \
+        "$bdir/bench/bench_manycore_policies" >/dev/null ||
+        { echo "bench_manycore_policies failed"; return 1; }
+    [ "$(wc -l <"$out")" -eq 3 ] ||
+        { echo "expected 3 NDJSON records:"; cat "$out"; return 1; }
+    local line
+    while IFS= read -r line; do
+        case $line in
+        '{ "bench": "manycore_policies",'*'"p99_us":'*'}') ;;
+        *) echo "malformed NDJSON record: $line"; return 1 ;;
+        esac
+    done <"$out"
+    echo "policy-kernel p99 decision latencies (informational):"
+    sed 's/.*"policy": "\([^"]*\)".*"p99_us": \([0-9.]*\).*/  \1: \2 us/' \
+        "$out"
+    rm -f "$out"
 }
 
 # A deterministic mid-sweep deadline: the armed worker stall (400 ms,
@@ -310,6 +349,9 @@ echo "== tier-1: standard build + ctest =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j
+
+echo "== tier-1: policy-kernel smoke (many-core bench NDJSON) =="
+policy_kernel_smoke "$BUILD"
 
 echo "== tier-1: gpmd smoke (ping / submit / batch / restart) =="
 gpmd_smoke "$BUILD"

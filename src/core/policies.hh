@@ -88,9 +88,12 @@ class PullHiPushLoPolicy : public Policy
  * MaxBIPS policy (paper 5.2.3): evaluates the predicted power and
  * BIPS of every mode combination and picks the feasible combination
  * with maximal chip throughput. Exhaustive for small chips; a
- * branch-and-bound search with identical results is used when the
- * state space (modes^cores) is large — enabling the 16-64 core
- * scale-out studies.
+ * branch-and-bound search with identical results takes over when
+ * the state space (modes^cores) is large. Exact at any scale, but
+ * worst-case exponential — the many-core studies at 64-1024 cores
+ * use the approximate engines below (MaxBipsDpPolicy,
+ * WaterFillPolicy, GreedyTurboPolicy) to stay inside the 500 µs
+ * decision interval.
  */
 class MaxBipsPolicy : public Policy
 {
@@ -128,6 +131,79 @@ class MaxBipsPolicy : public Policy
 
   private:
     Search search;
+};
+
+/**
+ * Approximate MaxBIPS as a multiple-choice-knapsack DP over
+ * discretized power: per-core efficiency frontiers, hull-point
+ * costs quantized (rounded up) onto a `grid`-bin power grid, one
+ * flattened DP pass, then exact-cost greedy upgrades to spend the
+ * quantization slack. O(cores x modes x grid) with a tunable
+ * accuracy/latency knob — the many-core engine's accuracy anchor
+ * (gap vs the MCKP LP bound well under 1% at the default grid).
+ * Registered as "MaxBIPS-DP" (default grid) or "MaxBIPS-DP<G>".
+ */
+class MaxBipsDpPolicy : public Policy
+{
+  public:
+    /** Default power-grid resolution [bins]: fits the DP comfortably
+     *  inside the 500 us explore interval at 1024 cores while the
+     *  greedy slack repair keeps the gap well under 1%; raise it via
+     *  "MaxBIPS-DP<G>" when accuracy matters more than latency. */
+    static constexpr unsigned defaultGrid = 64;
+
+    explicit MaxBipsDpPolicy(unsigned grid_bins = defaultGrid);
+
+    const char *name() const override { return label.c_str(); }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+
+    /** The configured grid resolution [bins]. */
+    unsigned gridBins() const { return grid; }
+
+    /** The DP solver itself; exposed for tests and benches. */
+    static std::vector<PowerMode> solve(const ModeMatrix &matrix,
+                                        Watts budget_w,
+                                        unsigned grid_bins);
+
+  private:
+    unsigned grid;
+    std::string label;
+};
+
+/**
+ * FastCap-style water-filling (arXiv 1603.01313): every core starts
+ * at its cheapest frontier point and the budget "water level" rises
+ * in level-synchronous rounds — each round upgrades every core by
+ * at most one frontier level that still fits. Fairness-shaped
+ * rather than ratio-greedy, O(cores x modes), no heap.
+ */
+class WaterFillPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "WaterFill"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+
+    /** The water-filling solver; exposed for tests and benches. */
+    static std::vector<PowerMode> solve(const ModeMatrix &matrix,
+                                        Watts budget_w);
+};
+
+/**
+ * The 1000-core Turbo Boost heuristic (arXiv 1008.1571): cheapest
+ * modes everywhere, then heap-driven upgrades in globally
+ * decreasing BIPS-per-watt order until nothing fits — exactly the
+ * integer-greedy root of the MCKP LP relaxation, so its gap vs the
+ * LP bound is at most one hull increment. O(increments x log n).
+ */
+class GreedyTurboPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "GreedyTurbo"; }
+    std::vector<PowerMode> decide(const PolicyInput &in) override;
+
+    /** The greedy solver; exposed for tests and benches. */
+    static std::vector<PowerMode> solve(const ModeMatrix &matrix,
+                                        Watts budget_w);
 };
 
 /**
@@ -247,10 +323,12 @@ class HistoryPolicy : public Policy
     std::vector<std::vector<std::pair<double, double>>> seen;
 };
 
-/** Factory by policy name ("MaxBIPS", "MaxBIPS-BnB", "Priority",
- *  "PullHiPushLo", "ChipWideDVFS", "Oracle", "UniformBudget",
- *  "MinPower" or "MinPowerNN" for an NN% target, "ExploreMaxBIPS",
- *  "HistoryMaxBIPS"); fatal() on unknown names. */
+/** Factory by policy name ("MaxBIPS", "MaxBIPS-BnB", "MaxBIPS-DP"
+ *  or "MaxBIPS-DP<G>" for a G-bin power grid, "WaterFill",
+ *  "GreedyTurbo", "Priority", "PullHiPushLo", "ChipWideDVFS",
+ *  "Oracle", "UniformBudget", "MinPower" or "MinPowerNN" for an
+ *  NN% target, "ExploreMaxBIPS", "HistoryMaxBIPS"); fatal() on
+ *  unknown names. */
 std::unique_ptr<Policy> makePolicy(const std::string &name);
 
 /** True when makePolicy(@p name) would succeed — the non-fatal

@@ -16,6 +16,24 @@ tryMakePolicy(const std::string &name)
     if (name == "MaxBIPS-BnB")
         return std::make_unique<MaxBipsPolicy>(
             MaxBipsPolicy::Search::BranchAndBound);
+    if (name.rfind("MaxBIPS-DP", 0) == 0) {
+        unsigned grid = MaxBipsDpPolicy::defaultGrid;
+        if (name.size() > 10) {
+            const std::string suffix = name.substr(10);
+            if (suffix.find_first_not_of("0123456789") !=
+                std::string::npos)
+                return nullptr;
+            long g = std::atol(suffix.c_str());
+            if (g < 2 || g > 65536)
+                return nullptr;
+            grid = static_cast<unsigned>(g);
+        }
+        return std::make_unique<MaxBipsDpPolicy>(grid);
+    }
+    if (name == "WaterFill")
+        return std::make_unique<WaterFillPolicy>();
+    if (name == "GreedyTurbo")
+        return std::make_unique<GreedyTurboPolicy>();
     if (name == "Priority")
         return std::make_unique<PriorityPolicy>();
     if (name == "PullHiPushLo")

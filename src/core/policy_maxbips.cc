@@ -1,8 +1,10 @@
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "core/mckp.hh"
 #include "core/policies.hh"
 #include "util/logging.hh"
 
@@ -68,73 +70,33 @@ solveExhaustive(const ModeMatrix &m, Watts budget_w)
  * the remaining subproblem, which is a valid (and tight) upper
  * bound. Increment lists are pre-merged per suffix so the bound is
  * O(remaining increments) per node. A greedy incumbent (cheapest
- * modes + best-ratio upgrades) is seeded before the search so
- * pruning bites immediately.
+ * modes + heap-driven best-ratio upgrades, shared with
+ * GreedyTurboPolicy) is seeded before the search so pruning bites
+ * immediately.
  */
 class BnbSolver
 {
   public:
     BnbSolver(const ModeMatrix &m, Watts budget)
         : m(m), budget(budget), n(m.numCores()), k(m.numModes()),
-          cur(n, 0), best(n, static_cast<PowerMode>(k - 1)),
+          f(buildFrontiers(m)), cur(n, 0),
+          best(n, static_cast<PowerMode>(k - 1)),
           sufMinPower(n + 1, 0.0), sufBaseBips(n + 1, 0.0),
-          minPower(n), baseBips(n), cheapest(n), sufIncs(n + 1)
+          sufIncs(n + 1)
     {
-        std::vector<std::vector<Increment>> core_incs(n);
         for (std::size_t c = n; c-- > 0;) {
-            // Frontier: sort this core's modes by power ascending,
-            // keep only efficiency-decreasing improvements.
-            std::vector<std::pair<double, double>> pts;
-            for (std::size_t mi = 0; mi < k; mi++) {
-                auto mode = static_cast<PowerMode>(mi);
-                pts.push_back(
-                    {m.powerW(c, mode), m.bips(c, mode)});
-            }
-            std::sort(pts.begin(), pts.end());
-            std::vector<std::pair<double, double>> hull;
-            for (const auto &pt : pts) {
-                if (!hull.empty() && pt.second <= hull.back().second)
-                    continue; // dominated: dearer, no more BIPS
-                while (hull.size() >= 2) {
-                    // Keep marginal ratios decreasing.
-                    auto &a = hull[hull.size() - 2];
-                    auto &b = hull.back();
-                    double r1 = (b.second - a.second) /
-                        std::max(b.first - a.first, 1e-12);
-                    double r2 = (pt.second - b.second) /
-                        std::max(pt.first - b.first, 1e-12);
-                    if (r2 >= r1)
-                        hull.pop_back();
-                    else
-                        break;
-                }
-                hull.push_back(pt);
-            }
-            minPower[c] = hull.front().first;
-            baseBips[c] = hull.front().second;
-            for (std::size_t mi = 0; mi < k; mi++) {
-                auto mode = static_cast<PowerMode>(mi);
-                if (m.powerW(c, mode) == hull.front().first &&
-                    m.bips(c, mode) == hull.front().second) {
-                    cheapest[c] = mode;
-                    break;
-                }
-            }
-            for (std::size_t h = 1; h < hull.size(); h++) {
-                Increment inc;
-                inc.dp = hull[h].first - hull[h - 1].first;
-                inc.db = hull[h].second - hull[h - 1].second;
-                core_incs[c].push_back(inc);
-            }
-            sufMinPower[c] = sufMinPower[c + 1] + minPower[c];
-            sufBaseBips[c] = sufBaseBips[c + 1] + baseBips[c];
+            sufMinPower[c] = sufMinPower[c + 1] + f.at(c, 0).powerW;
+            sufBaseBips[c] = sufBaseBips[c + 1] + f.at(c, 0).bips;
         }
         // Suffix-merged increment lists, ratio-descending.
         for (std::size_t c = n; c-- > 0;) {
             sufIncs[c] = sufIncs[c + 1];
-            sufIncs[c].insert(sufIncs[c].end(),
-                              core_incs[c].begin(),
-                              core_incs[c].end());
+            for (std::size_t h = 1; h < f.sizeOf(c); h++) {
+                Increment inc;
+                inc.dp = f.at(c, h).powerW - f.at(c, h - 1).powerW;
+                inc.db = f.at(c, h).bips - f.at(c, h - 1).bips;
+                sufIncs[c].push_back(inc);
+            }
             std::sort(sufIncs[c].begin(), sufIncs[c].end(),
                       [](const Increment &a, const Increment &b) {
                           return a.db * b.dp > b.db * a.dp;
@@ -151,47 +113,19 @@ class BnbSolver
     }
 
   private:
-    /** Feasible all-cheapest start plus best-ratio upgrades. */
+    /** Feasible all-cheapest start plus heap-driven best-ratio hull
+     *  upgrades (the shared seeder; O(increments log n) instead of
+     *  the old O(n * k) rescan per upgrade). */
     void
     seedGreedyIncumbent()
     {
-        if (sufMinPower[0] > budget)
+        if (f.minTotalPowerW > budget)
             return; // nothing feasible; keep all-slowest default
-        std::vector<PowerMode> g = cheapest;
-        Watts power = sufMinPower[0];
-        double bips = sufBaseBips[0];
-        for (;;) {
-            double best_ratio = 0.0;
-            std::size_t best_c = n;
-            PowerMode best_m = 0;
-            for (std::size_t c = 0; c < n; c++) {
-                double cur_p = m.powerW(c, g[c]);
-                double cur_b = m.bips(c, g[c]);
-                for (std::size_t mi = 0; mi < k; mi++) {
-                    auto mode = static_cast<PowerMode>(mi);
-                    double dp = m.powerW(c, mode) - cur_p;
-                    double db = m.bips(c, mode) - cur_b;
-                    if (db <= 0.0 || dp <= 1e-12 ||
-                        power + dp > budget)
-                        continue;
-                    if (db / dp > best_ratio) {
-                        best_ratio = db / dp;
-                        best_c = c;
-                        best_m = mode;
-                    }
-                }
-            }
-            if (best_c == n)
-                break;
-            power += m.powerW(best_c, best_m) -
-                m.powerW(best_c, g[best_c]);
-            bips += m.bips(best_c, best_m) -
-                m.bips(best_c, g[best_c]);
-            g[best_c] = best_m;
-        }
-        best = g;
-        bestBips = bips;
-        bestPower = power;
+        std::vector<std::uint8_t> pos(n, 0);
+        GreedyResult g = greedyUpgradeHeap(f, budget, pos);
+        best = assignmentFromPositions(f, pos);
+        bestBips = g.bips;
+        bestPower = g.powerW;
     }
 
     void
@@ -250,13 +184,12 @@ class BnbSolver
     const Watts budget;
     const std::size_t n;
     const std::size_t k;
+    /** Per-core efficiency frontiers with recorded mode indices. */
+    const FrontierSet f;
     std::vector<PowerMode> cur;
     std::vector<PowerMode> best;
     std::vector<double> sufMinPower;
     std::vector<double> sufBaseBips;
-    std::vector<double> minPower;
-    std::vector<double> baseBips;
-    std::vector<PowerMode> cheapest;
     /** Ratio-sorted hull increments of cores c..n-1. */
     std::vector<std::vector<Increment>> sufIncs;
     double bestBips = -1.0;

@@ -43,6 +43,20 @@ ModeMatrix::bips(std::size_t c, PowerMode m) const
     return perf[index(c, m)];
 }
 
+const double *
+ModeMatrix::powerRow(std::size_t c) const
+{
+    GPM_ASSERT(c < nCores);
+    return power.data() + c * nModes;
+}
+
+const double *
+ModeMatrix::bipsRow(std::size_t c) const
+{
+    GPM_ASSERT(c < nCores);
+    return perf.data() + c * nModes;
+}
+
 Watts
 ModeMatrix::totalPowerW(const std::vector<PowerMode> &assign) const
 {

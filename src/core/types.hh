@@ -61,6 +61,17 @@ class ModeMatrix
     double &bips(std::size_t c, PowerMode m);
     double bips(std::size_t c, PowerMode m) const;
 
+    /**
+     * Contiguous row of core @p c's predicted powers, one entry per
+     * mode — the matrix is row-major, so per-core kernels (DP inner
+     * loops, frontier builds) can stream a core's modes without the
+     * per-element bounds-checked accessor.
+     */
+    const double *powerRow(std::size_t c) const;
+
+    /** Contiguous row of core @p c's predicted BIPS (see powerRow). */
+    const double *bipsRow(std::size_t c) const;
+
     /** Total power of an assignment (one mode per core) [W]. */
     Watts totalPowerW(const std::vector<PowerMode> &assign) const;
 

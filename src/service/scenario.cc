@@ -18,6 +18,7 @@ ScenarioSpec::simConfig() const
     cfg.deltaSimUs = deltaSimUs;
     cfg.contention = contention;
     cfg.sensorNoise = sensorNoise;
+    cfg.phaseShiftStride = phaseShiftStride;
     return cfg;
 }
 
@@ -38,6 +39,11 @@ ScenarioSpec::simJson() const
     sim.set("deltaSimUs", deltaSimUs);
     sim.set("contention", contention);
     sim.set("sensorNoise", sensorNoise);
+    // Only when non-zero: the default must serialize exactly as it
+    // did before the knob existed, or every cached scenario hash
+    // would be invalidated (same pattern as staticFit).
+    if (phaseShiftStride != 0.0)
+        sim.set("phaseShiftStride", phaseShiftStride);
     return sim;
 }
 
@@ -99,6 +105,9 @@ validateScenario(const ScenarioSpec &spec)
     if (!std::isfinite(spec.sensorNoise) || spec.sensorNoise < 0.0 ||
         spec.sensorNoise > 1.0)
         return "sensorNoise must be in [0, 1]";
+    if (!std::isfinite(spec.phaseShiftStride) ||
+        spec.phaseShiftStride < 0.0 || spec.phaseShiftStride >= 1.0)
+        return "phaseShiftStride must be in [0, 1)";
     if (!std::isfinite(spec.deadlineMs) || spec.deadlineMs < 0.0 ||
         spec.deadlineMs > 3.6e6)
         return "deadlineMs must be in [0, 3.6e6]";
@@ -132,6 +141,10 @@ parseSim(const Value &sim, ScenarioSpec &out)
             if (!val.isNumber())
                 return "sim.sensorNoise must be a number";
             out.sensorNoise = val.asNumber();
+        } else if (key == "phaseShiftStride") {
+            if (!val.isNumber())
+                return "sim.phaseShiftStride must be a number";
+            out.phaseShiftStride = val.asNumber();
         } else {
             return "unknown sim field '" + key + "'";
         }

@@ -46,6 +46,10 @@ struct ScenarioSpec
     double deltaSimUs = 50.0;
     bool contention = false;
     double sensorNoise = 0.0;
+    /** Per-core workload phase-shift stride in [0, 1); 0 = off.
+     *  Serialized into the canonical form only when non-zero so
+     *  pre-existing scenario hashes are unaffected. */
+    double phaseShiftStride = 0.0;
 
     /**
      * Optional per-request deadline in milliseconds (0 = none),
@@ -59,8 +63,9 @@ struct ScenarioSpec
      */
     double deadlineMs = 0.0;
 
-    /** Hard caps on request shape. */
-    static constexpr std::size_t maxCores = 64;
+    /** Hard caps on request shape (many-core scenarios go to 1024
+     *  cores; see trace/workload.hh manyCoreCombo). */
+    static constexpr std::size_t maxCores = 1024;
     static constexpr std::size_t maxBudgets = 64;
 
     /** The SimConfig an ExperimentRunner needs for this scenario. */
@@ -91,14 +96,15 @@ validateScenario(const ScenarioSpec &spec);
 /**
  * Build a ScenarioSpec from a parsed JSON scenario object.
  * Accepted fields:
- *   combo     array of benchmark names, or a Table 2 combination
- *             key string ("2way1", ...)        [required]
+ *   combo     array of benchmark names, or a combination key
+ *             string: Table 2 ("2way1", ...) or many-core
+ *             ("many64" ... "many1024")        [required]
  *   policy    policy name or "Static"          [required]
  *   budget    single budget fraction     } exactly one
  *   budgets   array of budget fractions  } of the two
  *   staticFit  "peak" | "average" (policy "Static" only)
  *   sim        object: exploreUs, deltaSimUs, contention,
- *              sensorNoise (all optional)
+ *              sensorNoise, phaseShiftStride (all optional)
  *   deadlineMs queue deadline in ms (optional; see the field)
  * Anything else is rejected.
  */

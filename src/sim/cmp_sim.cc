@@ -116,6 +116,13 @@ CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
     cursors.reserve(n);
     for (const auto *p : profs)
         cursors.emplace_back(*p);
+    if (cfg.phaseShiftStride > 0.0) {
+        for (std::size_t c = 0; c < n; c++) {
+            double f = static_cast<double>(c) *
+                cfg.phaseShiftStride;
+            cursors[c].seekFraction(f - std::floor(f));
+        }
+    }
 
     std::vector<PowerMode> mode_v =
         mgr ? std::vector<PowerMode>(n, cfg.startMode) : static_modes;

@@ -72,6 +72,16 @@ struct SimConfig
     /** Bus service time per off-chip access [ns] (contention). */
     double busServiceNs = 4.0;
 
+    /**
+     * Phase-shift stride for many-core scenarios: core c starts its
+     * workload at fraction frac(c * stride) of the instruction
+     * stream and wraps around (see ProfileCursor::seekFraction), so
+     * cores replicating the same profile still exercise different
+     * phases at any instant. 0 disables (every core starts at the
+     * beginning — the paper's original setup).
+     */
+    double phaseShiftStride = 0.0;
+
     /** Record a per-delta-step timeline (needed for the figures). */
     bool recordTimeline = true;
 

@@ -97,15 +97,59 @@ ProfileCursor::ProfileCursor(const WorkloadProfile &profile)
 }
 
 bool
+ProfileCursor::posFinished(const Pos &pos,
+                           std::size_t n_chunks) const
+{
+    if (!shifted)
+        return pos.chunk >= n_chunks;
+    // A shifted replay finishes when the wrapped pass climbs back
+    // to the start position.
+    return pos.wrapped &&
+        (pos.chunk > start.chunk ||
+         (pos.chunk == start.chunk && pos.frac >= start.frac));
+}
+
+void
+ProfileCursor::seekFraction(double f)
+{
+    GPM_ASSERT(f >= 0.0 && f < 1.0);
+    const ModeProfile &mp = prof.modes[0];
+    start = Pos{};
+    shifted = false;
+    if (f > 0.0 && !mp.chunks.empty()) {
+        double target =
+            f * static_cast<double>(mp.totalInsts());
+        auto chunk = static_cast<std::size_t>(
+            target / static_cast<double>(mp.chunkInsts));
+        chunk = std::min(chunk, mp.chunks.size() - 1);
+        std::uint64_t this_chunk = chunk + 1 == mp.chunks.size()
+            ? mp.lastChunkInsts
+            : mp.chunkInsts;
+        double frac = (target -
+                       static_cast<double>(chunk) *
+                           static_cast<double>(mp.chunkInsts)) /
+            static_cast<double>(this_chunk);
+        start.chunk = chunk;
+        start.frac = std::clamp(frac, 0.0, 1.0);
+        shifted = true;
+    }
+    cur = start;
+    instsAcc = 0.0;
+}
+
+bool
 ProfileCursor::finished() const
 {
-    return cur.chunk >= prof.modes[0].chunks.size();
+    return posFinished(cur, prof.modes[0].chunks.size());
 }
 
 double
 ProfileCursor::instructionsDone() const
 {
     const ModeProfile &mp = prof.modes[0];
+    if (shifted)
+        return std::min(instsAcc,
+                        static_cast<double>(mp.totalInsts()));
     if (finished())
         return static_cast<double>(mp.totalInsts());
     double insts =
@@ -129,7 +173,8 @@ ProfileCursor::progress() const
 void
 ProfileCursor::rewind()
 {
-    cur = Pos{};
+    cur = start;
+    instsAcc = 0.0;
 }
 
 ProfileCursor::Delta
@@ -142,17 +187,24 @@ ProfileCursor::advanceFrom(Pos &pos, MicroSec dt_us, PowerMode m,
     Delta d;
     double remaining_ps = dt_us * 1e6; // us -> ps
 
-    while (remaining_ps > 0.0 && pos.chunk < mp.chunks.size()) {
+    while (remaining_ps > 0.0 &&
+           !posFinished(pos, mp.chunks.size())) {
         const ChunkRecord &c = mp.chunks[pos.chunk];
         std::uint64_t this_chunk_insts =
             pos.chunk + 1 == mp.chunks.size() ? mp.lastChunkInsts
                                               : mp.chunkInsts;
+        // A wrapped shifted replay stops mid-chunk at the start
+        // fraction; everywhere else the chunk runs to its end.
+        double end_frac =
+            shifted && pos.wrapped && pos.chunk == start.chunk
+            ? start.frac
+            : 1.0;
         double chunk_ps = static_cast<double>(c.timePs) * dilation;
-        double rem_frac = 1.0 - pos.frac;
+        double rem_frac = end_frac - pos.frac;
         double rem_ps = chunk_ps * rem_frac;
 
         if (rem_ps <= remaining_ps) {
-            // Finish the chunk.
+            // Finish the chunk (or the final partial chunk).
             d.instructions +=
                 rem_frac * static_cast<double>(this_chunk_insts);
             d.energyJ += rem_frac * c.energyJ;
@@ -160,8 +212,17 @@ ProfileCursor::advanceFrom(Pos &pos, MicroSec dt_us, PowerMode m,
                 rem_frac * static_cast<double>(c.l2Accesses);
             d.l2Misses += rem_frac * static_cast<double>(c.l2Misses);
             remaining_ps -= rem_ps;
-            pos.chunk++;
-            pos.frac = 0.0;
+            if (end_frac < 1.0) {
+                pos.frac = end_frac; // back at start: finished
+            } else {
+                pos.chunk++;
+                pos.frac = 0.0;
+                if (shifted && !pos.wrapped &&
+                    pos.chunk >= mp.chunks.size()) {
+                    pos.chunk = 0;
+                    pos.wrapped = true;
+                }
+            }
         } else {
             double f = remaining_ps / chunk_ps;
             d.instructions +=
@@ -175,14 +236,16 @@ ProfileCursor::advanceFrom(Pos &pos, MicroSec dt_us, PowerMode m,
     }
 
     d.usedUs = dt_us - remaining_ps * 1e-6;
-    d.finished = pos.chunk >= mp.chunks.size();
+    d.finished = posFinished(pos, mp.chunks.size());
     return d;
 }
 
 ProfileCursor::Delta
 ProfileCursor::advance(MicroSec dt_us, PowerMode m, double dilation)
 {
-    return advanceFrom(cur, dt_us, m, dilation);
+    Delta d = advanceFrom(cur, dt_us, m, dilation);
+    instsAcc += d.instructions;
+    return d;
 }
 
 ProfileCursor::Delta

@@ -133,6 +133,19 @@ class ProfileCursor
     /** Like advance() but without moving the cursor. */
     Delta peek(MicroSec dt_us, PowerMode m, double dilation = 1.0) const;
 
+    /**
+     * Phase-shift the replay: start at fraction @p f (in [0, 1)) of
+     * the instruction stream instead of the beginning. The cursor
+     * runs from f to the end, wraps around to the beginning, and
+     * finishes back at f — every instruction of the workload still
+     * executes exactly once, so instruction/energy conservation and
+     * the FirstDone termination semantics are unchanged. This is how
+     * the many-core scenarios derive N heterogeneous schedules from
+     * 12 workload profiles without building new profiles. Resets
+     * progress; rewind() returns to the shifted start.
+     */
+    void seekFraction(double f);
+
     /** True when the workload has completed. */
     bool finished() const;
 
@@ -153,13 +166,24 @@ class ProfileCursor
     {
         std::size_t chunk = 0;
         double frac = 0.0; ///< fraction of the chunk completed
+        /** Wrapped past the last chunk back to chunk 0 (only ever
+         *  set on a seekFraction()-shifted cursor). */
+        bool wrapped = false;
     };
 
     Delta advanceFrom(Pos &pos, MicroSec dt_us, PowerMode m,
                       double dilation) const;
+    bool posFinished(const Pos &pos, std::size_t n_chunks) const;
 
     const WorkloadProfile &prof;
     Pos cur;
+    /** Replay origin; non-zero only after seekFraction(). */
+    Pos start;
+    /** True when start is not the beginning of the stream. */
+    bool shifted = false;
+    /** Instructions retired since the (possibly shifted) start;
+     *  position arithmetic cannot recover this across a wrap. */
+    double instsAcc = 0.0;
 };
 
 class ProfileStore;

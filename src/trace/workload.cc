@@ -1,6 +1,8 @@
 #include "workload.hh"
 
+#include <cstdlib>
 #include <map>
+#include <mutex>
 
 #include "util/logging.hh"
 
@@ -301,12 +303,46 @@ benchmarkCombinations()
     return combos;
 }
 
+const std::vector<std::string> &
+manyCoreCombo(std::size_t n)
+{
+    if (n < 1 || n > maxManyCoreCores)
+        fatal("many-core combination size %zu out of [1, %zu]", n,
+              maxManyCoreCores);
+    // std::map nodes are stable, so returned references survive
+    // later insertions; the mutex makes concurrent first lookups
+    // (sweep workers, gpmd threads) safe.
+    static std::mutex mtx;
+    static std::map<std::size_t, std::vector<std::string>> cache;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        const auto &suite = spec2000Suite();
+        std::vector<std::string> combo(n);
+        for (std::size_t c = 0; c < n; c++)
+            combo[c] = suite[c % suite.size()].name;
+        it = cache.emplace(n, std::move(combo)).first;
+    }
+    return it->second;
+}
+
 const std::vector<std::string> *
 findCombination(const std::string &key)
 {
     for (const auto &[k, v] : benchmarkCombinations())
         if (k == key)
             return &v;
+    if (key.rfind("many", 0) == 0 && key.size() > 4) {
+        const std::string digits = key.substr(4);
+        if (digits.find_first_not_of("0123456789") !=
+                std::string::npos ||
+            digits.size() > 4)
+            return nullptr;
+        long n = std::atol(digits.c_str());
+        if (n < 1 || n > static_cast<long>(maxManyCoreCores))
+            return nullptr;
+        return &manyCoreCombo(static_cast<std::size_t>(n));
+    }
     return nullptr;
 }
 

@@ -132,10 +132,26 @@ bool hasWorkload(const std::string &name);
 const std::vector<std::pair<std::string, std::vector<std::string>>> &
 benchmarkCombinations();
 
+/** Largest @p n a "many<N>" combination accepts. */
+constexpr std::size_t maxManyCoreCores = 1024;
+
+/**
+ * Many-core combination: @p n cores cycling through the 12-benchmark
+ * suite (core c runs suite[c % 12]). Only 12 distinct workloads ever
+ * appear, so profile building stays O(workloads) regardless of n;
+ * per-core heterogeneity beyond the cycling pattern comes from the
+ * simulator's phase-shifted schedules (SimConfig::phaseShiftStride).
+ * The returned reference is stable for the process lifetime.
+ * fatal() unless 1 <= n <= maxManyCoreCores.
+ */
+const std::vector<std::string> &manyCoreCombo(std::size_t n);
+
 /** Look up a Table 2 combination by key; fatal() if unknown. */
 const std::vector<std::string> &combination(const std::string &key);
 
-/** Combination lookup returning nullptr instead of fatal(). */
+/** Combination lookup returning nullptr instead of fatal(); also
+ *  resolves dynamic "many<N>" keys (e.g. "many256") for N in
+ *  [1, maxManyCoreCores]. */
 const std::vector<std::string> *
 findCombination(const std::string &key);
 
