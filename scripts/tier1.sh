@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full test suite, a
+# Tier-1 verification: the standard build (with GPM_WERROR=ON, so
+# library warnings fail the stage) + full test suite, a
 # policy-kernel smoke (many-core bench at 64 cores emitting
 # well-formed NDJSON; p99 latencies reported, not gated), a gpmd
-# end-to-end smoke (ephemeral port, gpmctl ping + submit + batch
-# submit, graceful SIGTERM shutdown, then a restart over the same
-# --cache-dir asserting disk-tier persistence and LRU eviction), a
+# end-to-end smoke (ephemeral port, gpmctl ping + submit + cluster
+# submit + batch submit, graceful SIGTERM shutdown, then a restart
+# over the same --cache-dir asserting disk-tier persistence and LRU
+# eviction), a
 # profile-store smoke (cold start populates --profile-cache-dir;
 # a restart over the warm store must perform zero profile builds
 # and serve bitwise-identical submit payloads), a chaos smoke (fault-injected daemon: worker crashes + stalled
@@ -153,9 +155,12 @@ gpmd_smoke() {
     local port
     port=$(wait_gpmd_port "$pid" "$log") || return 1
 
-    "$gpmctl" --port "$port" ping
+    "$gpmctl" --port "$port" ping ||
+        { echo "ping failed"; return 1; }
     "$gpmctl" --port "$port" submit \
-        --combo mcf,crafty --policy MaxBIPS --budget 0.8 >/dev/null
+        --combo mcf,crafty --policy MaxBIPS --budget 0.8 \
+        >/dev/null ||
+        { echo "MaxBIPS submit failed"; return 1; }
     # The many-core approximate engine is reachable end to end: a
     # WaterFill submit must produce a real sweep result.
     "$gpmctl" --port "$port" submit \
@@ -165,9 +170,32 @@ gpmd_smoke() {
     # The repeat must be served from cache; assert via stats.
     "$gpmctl" --port "$port" submit \
         --combo mcf,crafty --policy MaxBIPS --budget 0.8 |
-        grep -q '"cached":true'
+        grep -q '"cached":true' ||
+        { echo "repeat submit not served from cache"; return 1; }
     "$gpmctl" --port "$port" stats |
-        grep -q '"cacheHits":1'
+        grep -q '"cacheHits":1' ||
+        { echo "cache hit not counted"; return 1; }
+
+    # The cluster arbiter is reachable end to end: a two-chip
+    # hierarchical scenario sweeps, the resubmit comes back from the
+    # result cache, and the cluster counters tick.
+    "$gpmctl" --port "$port" submit \
+        --cluster-chip mcf,crafty:MaxBIPS \
+        --cluster-chip gcc,mesa:WaterFill \
+        --policy GreedyTurbo --epochs 2 --epoch-us 1000 \
+        --levels 8 --budget 0.8 |
+        grep -q '"ok":true' ||
+        { echo "cluster submit failed"; return 1; }
+    "$gpmctl" --port "$port" submit \
+        --cluster-chip mcf,crafty:MaxBIPS \
+        --cluster-chip gcc,mesa:WaterFill \
+        --policy GreedyTurbo --epochs 2 --epoch-us 1000 \
+        --levels 8 --budget 0.8 |
+        grep -q '"cached":true' ||
+        { echo "cluster resubmit not served from cache"; return 1; }
+    "$gpmctl" --port "$port" stats |
+        grep -q '"clusterRequests":1' ||
+        { echo "cluster request not counted"; return 1; }
 
     # Batch submit: one request, one NDJSON result line per scenario
     # in input order; exit 0 means every scenario succeeded. The
@@ -187,7 +215,8 @@ EOF
         { echo "batch: first entry not served from cache:"
           echo "$out"; return 1; }
     "$gpmctl" --port "$port" stats |
-        grep -q '"batchRequests":1'
+        grep -q '"batchRequests":1' ||
+        { echo "batch request not counted"; return 1; }
 
     stop_gpmd "$pid" "$log" || return 1
 
@@ -318,7 +347,8 @@ gpmd_chaos() {
         { echo "faults not armed:"; cat "$log"; return 1; }
 
     # Pings survive the stalled-connection fault.
-    "$gpmctl" --port "$port" ping | grep -q '"pong":true'
+    "$gpmctl" --port "$port" ping | grep -q '"pong":true' ||
+        { echo "ping did not survive conn-stall"; return 1; }
 
     # Submits crash workers with probability 0.8, yet a retrying
     # client converges well inside its deadline — and the payload it
@@ -326,7 +356,8 @@ gpmd_chaos() {
     "$gpmctl" --port "$port" --retries 30 --retry-base-ms 20 \
         --deadline 60000 --seed 7 submit \
         --combo mcf --policy MaxBIPS --budget 0.8 |
-        grep -q '"ok":true'
+        grep -q '"ok":true' ||
+        { echo "retrying submit did not converge"; return 1; }
 
     # The daemon contained every crash: workers restored, crashes
     # counted, and it still serves.
@@ -346,7 +377,7 @@ gpmd_chaos() {
 }
 
 echo "== tier-1: standard build + ctest =="
-cmake -B "$BUILD" -S .
+cmake -B "$BUILD" -S . -DGPM_WERROR=ON
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j
 
@@ -371,7 +402,7 @@ if [ "${GPM_SKIP_TSAN:-0}" = "1" ]; then
 fi
 
 echo "== tier-1: ThreadSanitizer build (pool + sweep tests) =="
-cmake -B "$BUILD-tsan" -S . -DGPM_SANITIZE=thread
+cmake -B "$BUILD-tsan" -S . -DGPM_SANITIZE=thread -DGPM_WERROR=ON
 cmake --build "$BUILD-tsan" -j --target gpm_tests gpmd gpmctl
 # Profile building under TSan is slow; the sweep tests rebuild their
 # small-scale profiles on first use, so give them a large timeout.

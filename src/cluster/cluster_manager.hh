@@ -1,0 +1,139 @@
+/**
+ * @file
+ * ClusterManager — the outer epoch loop over a rack of chips.
+ *
+ * One run, at one facility budget fraction, proceeds in three
+ * phases:
+ *
+ *  1. Reference: each distinct chip spec's all-Turbo average core
+ *     power (CmpSim::referencePowerW, deduplicated across identical
+ *     chips). The facility budget is the fraction times the sum of
+ *     the chip references — the same convention the single-chip
+ *     scenarios use.
+ *  2. Planning: for every epoch, every chip is collapsed into its
+ *     achievable BIPS-vs-power frontier predicted from profile
+ *     peeks at the epoch's start (cursors advance at Turbo rate
+ *     between epochs — the planner's progress model), quantized to
+ *     the spec's level count, and the facility allocation is solved
+ *     per epoch with the cluster policy kernel. The per-epoch
+ *     awards form each chip's piecewise-constant BudgetSchedule and
+ *     the reallocation trace the result reports.
+ *  3. Execution: every chip runs its full simulation under its
+ *     awarded schedule with its own GlobalManager/policy, fanned
+ *     over the thread pool with spec-order assembly — results land
+ *     in pre-sized slots, so a run is bitwise-identical at any
+ *     thread count.
+ *
+ * A chip simulation that throws is contained: the exception becomes
+ * a structured ClusterError naming the chip, never a crash of the
+ * serving worker.
+ */
+
+#ifndef GPM_CLUSTER_CLUSTER_MANAGER_HH
+#define GPM_CLUSTER_CLUSTER_MANAGER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "sim/cmp_sim.hh"
+#include "trace/phase_profile.hh"
+#include "util/cancel.hh"
+#include "util/expected.hh"
+
+namespace gpm
+{
+
+/** Per-chip outcome of a cluster run. */
+struct ChipOutcome
+{
+    /** Chip throughput over its measured window [BIPS]. */
+    double bips = 0.0;
+    /** Average core power over the window [W]. */
+    Watts avgCorePowerW = 0.0;
+    /** Mean awarded budget across the epochs [W]. */
+    Watts awardedMeanW = 0.0;
+    /** The chip's all-Turbo reference power [W]. */
+    Watts refPowerW = 0.0;
+    /** Inner manager statistics. */
+    ManagerStats managerStats;
+};
+
+/** One epoch of the reallocation trace. */
+struct EpochTrace
+{
+    /** False when the facility budget cannot cover the chip floors
+     *  (awards are then the floors). */
+    bool feasible = false;
+    /** Total BIPS of the selected frontier points. */
+    double predictedBips = 0.0;
+    /** Award per chip [W]. */
+    std::vector<Watts> awardsW;
+};
+
+/** Outcome of one cluster run at one facility budget fraction. */
+struct ClusterRunResult
+{
+    Watts facilityBudgetW = 0.0;
+    /** Sum of the chips' measured throughputs [BIPS]. */
+    double clusterBips = 0.0;
+    /** Sum of the chips' measured average core powers [W]. */
+    Watts clusterPowerW = 0.0;
+    /** clusterPowerW / facilityBudgetW (0 when the budget is 0). */
+    double budgetUtilization = 0.0;
+    std::vector<ChipOutcome> chips;
+    std::vector<EpochTrace> epochs;
+};
+
+/** Why a cluster run failed. */
+struct ClusterError
+{
+    /** Offending chip, or npos for a cluster-level failure. */
+    static constexpr std::size_t npos =
+        static_cast<std::size_t>(-1);
+    std::size_t chipIndex = npos;
+    std::string message;
+    /** Abandoned by a CancelToken rather than failed. */
+    bool cancelled = false;
+};
+
+class ClusterManager
+{
+  public:
+    /**
+     * @param lib  shared profile library (chips resolve their
+     *             workloads through it; must outlive the manager)
+     * @param dvfs mode table shared by every chip
+     * @param base sim knobs shared by every chip; per-chip phase
+     *             shifts come from the ChipSpecs, so base's
+     *             phaseShiftStride/phaseShiftBase must be 0
+     * @param spec the rack
+     */
+    ClusterManager(ProfileLibrary &lib, const DvfsTable &dvfs,
+                   const SimConfig &base, ClusterSpec spec);
+
+    /**
+     * One full cluster run at @p budget_frac of the summed chip
+     * references. Deterministic for any @p concurrency (0 = the
+     * GPM_THREADS / hardware default). @p cancel, when non-null, is
+     * polled between phases and before every chip simulation.
+     */
+    Expected<ClusterRunResult, ClusterError>
+    run(double budget_frac, std::size_t concurrency = 0,
+        const CancelToken *cancel = nullptr);
+
+    const ClusterSpec &spec() const { return spec_; }
+
+  private:
+    SimConfig chipConfig(const ChipSpec &chip) const;
+
+    ProfileLibrary &lib;
+    const DvfsTable &dvfs;
+    SimConfig base;
+    ClusterSpec spec_;
+};
+
+} // namespace gpm
+
+#endif // GPM_CLUSTER_CLUSTER_MANAGER_HH

@@ -57,7 +57,13 @@ DvfsTable::linear(std::size_t n, double lowest_scale)
             ? 1.0
             : 1.0 - (1.0 - lowest_scale) * static_cast<double>(i) /
                 static_cast<double>(n - 1);
-        pts.push_back({"M" + std::to_string(i), s, s});
+        // Two-step append instead of `"M" + std::to_string(i)`:
+        // operator+(const char*, string&&) trips GCC 12's spurious
+        // -Wrestrict at -O2 (libstdc++ PR 105651), which GPM_WERROR
+        // escalates.
+        std::string name = "M";
+        name += std::to_string(i);
+        pts.push_back({std::move(name), s, s});
     }
     return DvfsTable(std::move(pts), 1.300, 1.0e9, 10.0e-3 * 1.0e6);
 }

@@ -12,8 +12,17 @@
  *       [--static-fit peak|average] [--explore-us X] \
  *       [--delta-us X] [--contention] [--sensor-noise X] \
  *       [--deadline-ms X]
+ *   gpmctl submit --cluster-chip COMBO:POLICY[:COUNT] \
+ *       [--cluster-chip ...] --policy MaxBIPS-DP --budget 0.75 \
+ *       [--epochs N] [--epoch-us X] [--levels K]
  *   gpmctl submit --json '<scenario object>'
  *   gpmctl submit-batch @FILE.ndjson
+ *
+ * Cluster submits describe a rack: each --cluster-chip adds COUNT
+ * chips (default 1) running COMBO (a combination key like "2way1",
+ * a single benchmark, or a comma list) under the inner policy
+ * POLICY; --policy then names the facility-level arbitration
+ * kernel. See docs/SERVICE.md for the scenario schema.
  *
  * submit-batch reads one scenario object per line from FILE, sends
  * them as a single submit_batch request, and prints one result line
@@ -51,6 +60,7 @@
 
 #include "service/json.hh"
 #include "service/net.hh"
+#include "trace/workload.hh"
 #include "util/backoff.hh"
 
 namespace
@@ -75,7 +85,10 @@ usage()
         "  [--static-fit peak|average] [--explore-us X] "
         "[--delta-us X]\n"
         "  [--contention] [--sensor-noise X] [--deadline-ms X] "
-        "| --json SCENARIO\n");
+        "| --json SCENARIO\n"
+        "cluster submit: --cluster-chip COMBO:POLICY[:COUNT] "
+        "(repeatable)\n"
+        "  [--epochs N] [--epoch-us X] [--levels K]\n");
 }
 
 std::vector<std::string>
@@ -102,6 +115,52 @@ die(const std::string &msg)
     std::exit(1);
 }
 
+/** A --cluster-chip COMBO's JSON form: a comma list becomes an
+ *  explicit array, a known combination key passes through as a
+ *  string for the server to resolve, and a bare benchmark name
+ *  becomes a one-element array. */
+Value
+chipComboJson(const std::string &combo)
+{
+    std::vector<std::string> names = splitCommas(combo);
+    if (names.size() == 1 && gpm::findCombination(names[0]))
+        return Value(names[0]);
+    Value arr = Value::array();
+    for (const auto &n : names)
+        arr.push(n);
+    return arr;
+}
+
+/** Parse one --cluster-chip COMBO:POLICY[:COUNT] into a chip
+ *  object. */
+Value
+parseChipArg(const std::string &arg)
+{
+    std::size_t p1 = arg.find(':');
+    if (p1 == std::string::npos || p1 == 0)
+        die("--cluster-chip needs COMBO:POLICY[:COUNT], got '" +
+            arg + "'");
+    std::size_t p2 = arg.find(':', p1 + 1);
+    std::string combo = arg.substr(0, p1);
+    std::string chip_policy = arg.substr(
+        p1 + 1, p2 == std::string::npos ? std::string::npos
+                                        : p2 - p1 - 1);
+    if (chip_policy.empty())
+        die("--cluster-chip needs COMBO:POLICY[:COUNT], got '" +
+            arg + "'");
+    Value chip = Value::object();
+    chip.set("combo", chipComboJson(combo));
+    chip.set("policy", chip_policy);
+    if (p2 != std::string::npos) {
+        long count = std::atol(arg.c_str() + p2 + 1);
+        if (count < 1)
+            die("--cluster-chip COUNT must be >= 1 in '" + arg +
+                "'");
+        chip.set("count", static_cast<double>(count));
+    }
+    return chip;
+}
+
 } // namespace
 
 int
@@ -118,6 +177,9 @@ main(int argc, char **argv)
     double explore_us = -1.0, delta_us = -1.0, sensor_noise = -1.0;
     double request_deadline_ms = -1.0;
     bool contention = false;
+    std::vector<std::string> cluster_chips;
+    long cluster_epochs = -1, cluster_levels = -1;
+    double cluster_epoch_us = -1.0;
 
     // Retry policy.
     long retries = 0;
@@ -160,6 +222,14 @@ main(int argc, char **argv)
             request_deadline_ms = std::atof(need(i)), i++;
         else if (a == "--contention")
             contention = true;
+        else if (a == "--cluster-chip")
+            cluster_chips.push_back(need(i)), i++;
+        else if (a == "--epochs")
+            cluster_epochs = std::atol(need(i)), i++;
+        else if (a == "--epoch-us")
+            cluster_epoch_us = std::atof(need(i)), i++;
+        else if (a == "--levels")
+            cluster_levels = std::atol(need(i)), i++;
         else if (a == "--json")
             json_arg = need(i), i++;
         else if (a == "--retries")
@@ -208,12 +278,32 @@ main(int argc, char **argv)
                     std::to_string(parsed.error().offset));
             scenario = parsed.value();
         } else {
-            if ((combo_arg.empty() && combo_key.empty()) ||
+            if ((combo_arg.empty() && combo_key.empty() &&
+                 cluster_chips.empty()) ||
                 policy.empty() ||
                 (budget_arg.empty() && budgets_arg.empty()))
-                die("submit needs --combo/--combo-key, --policy "
-                    "and --budget/--budgets (or --json)");
-            if (!combo_key.empty()) {
+                die("submit needs --combo/--combo-key/"
+                    "--cluster-chip, --policy and "
+                    "--budget/--budgets (or --json)");
+            if (!cluster_chips.empty()) {
+                if (!combo_arg.empty() || !combo_key.empty())
+                    die("--cluster-chip excludes --combo/"
+                        "--combo-key");
+                Value chips = Value::array();
+                for (const auto &arg : cluster_chips)
+                    chips.push(parseChipArg(arg));
+                Value cluster = Value::object();
+                cluster.set("chips", std::move(chips));
+                if (cluster_epochs > 0)
+                    cluster.set("epochs",
+                                static_cast<double>(cluster_epochs));
+                if (cluster_epoch_us > 0.0)
+                    cluster.set("epochUs", cluster_epoch_us);
+                if (cluster_levels > 0)
+                    cluster.set("levels",
+                                static_cast<double>(cluster_levels));
+                scenario.set("cluster", std::move(cluster));
+            } else if (!combo_key.empty()) {
                 // Table 2 keys like "2way1" pass through as a
                 // string for the server to resolve.
                 scenario.set("combo", combo_key);
@@ -443,25 +533,18 @@ main(int argc, char **argv)
                 const Value *ok = parsed.value().find("ok");
                 bool is_ok = ok && ok->isBool() && ok->asBool();
                 // After the raw JSON line (which scripts grep),
-                // summarize the profile pipeline for operators:
-                // cold-start cost vs steady-state serving.
+                // pretty-print every counter the server reported —
+                // generically, so new counters show up here without
+                // a client release.
                 if (command == "stats" && is_ok) {
                     const Value *res = parsed.value().find("result");
-                    auto num = [&](const char *key) -> double {
-                        const Value *v =
-                            res ? res->find(key) : nullptr;
-                        return v && v->isNumber() ? v->asNumber()
-                                                  : 0.0;
-                    };
-                    std::fprintf(
-                        stderr,
-                        "gpmctl: profiles: %.0f ready "
-                        "(%.0f built in %.0f ms, %.0f from disk, "
-                        "%.0f quarantined)\n",
-                        num("profileReady"), num("profileBuilds"),
-                        num("profileBuildMs"),
-                        num("profileDiskHits"),
-                        num("profileQuarantined"));
+                    if (res && res->isObject())
+                        for (const auto &[key, val] :
+                             res->asObject())
+                            std::fprintf(stderr,
+                                         "gpmctl: %s: %s\n",
+                                         key.c_str(),
+                                         val.dump().c_str());
                 }
                 return is_ok ? 0 : 2;
             }

@@ -377,7 +377,7 @@ struct Parser
                 out += '\t';
                 break;
               case 'u': {
-                unsigned cp;
+                unsigned cp = 0;
                 if (!parseHex4(cp))
                     return false;
                 if (cp >= 0xDC00 && cp <= 0xDFFF)
@@ -387,7 +387,7 @@ struct Parser
                         text[pos] != '\\' || text[pos + 1] != 'u')
                         return fail(pos, "unpaired high surrogate");
                     pos += 2;
-                    unsigned lo;
+                    unsigned lo = 0;
                     if (!parseHex4(lo))
                         return false;
                     if (lo < 0xDC00 || lo > 0xDFFF)
@@ -544,7 +544,7 @@ struct Parser
             }
         }
         if (c == '-' || (c >= '0' && c <= '9')) {
-            double d;
+            double d = 0.0;
             if (!parseNumber(d))
                 return false;
             out = Value(d);

@@ -31,6 +31,14 @@ ScenarioSpec::sweepSpec() const
     return s;
 }
 
+ClusterSpec
+ScenarioSpec::clusterSpec() const
+{
+    ClusterSpec s = *cluster;
+    s.policy = policy;
+    return s;
+}
+
 Value
 ScenarioSpec::simJson() const
 {
@@ -51,10 +59,38 @@ Value
 ScenarioSpec::canonicalJson() const
 {
     Value o = Value::object();
-    Value c = Value::array();
-    for (const auto &name : combo)
-        c.push(name);
-    o.set("combo", std::move(c));
+    if (cluster) {
+        // Cluster scenarios have a distinct canonical shape: a
+        // "cluster" object and no "combo" key, every chip explicit
+        // (replication counts are expanded at parse), per-chip
+        // shifts only when non-zero, the cluster knobs always
+        // explicit (new keys cannot collide with old hashes).
+        Value cl = Value::object();
+        Value chips = Value::array();
+        for (const auto &chip : cluster->chips) {
+            Value ch = Value::object();
+            Value cc = Value::array();
+            for (const auto &name : chip.combo)
+                cc.push(name);
+            ch.set("combo", std::move(cc));
+            ch.set("policy", chip.policy);
+            if (chip.phaseShiftStride != 0.0)
+                ch.set("phaseShiftStride", chip.phaseShiftStride);
+            if (chip.phaseOffset != 0.0)
+                ch.set("phaseOffset", chip.phaseOffset);
+            chips.push(std::move(ch));
+        }
+        cl.set("chips", std::move(chips));
+        cl.set("epochs", static_cast<double>(cluster->epochs));
+        cl.set("epochUs", cluster->epochUs);
+        cl.set("levels", static_cast<double>(cluster->levels));
+        o.set("cluster", std::move(cl));
+    } else {
+        Value c = Value::array();
+        for (const auto &name : combo)
+            c.push(name);
+        o.set("combo", std::move(c));
+    }
     o.set("policy", policy);
     Value bs = Value::array();
     for (double b : budgets)
@@ -75,19 +111,84 @@ ScenarioSpec::hash() const
     return canonicalJson().canonicalHash();
 }
 
+namespace
+{
+
+/** Cluster-specific half of validateScenario(). */
+std::optional<std::string>
+validateCluster(const ScenarioSpec &spec)
+{
+    const ClusterSpec &cl = *spec.cluster;
+    if (!spec.combo.empty())
+        return "give either 'combo' or 'cluster', not both";
+    if (cl.chips.empty())
+        return "cluster.chips must name at least one chip";
+    if (cl.chips.size() > ClusterSpec::maxChips)
+        return "cluster.chips exceeds " +
+            std::to_string(ClusterSpec::maxChips) + " chips";
+    if (cl.totalCores() > ClusterSpec::maxTotalCores)
+        return "cluster exceeds " +
+            std::to_string(ClusterSpec::maxTotalCores) +
+            " total cores";
+    for (const auto &chip : cl.chips) {
+        if (chip.combo.empty())
+            return "chip combo must name at least one benchmark";
+        if (chip.combo.size() > ScenarioSpec::maxCores)
+            return "chip combo exceeds " +
+                std::to_string(ScenarioSpec::maxCores) +
+                " benchmarks";
+        for (const auto &name : chip.combo)
+            if (!hasWorkload(name))
+                return "unknown workload '" + name + "'";
+        if (!isPolicyName(chip.policy))
+            return "unknown chip policy '" + chip.policy + "'";
+        if (!std::isfinite(chip.phaseShiftStride) ||
+            chip.phaseShiftStride < 0.0 ||
+            chip.phaseShiftStride >= 1.0)
+            return "chip phaseShiftStride must be in [0, 1)";
+        if (!std::isfinite(chip.phaseOffset) ||
+            chip.phaseOffset < 0.0 || chip.phaseOffset >= 1.0)
+            return "chip phaseOffset must be in [0, 1)";
+    }
+    if (!isClusterPolicyName(spec.policy))
+        return "'" + spec.policy +
+            "' is not a cluster arbitration policy";
+    if (cl.epochs < 1 || cl.epochs > ClusterSpec::maxEpochs)
+        return "cluster.epochs must be in [1, " +
+            std::to_string(ClusterSpec::maxEpochs) + "]";
+    if (cl.levels < 2 || cl.levels > ClusterSpec::maxLevels)
+        return "cluster.levels must be in [2, " +
+            std::to_string(ClusterSpec::maxLevels) + "]";
+    if (!std::isfinite(cl.epochUs) || cl.epochUs < spec.exploreUs ||
+        cl.epochUs > 1e6)
+        return "cluster.epochUs must be in [exploreUs, 1e6]";
+    if (spec.phaseShiftStride != 0.0)
+        return "cluster scenarios take phase shifts per chip, not "
+               "in sim.phaseShiftStride";
+    return std::nullopt;
+}
+
+} // namespace
+
 std::optional<std::string>
 validateScenario(const ScenarioSpec &spec)
 {
-    if (spec.combo.empty())
-        return "combo must name at least one benchmark";
-    if (spec.combo.size() > ScenarioSpec::maxCores)
-        return "combo exceeds " +
-            std::to_string(ScenarioSpec::maxCores) + " benchmarks";
-    for (const auto &name : spec.combo)
-        if (!hasWorkload(name))
-            return "unknown workload '" + name + "'";
-    if (spec.policy != "Static" && !isPolicyName(spec.policy))
-        return "unknown policy '" + spec.policy + "'";
+    if (spec.cluster) {
+        if (auto err = validateCluster(spec))
+            return err;
+    } else {
+        if (spec.combo.empty())
+            return "combo must name at least one benchmark";
+        if (spec.combo.size() > ScenarioSpec::maxCores)
+            return "combo exceeds " +
+                std::to_string(ScenarioSpec::maxCores) +
+                " benchmarks";
+        for (const auto &name : spec.combo)
+            if (!hasWorkload(name))
+                return "unknown workload '" + name + "'";
+        if (spec.policy != "Static" && !isPolicyName(spec.policy))
+            return "unknown policy '" + spec.policy + "'";
+    }
     if (spec.budgets.empty())
         return "budgets must contain at least one fraction";
     if (spec.budgets.size() > ScenarioSpec::maxBudgets)
@@ -149,6 +250,133 @@ parseSim(const Value &sim, ScenarioSpec &out)
             return "unknown sim field '" + key + "'";
         }
     }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+parseChipCombo(const Value &val, ChipSpec &chip)
+{
+    if (val.isString()) {
+        const auto *c = findCombination(val.asString());
+        if (!c)
+            return "unknown benchmark combination '" +
+                val.asString() + "'";
+        chip.combo = *c;
+        return std::nullopt;
+    }
+    if (val.isArray()) {
+        for (const auto &item : val.asArray()) {
+            if (!item.isString())
+                return std::optional<std::string>(
+                    "chip combo entries must be strings");
+            chip.combo.push_back(item.asString());
+        }
+        return std::nullopt;
+    }
+    return "chip combo must be an array of benchmark names or a "
+           "combination key string";
+}
+
+std::optional<std::string>
+parseChip(const Value &obj, ClusterSpec &cl)
+{
+    if (!obj.isObject())
+        return "cluster.chips entries must be objects";
+    ChipSpec chip;
+    unsigned count = 1;
+    for (const auto &[key, val] : obj.asObject()) {
+        if (key == "combo") {
+            if (auto err = parseChipCombo(val, chip))
+                return err;
+        } else if (key == "policy") {
+            if (!val.isString())
+                return std::optional<std::string>(
+                    "chip policy must be a string");
+            chip.policy = val.asString();
+        } else if (key == "count") {
+            if (!val.isNumber() || val.asNumber() < 1.0 ||
+                val.asNumber() >
+                    static_cast<double>(ClusterSpec::maxChips) ||
+                val.asNumber() != std::floor(val.asNumber()))
+                return "chip count must be an integer in [1, " +
+                    std::to_string(ClusterSpec::maxChips) + "]";
+            count = static_cast<unsigned>(val.asNumber());
+        } else if (key == "phaseShiftStride") {
+            if (!val.isNumber())
+                return std::optional<std::string>(
+                    "chip phaseShiftStride must be a number");
+            chip.phaseShiftStride = val.asNumber();
+        } else if (key == "phaseOffset") {
+            if (!val.isNumber())
+                return std::optional<std::string>(
+                    "chip phaseOffset must be a number");
+            chip.phaseOffset = val.asNumber();
+        } else {
+            return "unknown chip field '" + key + "'";
+        }
+    }
+    if (chip.combo.empty() && !obj.find("combo"))
+        return std::optional<std::string>(
+            "missing required chip field 'combo'");
+    if (chip.policy.empty())
+        return std::optional<std::string>(
+            "missing required chip field 'policy'");
+    // Replication is a parse-time convenience; the canonical form
+    // lists every chip explicitly. The chip cap is enforced by
+    // validateCluster after expansion.
+    for (unsigned i = 0; i < count; i++) {
+        if (cl.chips.size() > ClusterSpec::maxChips)
+            return "cluster.chips exceeds " +
+                std::to_string(ClusterSpec::maxChips) + " chips";
+        cl.chips.push_back(chip);
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+parseCluster(const Value &obj, ScenarioSpec &out)
+{
+    if (!obj.isObject())
+        return std::optional<std::string>(
+            "cluster must be an object");
+    ClusterSpec cl;
+    for (const auto &[key, val] : obj.asObject()) {
+        if (key == "chips") {
+            if (!val.isArray())
+                return std::optional<std::string>(
+                    "cluster.chips must be an array");
+            for (const auto &item : val.asArray())
+                if (auto err = parseChip(item, cl))
+                    return err;
+        } else if (key == "epochs") {
+            if (!val.isNumber() || val.asNumber() < 1.0 ||
+                val.asNumber() >
+                    static_cast<double>(ClusterSpec::maxEpochs) ||
+                val.asNumber() != std::floor(val.asNumber()))
+                return "cluster.epochs must be an integer in [1, " +
+                    std::to_string(ClusterSpec::maxEpochs) + "]";
+            cl.epochs = static_cast<unsigned>(val.asNumber());
+        } else if (key == "epochUs") {
+            if (!val.isNumber())
+                return std::optional<std::string>(
+                    "cluster.epochUs must be a number");
+            cl.epochUs = val.asNumber();
+        } else if (key == "levels") {
+            if (!val.isNumber() || val.asNumber() < 2.0 ||
+                val.asNumber() >
+                    static_cast<double>(ClusterSpec::maxLevels) ||
+                val.asNumber() != std::floor(val.asNumber()))
+                return "cluster.levels must be an integer in [2, " +
+                    std::to_string(ClusterSpec::maxLevels) + "]";
+            cl.levels = static_cast<unsigned>(val.asNumber());
+        } else {
+            return "unknown cluster field '" + key + "'";
+        }
+    }
+    if (cl.chips.empty() && !obj.find("chips"))
+        return std::optional<std::string>(
+            "missing required cluster field 'chips'");
+    out.cluster = std::move(cl);
     return std::nullopt;
 }
 
@@ -214,6 +442,9 @@ parseScenario(const Value &scenario)
                 ? StaticFit::Peak
                 : StaticFit::Average;
             saw_static_fit = true;
+        } else if (key == "cluster") {
+            if (auto err = parseCluster(val, out))
+                return Fail::failure(std::move(*err));
         } else if (key == "sim") {
             if (auto err = parseSim(val, out))
                 return Fail::failure(std::move(*err));
@@ -227,8 +458,9 @@ parseScenario(const Value &scenario)
         }
     }
 
-    if (out.combo.empty() && !scenario.find("combo"))
-        return Fail::failure("missing required field 'combo'");
+    if (out.combo.empty() && !scenario.find("combo") && !out.cluster)
+        return Fail::failure(
+            "missing required field 'combo' or 'cluster'");
     if (out.policy.empty())
         return Fail::failure("missing required field 'policy'");
     if (saw_budget && saw_budgets)
@@ -278,6 +510,60 @@ serializeResults(const ScenarioSpec &spec,
         mgr.set("overshoots", ev.managerStats.overshoots);
         mgr.set("modeSwitches", ev.managerStats.modeSwitches);
         r.set("manager", std::move(mgr));
+
+        results.push(std::move(r));
+    }
+    root.set("results", std::move(results));
+    return root.canonical();
+}
+
+std::string
+serializeClusterResults(const ScenarioSpec &spec,
+                        const std::vector<ClusterRunResult> &runs)
+{
+    Value root = Value::object();
+    root.set("scenario", spec.canonicalJson());
+
+    Value results = Value::array();
+    for (std::size_t k = 0; k < runs.size(); k++) {
+        const ClusterRunResult &run = runs[k];
+        Value r = Value::object();
+        r.set("policy", spec.policy);
+        r.set("budget", spec.budgets[k]);
+
+        Value m = Value::object();
+        m.set("clusterBips", run.clusterBips);
+        m.set("clusterPowerW", run.clusterPowerW);
+        m.set("facilityBudgetW", run.facilityBudgetW);
+        m.set("budgetUtilization", run.budgetUtilization);
+        r.set("metrics", std::move(m));
+
+        Value chips = Value::array();
+        for (const auto &c : run.chips) {
+            Value ch = Value::object();
+            ch.set("bips", c.bips);
+            ch.set("powerW", c.avgCorePowerW);
+            ch.set("awardedMeanW", c.awardedMeanW);
+            ch.set("refPowerW", c.refPowerW);
+            ch.set("decisions", c.managerStats.decisions);
+            ch.set("overshoots", c.managerStats.overshoots);
+            ch.set("modeSwitches", c.managerStats.modeSwitches);
+            chips.push(std::move(ch));
+        }
+        r.set("chips", std::move(chips));
+
+        Value epochs = Value::array();
+        for (const auto &t : run.epochs) {
+            Value e = Value::object();
+            e.set("feasible", t.feasible);
+            e.set("predictedBips", t.predictedBips);
+            Value awards = Value::array();
+            for (Watts w : t.awardsW)
+                awards.push(w);
+            e.set("awards", std::move(awards));
+            epochs.push(std::move(e));
+        }
+        r.set("epochs", std::move(epochs));
 
         results.push(std::move(r));
     }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_manager.hh"
 #include "core/static_planner.hh"
 #include "metrics/experiment.hh"
 #include "service/json.hh"
@@ -40,6 +41,18 @@ struct ScenarioSpec
     std::vector<double> budgets;
     /** Fitting rule when policy == "Static". */
     StaticFit staticFit = StaticFit::Peak;
+
+    /**
+     * Cluster scenario: when set, the request describes a rack of
+     * chips under one facility budget instead of a single chip, and
+     * `policy` names the facility-level arbitration kernel (see
+     * cluster/cluster.hh). Mutually exclusive with `combo`. The
+     * embedded spec's own policy field stays empty — clusterSpec()
+     * assembles the complete spec. Cluster scenarios serialize a
+     * distinct canonical shape (a "cluster" object, no "combo"
+     * key), so their hashes can never collide with flat scenarios'.
+     */
+    std::optional<ClusterSpec> cluster;
 
     /** Client-tunable SimConfig knobs (defaults mirror SimConfig). */
     double exploreUs = 500.0;
@@ -71,8 +84,13 @@ struct ScenarioSpec
     /** The SimConfig an ExperimentRunner needs for this scenario. */
     SimConfig simConfig() const;
 
-    /** The equivalent sweep: one point per budget fraction. */
+    /** The equivalent sweep: one point per budget fraction. Flat
+     *  scenarios only. */
     SweepSpec sweepSpec() const;
+
+    /** The complete ClusterSpec (cluster + the top-level policy).
+     *  Cluster scenarios only. */
+    ClusterSpec clusterSpec() const;
 
     /** The sim-knob subsection of the canonical form (also the
      *  service's runner-cache key). */
@@ -98,14 +116,29 @@ validateScenario(const ScenarioSpec &spec);
  * Accepted fields:
  *   combo     array of benchmark names, or a combination key
  *             string: Table 2 ("2way1", ...) or many-core
- *             ("many64" ... "many1024")        [required]
- *   policy    policy name or "Static"          [required]
+ *             ("many64" ... "many1024")   } exactly one
+ *   cluster   cluster object (below)      } of the two
+ *   policy    policy name or "Static"; for cluster scenarios a
+ *             facility arbitration kernel  [required]
  *   budget    single budget fraction     } exactly one
  *   budgets   array of budget fractions  } of the two
  *   staticFit  "peak" | "average" (policy "Static" only)
  *   sim        object: exploreUs, deltaSimUs, contention,
- *              sensorNoise, phaseShiftStride (all optional)
+ *              sensorNoise, phaseShiftStride (all optional;
+ *              phaseShiftStride must stay 0 for cluster scenarios —
+ *              phase geometry is per-chip there)
  *   deadlineMs queue deadline in ms (optional; see the field)
+ *
+ * The cluster object:
+ *   chips     array of chip objects        [required]
+ *               combo    names array or combination key [required]
+ *               policy   inner dynamic policy name      [required]
+ *               count    replicate this chip N times (default 1)
+ *               phaseShiftStride  per-core stride in [0, 1)
+ *               phaseOffset       chip-wide base shift in [0, 1)
+ *   epochs    outer reallocation epochs (default 8)
+ *   epochUs   epoch length in us (default 2000)
+ *   levels    frontier quantization levels (default 16)
  * Anything else is rejected.
  */
 Expected<ScenarioSpec, std::string>
@@ -120,6 +153,15 @@ parseScenario(const json::Value &scenario);
  */
 std::string serializeResults(const ScenarioSpec &spec,
                              const std::vector<PolicyEval> &evals);
+
+/**
+ * Deterministic result payload for a served *cluster* scenario: the
+ * canonical scenario plus, per budget fraction, cluster metrics,
+ * per-chip outcomes and the per-epoch reallocation trace.
+ */
+std::string
+serializeClusterResults(const ScenarioSpec &spec,
+                        const std::vector<ClusterRunResult> &runs);
 
 } // namespace gpm
 

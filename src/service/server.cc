@@ -384,6 +384,9 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
         result.set("diskEntries", s.diskEntries);
         result.set("diskBytes", s.diskBytes);
         result.set("cancelledMidSweep", s.cancelledMidSweep);
+        result.set("clusterRequests", s.clusterRequests);
+        result.set("clusterEpochs", s.clusterEpochs);
+        result.set("chipSims", s.chipSims);
         result.set("profileBuilds", s.profileBuilds);
         result.set("profileDiskHits", s.profileDiskHits);
         result.set("profileBuildMs", s.profileBuildMs);

@@ -304,6 +304,9 @@ ScenarioService::execute(Job &job)
         throw std::runtime_error(
             "injected fault: worker-throw");
 
+    if (job.spec.cluster)
+        return executeCluster(job);
+
     Response r;
     r.hash = job.hash;
     ExperimentRunner &runner = runnerFor(job.spec);
@@ -331,6 +334,51 @@ ScenarioService::execute(Job &job)
         return r;
     }
     r.payload = serializeResults(job.spec, swept.value());
+    cachePut(job.hash, r.payload);
+    served++;
+    r.ok = true;
+    return r;
+}
+
+ScenarioService::Response
+ScenarioService::executeCluster(Job &job)
+{
+    Response r;
+    r.hash = job.hash;
+    clusterRequests++;
+
+    ClusterManager mgr(lib, dvfs, job.spec.simConfig(),
+                       job.spec.clusterSpec());
+    std::vector<ClusterRunResult> runs;
+    runs.reserve(job.spec.budgets.size());
+    for (double b : job.spec.budgets) {
+        auto run = mgr.run(b, opts.sweepConcurrency,
+                           job.hasDeadline ? &job.cancel : nullptr);
+        if (!run.ok()) {
+            const ClusterError &e = run.error();
+            if (e.cancelled) {
+                cancelledMidSweep++;
+                r.errorCode = "deadline_exceeded";
+                r.errorMessage = "deadline of " +
+                    std::to_string(job.spec.deadlineMs) +
+                    " ms expired mid-run: " + e.message;
+                return r;
+            }
+            // Structured containment: a failing chip sim is a
+            // per-request error, not a worker crash — the worker
+            // stays alive and nothing is cached.
+            r.errorCode = "internal_error";
+            r.errorMessage = e.chipIndex == ClusterError::npos
+                ? "cluster: " + e.message
+                : "cluster chip " + std::to_string(e.chipIndex) +
+                    ": " + e.message;
+            return r;
+        }
+        clusterEpochs += run.value().epochs.size();
+        chipSims += run.value().chips.size();
+        runs.push_back(std::move(run.value()));
+    }
+    r.payload = serializeClusterResults(job.spec, runs);
     cachePut(job.hash, r.payload);
     served++;
     r.ok = true;
@@ -465,6 +513,9 @@ ScenarioService::stats() const
     s.batchRequests = batchRequests.load();
     s.diskHits = diskHits.load();
     s.cancelledMidSweep = cancelledMidSweep.load();
+    s.clusterRequests = clusterRequests.load();
+    s.clusterEpochs = clusterEpochs.load();
+    s.chipSims = chipSims.load();
     s.workersAlive = aliveWorkers.load();
     s.inFlight = inFlight.load();
     {

@@ -105,6 +105,9 @@ struct ServiceStats
     std::uint64_t diskEvictions = 0; ///< disk entries LRU-evicted
     std::uint64_t diskQuarantined = 0; ///< corrupt entries set aside
     std::uint64_t cancelledMidSweep = 0; ///< deadlines hit mid-sweep
+    std::uint64_t clusterRequests = 0; ///< cluster scenarios computed
+    std::uint64_t clusterEpochs = 0;   ///< facility epochs arbitrated
+    std::uint64_t chipSims = 0;        ///< per-chip simulations run
     std::uint64_t profileBuilds = 0;   ///< detailed-core suite builds
     std::uint64_t profileDiskHits = 0; ///< profiles loaded from disk
     std::uint64_t profileBuildMs = 0;  ///< cumulative sim time [ms]
@@ -217,6 +220,11 @@ class ScenarioService
 
     ExperimentRunner &runnerFor(const ScenarioSpec &spec);
     Response execute(Job &job);
+    /** Cluster-scenario half of execute(): ClusterManager runs, one
+     *  per budget fraction. Chip-sim failures come back as
+     *  structured "internal_error" responses — the worker survives
+     *  (workerCrashes stays untouched). */
+    Response executeCluster(Job &job);
     void workerLoop(std::size_t slot);
     void supervisorLoop();
     std::unique_ptr<Job> makeJob(const ScenarioSpec &spec,
@@ -277,6 +285,9 @@ class ScenarioService
     std::atomic<std::uint64_t> batchRequests{0};
     std::atomic<std::uint64_t> diskHits{0};
     std::atomic<std::uint64_t> cancelledMidSweep{0};
+    std::atomic<std::uint64_t> clusterRequests{0};
+    std::atomic<std::uint64_t> clusterEpochs{0};
+    std::atomic<std::uint64_t> chipSims{0};
     std::atomic<std::size_t> aliveWorkers{0};
     std::atomic<std::size_t> inFlight{0};
 };

@@ -116,10 +116,10 @@ CmpSim::runInternal(GlobalManager *mgr, const BudgetSchedule *budget,
     cursors.reserve(n);
     for (const auto *p : profs)
         cursors.emplace_back(*p);
-    if (cfg.phaseShiftStride > 0.0) {
+    if (cfg.phaseShiftStride > 0.0 || cfg.phaseShiftBase > 0.0) {
         for (std::size_t c = 0; c < n; c++) {
-            double f = static_cast<double>(c) *
-                cfg.phaseShiftStride;
+            double f = cfg.phaseShiftBase +
+                static_cast<double>(c) * cfg.phaseShiftStride;
             cursors[c].seekFraction(f - std::floor(f));
         }
     }

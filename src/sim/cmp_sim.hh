@@ -82,6 +82,14 @@ struct SimConfig
      */
     double phaseShiftStride = 0.0;
 
+    /**
+     * Base phase shift added to every core's stride shift: core c
+     * starts at fraction frac(phaseShiftBase + c * phaseShiftStride).
+     * The cluster layer uses it to start otherwise-identical chips
+     * at different regions of the workload streams. 0 disables.
+     */
+    double phaseShiftBase = 0.0;
+
     /** Record a per-delta-step timeline (needed for the figures). */
     bool recordTimeline = true;
 

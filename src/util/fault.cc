@@ -48,6 +48,7 @@ constexpr const char *kNames[kPoints] = {
     "worker-throw",      "worker-stall", "response-delay",
     "disk-read-corrupt", "disk-write-fail",
     "profile-read-corrupt", "profile-write-fail",
+    "chip-sim-throw",
 };
 
 void

@@ -34,6 +34,10 @@
  *                   on read (exercises quarantine + rebuild)
  *   profile-write-fail    fail a profile-store write (the profile is
  *                   rebuilt next cold start; serving is unaffected)
+ *   chip-sim-throw  throw from inside a per-chip cluster simulation
+ *                   (exercises the ClusterManager's containment: the
+ *                   error surfaces as a structured per-chip failure,
+ *                   not a worker crash)
  *
  * Spec grammar (comma-separated, whitespace-free):
  *
@@ -76,6 +80,7 @@ enum class Point : std::size_t
     DiskWriteFail,
     ProfileReadCorrupt,
     ProfileWriteFail,
+    ChipSimThrow,
     kCount
 };
 

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "service/scenario.hh"
 #include "trace/workload.hh"
 
@@ -186,6 +188,152 @@ TEST(Scenario, StaticFitOnlyHashedForStaticPolicy)
         R"({"combo": ["mcf"], "policy": "Static", "budget": 0.7,
             "staticFit": "average"})");
     EXPECT_NE(s1.hash(), s2.hash());
+}
+
+TEST(ClusterScenario, ParsesChipsAndExpandsCounts)
+{
+    ScenarioSpec s = parseOk(
+        R"({"cluster": {"chips": [
+              {"combo": "2way1", "policy": "MaxBIPS", "count": 2,
+               "phaseShiftStride": 0.1},
+              {"combo": ["mcf", "crafty"], "policy": "WaterFill",
+               "phaseOffset": 0.5}],
+            "epochs": 4, "epochUs": 1500, "levels": 12},
+            "policy": "MaxBIPS-DP", "budget": 0.75})");
+    ASSERT_TRUE(s.cluster.has_value());
+    EXPECT_TRUE(s.combo.empty());
+    ASSERT_EQ(s.cluster->chips.size(), 3u);
+    EXPECT_EQ(s.cluster->chips[0].combo,
+              (std::vector<std::string>{"ammp", "art"}));
+    EXPECT_EQ(s.cluster->chips[0].policy, "MaxBIPS");
+    EXPECT_EQ(s.cluster->chips[0].phaseShiftStride, 0.1);
+    EXPECT_EQ(s.cluster->chips[1].combo,
+              s.cluster->chips[0].combo);
+    EXPECT_EQ(s.cluster->chips[2].policy, "WaterFill");
+    EXPECT_EQ(s.cluster->chips[2].phaseOffset, 0.5);
+    EXPECT_EQ(s.cluster->epochs, 4u);
+    EXPECT_EQ(s.cluster->epochUs, 1500.0);
+    EXPECT_EQ(s.cluster->levels, 12u);
+    EXPECT_EQ(s.policy, "MaxBIPS-DP");
+
+    // clusterSpec() carries the top-level policy into the spec.
+    EXPECT_EQ(s.clusterSpec().policy, "MaxBIPS-DP");
+    EXPECT_EQ(s.cluster->totalCores(), 6u);
+}
+
+TEST(ClusterScenario, CountReplicasHashLikeExplicitChips)
+{
+    ScenarioSpec a = parseOk(
+        R"({"cluster": {"chips": [
+              {"combo": ["mcf"], "policy": "MaxBIPS", "count": 3}]},
+            "policy": "WaterFill", "budget": 0.8})");
+    ScenarioSpec b = parseOk(
+        R"({"cluster": {"chips": [
+              {"combo": ["mcf"], "policy": "MaxBIPS"},
+              {"combo": ["mcf"], "policy": "MaxBIPS"},
+              {"combo": ["mcf"], "policy": "MaxBIPS"}]},
+            "policy": "WaterFill", "budget": 0.8})");
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(ClusterScenario, RejectsMalformedClusters)
+{
+    // combo and cluster are mutually exclusive.
+    EXPECT_NE(parseErr(
+                  R"({"combo": ["mcf"], "cluster": {"chips":
+                   [{"combo": ["art"], "policy": "MaxBIPS"}]},
+                   "policy": "WaterFill", "budget": 0.8})")
+                  .find("either"),
+              std::string::npos);
+    // The top-level policy must be an arbitration kernel.
+    EXPECT_NE(parseErr(
+                  R"({"cluster": {"chips":
+                   [{"combo": ["art"], "policy": "MaxBIPS"}]},
+                   "policy": "Priority", "budget": 0.8})")
+                  .find("arbitration"),
+              std::string::npos);
+    // Chip policies must be dynamic per-chip policies.
+    parseErr(
+        R"({"cluster": {"chips":
+         [{"combo": ["art"], "policy": "Static"}]},
+         "policy": "WaterFill", "budget": 0.8})");
+    // Unknown cluster / chip fields are rejected.
+    parseErr(
+        R"({"cluster": {"chips":
+         [{"combo": ["art"], "policy": "MaxBIPS"}], "zap": 1},
+         "policy": "WaterFill", "budget": 0.8})");
+    parseErr(
+        R"({"cluster": {"chips":
+         [{"combo": ["art"], "policy": "MaxBIPS", "zap": 1}]},
+         "policy": "WaterFill", "budget": 0.8})");
+    // Knob ranges.
+    parseErr(
+        R"({"cluster": {"chips":
+         [{"combo": ["art"], "policy": "MaxBIPS"}], "epochs": 0},
+         "policy": "WaterFill", "budget": 0.8})");
+    parseErr(
+        R"({"cluster": {"chips":
+         [{"combo": ["art"], "policy": "MaxBIPS"}], "levels": 1},
+         "policy": "WaterFill", "budget": 0.8})");
+    parseErr(
+        R"({"cluster": {"chips":
+         [{"combo": ["art"], "policy": "MaxBIPS"}],
+           "epochUs": 100}, "policy": "WaterFill", "budget": 0.8})");
+    // Per-chip shifts live on the chips, not in sim.
+    EXPECT_NE(parseErr(
+                  R"({"cluster": {"chips":
+                   [{"combo": ["art"], "policy": "MaxBIPS"}]},
+                   "policy": "WaterFill", "budget": 0.8,
+                   "sim": {"phaseShiftStride": 0.1}})")
+                  .find("per chip"),
+              std::string::npos);
+    // A cluster scenario must still name chips.
+    parseErr(R"({"cluster": {}, "policy": "WaterFill",
+                 "budget": 0.8})");
+}
+
+/** Frozen canonical hashes: these lock the canonical serialization
+ *  of the request schema. A change here invalidates every persisted
+ *  result cache — if one of these breaks, that is a cache-format
+ *  break and must be deliberate (and called out in the change
+ *  description), never incidental. */
+TEST(Scenario, GoldenCanonicalHashes)
+{
+    auto hex = [](const ScenarioSpec &s) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(s.hash()));
+        return std::string(buf);
+    };
+
+    // Flat minimal scenario.
+    EXPECT_EQ(hex(parseOk(
+                  R"({"combo": ["mcf"], "policy": "MaxBIPS",
+                      "budget": 0.8})")),
+              "9ab3726c5cbbca51");
+    // Static with a fit rule (staticFit participates).
+    EXPECT_EQ(hex(parseOk(
+                  R"({"combo": ["mcf", "crafty"],
+                      "policy": "Static", "staticFit": "average",
+                      "budget": 0.75})")),
+              "37d118bdff94e81a");
+    // Many-core with a phase-shift stride.
+    EXPECT_EQ(hex(parseOk(
+                  R"({"combo": "many64", "policy": "MaxBIPS-DP",
+                      "budgets": [0.7, 0.9],
+                      "sim": {"phaseShiftStride": 0.618}})")),
+              "4a44bccc6c556285");
+    // A cluster scenario.
+    EXPECT_EQ(hex(parseOk(
+                  R"({"cluster": {"chips": [
+                        {"combo": "2way1", "policy": "MaxBIPS",
+                         "count": 2},
+                        {"combo": ["mcf", "crafty"],
+                         "policy": "WaterFill",
+                         "phaseOffset": 0.25}],
+                      "epochs": 3, "epochUs": 1000, "levels": 8},
+                      "policy": "GreedyTurbo", "budget": 0.8})")),
+              "07ab87de98850d7f");
 }
 
 TEST(Scenario, RejectsMalformedScenarios)
