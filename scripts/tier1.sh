@@ -13,7 +13,10 @@
 # connections, gpmctl retries converging under a deadline,
 # supervisor-restored workers, clean drain — see docs/ROBUSTNESS.md),
 # a deadline smoke (worker-stall outliving a request deadline must
-# cancel the sweep mid-computation), then a ThreadSanitizer build
+# cancel the sweep mid-computation), an overload smoke (a 1-worker
+# daemon under a pipelined burst must shed with structured
+# rejected_overload + retryAfterMs, serve at least one request a
+# ladder rung down, and drain cleanly), then a ThreadSanitizer build
 # running the concurrency-sensitive tests (thread pool + sweep
 # determinism) and the same smokes under TSan. The TSan stage can be
 # skipped with GPM_SKIP_TSAN=1 (e.g. on toolchains without libtsan).
@@ -376,6 +379,82 @@ gpmd_chaos() {
     rm -f "$log"
 }
 
+
+# Overload smoke: a 1-worker daemon with a tiny queue, a low
+# overload threshold and an armed worker stall, fed 12 pipelined
+# distinct submits down ONE connection, must shed part of the burst
+# with structured rejected_overload (+ retryAfterMs backoff hints),
+# serve at least one admitted request a ladder rung down (the
+# response carries the "degraded" marker), answer zero
+# internal_errors, expose the shedOverload / degradedRequests
+# counters and the sorted breaker-state lines through gpmctl stats,
+# and still drain cleanly on SIGTERM.
+gpmd_overload() {
+    local bdir=$1
+    local gpmd="$bdir/src/service/gpmd"
+    local gpmctl="$bdir/src/service/gpmctl"
+    local log resp
+    log=$(mktemp)
+    resp=$(mktemp)
+
+    GPMD_FAULT="worker-stall:1:100,seed:11" \
+        "$gpmd" --port 0 --scale "$SMOKE_SCALE" \
+        --profile-cache "$SMOKE_CACHE" \
+        --workers 1 --queue 8 --overload-degrade-depth 0.3 \
+        >"$log" 2>&1 &
+    local pid=$!
+    trap 'kill "$pid" 2>/dev/null || true' RETURN
+
+    local port
+    port=$(wait_gpmd_port "$pid" "$log") || return 1
+
+    # One pipelined burst: 12 distinct scenarios down one socket,
+    # then exactly 12 response lines back.
+    local i
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    for i in $(seq 1 12); do
+        printf '{"id":"b%s","verb":"submit","scenario":{"combo":["mcf"],"policy":"MaxBIPS","budget":0.%02d}}\n' \
+            "$i" $((60 + i)) >&3
+    done
+    timeout 120 head -n 12 <&3 >"$resp" || true
+    exec 3<&- 3>&-
+
+    [ "$(wc -l <"$resp")" -eq 12 ] ||
+        { echo "overload: expected 12 responses:"; cat "$resp"
+          return 1; }
+    grep -q 'rejected_overload' "$resp" ||
+        { echo "overload: nothing shed:"; cat "$resp"; return 1; }
+    grep 'rejected_overload' "$resp" | grep -q 'retryAfterMs' ||
+        { echo "overload: rejection without retry hint:"
+          cat "$resp"; return 1; }
+    grep -q '"degraded"' "$resp" ||
+        { echo "overload: no degraded response:"; cat "$resp"
+          return 1; }
+    ! grep -q 'internal_error' "$resp" ||
+        { echo "overload: internal errors:"; cat "$resp"
+          return 1; }
+
+    # Counters in the raw stats JSON, breaker states in the sorted
+    # pretty-printed stderr lines.
+    local stats
+    stats=$("$gpmctl" --port "$port" stats 2>&1)
+    echo "$stats" | grep -q '"shedOverload":[1-9]' ||
+        { echo "overload: shedOverload not counted: $stats"
+          return 1; }
+    echo "$stats" | grep -q '"degradedRequests":[1-9]' ||
+        { echo "overload: degradedRequests not counted: $stats"
+          return 1; }
+    echo "$stats" | grep -q 'gpmctl: breakerStateDisk: closed' ||
+        { echo "overload: disk breaker state not reported: $stats"
+          return 1; }
+    echo "$stats" | grep -q 'gpmctl: breakerStateProfile: closed' ||
+        { echo "overload: profile breaker state not reported: $stats"
+          return 1; }
+
+    stop_gpmd "$pid" "$log" || return 1
+    rm -f "$log" "$resp"
+}
+
 echo "== tier-1: standard build + ctest =="
 cmake -B "$BUILD" -S . -DGPM_WERROR=ON
 cmake --build "$BUILD" -j
@@ -395,6 +474,9 @@ gpmd_chaos "$BUILD"
 
 echo "== tier-1: gpmd deadline smoke (mid-sweep cancellation) =="
 gpmd_deadline "$BUILD"
+
+echo "== tier-1: gpmd overload smoke (shed / degrade / drain) =="
+gpmd_overload "$BUILD"
 
 if [ "${GPM_SKIP_TSAN:-0}" = "1" ]; then
     echo "== tier-1: TSan stage skipped (GPM_SKIP_TSAN=1) =="
@@ -420,5 +502,8 @@ gpmd_chaos "$BUILD-tsan"
 
 echo "== tier-1: gpmd deadline smoke under TSan =="
 gpmd_deadline "$BUILD-tsan"
+
+echo "== tier-1: gpmd overload smoke under TSan =="
+gpmd_overload "$BUILD-tsan"
 
 echo "== tier-1: all stages passed =="

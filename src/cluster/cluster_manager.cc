@@ -169,6 +169,12 @@ ClusterManager::run(double budget_frac, std::size_t concurrency,
                 cursors[c].seekFraction(frac(f));
         }
         for (unsigned e = 0; e < epochs; e++) {
+            // Deadline-aware planning: a cancelled run abandons the
+            // remaining epochs on every chip instead of finishing a
+            // plan nobody will wait for (the post-loop check turns
+            // the partial plan into a structured cancellation).
+            if (cancel && cancel->cancelled())
+                return;
             ModeMatrix mat(n, modes);
             for (std::size_t c = 0; c < n; c++) {
                 for (std::size_t md = 0; md < modes; md++) {
@@ -188,6 +194,9 @@ ClusterManager::run(double budget_frac, std::size_t concurrency,
                 cursors[c].advance(spec_.epochUs, modes::Turbo);
         }
     });
+    if (cancel && cancel->cancelled())
+        return Expected<ClusterRunResult, ClusterError>::failure(
+            cancelledErr());
 
     // --- Per-epoch facility arbitration (serial: M x levels is
     // tiny) and the resulting per-chip budget schedules.

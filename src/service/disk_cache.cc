@@ -27,8 +27,10 @@ constexpr char kMagic[8] = {'G', 'P', 'M', 'C',
 
 } // namespace
 
-DiskCache::DiskCache(std::string dir_, std::uint64_t maxBytes_)
-    : dir(std::move(dir_)), maxBytes(maxBytes_)
+DiskCache::DiskCache(std::string dir_, std::uint64_t maxBytes_,
+                     BreakerOptions breakerOpts)
+    : dir(std::move(dir_)), maxBytes(maxBytes_),
+      breaker(breakerOpts)
 {
     if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
         warn("disk cache: cannot create %s: %s", dir.c_str(),
@@ -170,6 +172,21 @@ bool
 DiskCache::get(std::uint64_t hash, std::string &payload)
 {
     std::lock_guard<std::mutex> lock(mtx);
+    // Breaker open: the disk is (still) considered sick — an
+    // immediate miss costs nothing, the memory tier serves alone.
+    if (!breaker.allow()) {
+        breakerRefusals++;
+        misses++;
+        return false;
+    }
+    // A stalled read is the failure mode breakers exist for: pay
+    // the injected delay once, count it against the window.
+    if (fault::armed() &&
+        fault::maybeDelay(fault::Point::DiskReadStall)) {
+        breaker.recordFailure();
+        misses++;
+        return false;
+    }
     std::string path = pathFor(hash);
     std::string raw;
     // Probe the filesystem even when the index misses: another
@@ -177,6 +194,8 @@ DiskCache::get(std::uint64_t hash, std::string &payload)
     // after our startup scan.
     if (!binio::readWholeFile(path, raw)) {
         forgetLocked(hash); // index said present, disk disagrees
+        // A plain absence is a healthy answer, not an I/O fault.
+        breaker.recordSuccess();
         misses++;
         return false;
     }
@@ -186,11 +205,13 @@ DiskCache::get(std::uint64_t hash, std::string &payload)
         fault::fire(fault::Point::DiskReadCorrupt))
         corrupt = true;
     if (corrupt) {
+        breaker.recordFailure();
         quarantineLocked(path, hash);
         misses++;
         return false;
     }
 
+    breaker.recordSuccess();
     insertLocked(hash, raw.size());
     hits++;
     return true;
@@ -200,6 +221,13 @@ void
 DiskCache::put(std::uint64_t hash, const std::string &payload)
 {
     std::lock_guard<std::mutex> lock(mtx);
+    // Writing to a disk the breaker holds open would stall the
+    // worker the same way reads did; skip until a read probe
+    // closes it. (Half-open is fine: the probe is a read.)
+    if (breaker.state() == CircuitBreaker::State::Open) {
+        breakerRefusals++;
+        return;
+    }
     if (index.count(hash)) {
         touchLocked(hash);
         return;
@@ -233,6 +261,9 @@ DiskCache::stats() const
     s.writeFailures = writeFailures;
     s.entries = lru.size();
     s.bytes = totalBytes;
+    s.breakerRefusals = breakerRefusals;
+    s.breakerOpens = breaker.opens();
+    s.breakerState = breaker.stateName();
     return s;
 }
 

@@ -27,7 +27,16 @@
  *
  * Fault injection (chaos testing, see fault.hh): `disk-read-corrupt`
  * makes a successful read behave as CRC-corrupt; `disk-write-fail`
- * fails a put before anything touches the disk.
+ * fails a put before anything touches the disk; `disk-read-stall`
+ * stalls a read for its delay-ms and counts it as an I/O failure.
+ *
+ * Failure-domain circuit breaker (see util/breaker.hh): read
+ * outcomes feed a breaker — corrupt/stalled reads are failures,
+ * verified reads and plain absences are successes. While the
+ * breaker is open every get() is an immediate miss and every put()
+ * is skipped (no per-request disk penalty; the service serves
+ * memory-only); after the cooldown a single read probes the disk
+ * and a healthy result closes the breaker again.
  *
  * Thread-safety: all methods are safe from any thread (one internal
  * mutex; file I/O happens under it — entries are small and the tier
@@ -43,6 +52,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "util/breaker.hh"
+
 namespace gpm
 {
 
@@ -57,6 +68,12 @@ struct DiskCacheStats
     std::uint64_t writeFailures = 0;
     std::size_t entries = 0;
     std::uint64_t bytes = 0; ///< tracked on-disk payload bytes
+    /** Gets/puts refused by the open breaker (served memory-only). */
+    std::uint64_t breakerRefusals = 0;
+    /** Breaker transitions to open since construction. */
+    std::uint64_t breakerOpens = 0;
+    /** "closed" | "open" | "half-open". */
+    const char *breakerState = "closed";
 };
 
 class DiskCache
@@ -66,8 +83,10 @@ class DiskCache
      * @param dir       cache directory (created if missing)
      * @param maxBytes  LRU bound on tracked entry bytes; 0 means
      *                  unbounded
+     * @param breakerOpts  read-path circuit breaker tuning
      */
-    DiskCache(std::string dir, std::uint64_t maxBytes);
+    DiskCache(std::string dir, std::uint64_t maxBytes,
+              BreakerOptions breakerOpts = BreakerOptions{});
 
     DiskCache(const DiskCache &) = delete;
     DiskCache &operator=(const DiskCache &) = delete;
@@ -90,6 +109,9 @@ class DiskCache
     void put(std::uint64_t hash, const std::string &payload);
 
     DiskCacheStats stats() const;
+
+    /** The read-path breaker (chaos tests poke its state). */
+    const CircuitBreaker &readBreaker() const { return breaker; }
 
     const std::string &directory() const { return dir; }
 
@@ -127,6 +149,9 @@ class DiskCache
     std::uint64_t evictions = 0;
     std::uint64_t quarantined = 0;
     std::uint64_t writeFailures = 0;
+    std::uint64_t breakerRefusals = 0;
+
+    CircuitBreaker breaker;
 };
 
 } // namespace gpm

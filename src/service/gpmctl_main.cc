@@ -31,7 +31,12 @@
  * every scenario succeeded. Retries (below) re-send the whole
  * batch, never a subset, and nothing is printed until the full
  * response set arrived — a mid-stream retry cannot duplicate
- * output.
+ * output. --max-inflight N caps how many scenarios one request
+ * keeps in flight: a larger file is sent as consecutive windows of
+ * N, each retried as a unit, results still printed in input order
+ * with every line's "index" shifted back to its input-file
+ * position. This keeps one gpmctl from monopolizing the server's
+ * per-client queue share.
  *
  * Retry options (see docs/ROBUSTNESS.md): --retries N (additional
  * attempts after the first, default 0), --retry-base-ms B (backoff
@@ -40,8 +45,10 @@
  * response timeout, 0 = none), --seed S (backoff jitter seed,
  * default 1 — same seed, same delays). Retries fire on connect
  * failure, transport failure/timeout, and transient "busy" /
- * "internal_error" responses, with exponential backoff and jitter,
- * all bounded by --deadline.
+ * "rejected_overload" / "internal_error" responses, with
+ * exponential backoff and jitter, all bounded by --deadline. A
+ * rejection carrying "retryAfterMs" raises the next delay to at
+ * least that hint — the server knows its own drain rate.
  *
  * Prints the server's one-line JSON response on stdout. Exit codes:
  * 0 = ok:true, 2 = server returned an error, 1 = usage or
@@ -78,7 +85,7 @@ usage()
         "[submit options | @FILE.ndjson]\n"
         "retry options: [--retries N] [--retry-base-ms B] "
         "[--deadline MS]\n"
-        "  [--timeout-ms T] [--seed S]\n"
+        "  [--timeout-ms T] [--seed S] [--max-inflight N]\n"
         "submit options: --combo a,b | --combo-key KEY; "
         "--policy NAME\n"
         "  --budget F | --budgets F1,F2,...\n"
@@ -187,6 +194,7 @@ main(int argc, char **argv)
     double deadline_ms = 0.0;
     double timeout_ms = 0.0;
     unsigned long long seed = 1;
+    long max_inflight = 0; // 0 = the whole batch in one request
 
     auto need = [&](int i) -> const char * {
         if (i + 1 >= argc)
@@ -242,6 +250,8 @@ main(int argc, char **argv)
             timeout_ms = std::atof(need(i)), i++;
         else if (a == "--seed")
             seed = std::strtoull(need(i), nullptr, 10), i++;
+        else if (a == "--max-inflight")
+            max_inflight = std::atol(need(i)), i++;
         else if (a == "--help" || a == "-h") {
             usage();
             return 0;
@@ -341,6 +351,7 @@ main(int argc, char **argv)
         request.set("scenario", std::move(scenario));
     }
 
+    std::vector<Value> batch_scenarios;
     std::size_t batch_count = 0;
     if (command == "submit-batch") {
         if (batch_file.empty())
@@ -360,7 +371,6 @@ main(int argc, char **argv)
         // One scenario object per non-blank line; reject the whole
         // file on the first malformed line rather than sending a
         // batch the server will reject anyway.
-        Value scenarios = Value::array();
         std::size_t line_no = 0, pos = 0;
         while (pos < text.size()) {
             std::size_t nl = text.find('\n', pos);
@@ -377,15 +387,13 @@ main(int argc, char **argv)
             if (!parsed.ok())
                 die(batch_file + ":" + std::to_string(line_no) +
                     ": " + parsed.error().message);
-            scenarios.push(std::move(parsed.value()));
+            batch_scenarios.push_back(std::move(parsed.value()));
             batch_count++;
         }
         if (batch_count == 0)
             die("'" + batch_file + "' holds no scenarios");
-        request.set("scenarios", std::move(scenarios));
     }
 
-    const std::string wire = request.dump() + "\n";
     const auto start = std::chrono::steady_clock::now();
     auto elapsed_ms = [&] {
         return std::chrono::duration<double, std::milli>(
@@ -394,181 +402,275 @@ main(int argc, char **argv)
     };
     gpm::BackoffSchedule backoff(retry_base_ms,
                                  /*cap_ms=*/2000.0, seed);
+    auto transientCode = [](const std::string &code) {
+        return code == "busy" || code == "rejected_overload" ||
+            code == "internal_error";
+    };
+    /** The server's retryAfterMs hint from an "error" object
+     *  (0 = none). */
+    auto retryHintOf = [](const Value *err) {
+        const Value *h = err ? err->find("retryAfterMs") : nullptr;
+        return h && h->isNumber() ? h->asNumber() : 0.0;
+    };
 
-    for (long attempt = 0;; attempt++) {
-        double remaining_ms =
-            deadline_ms > 0.0 ? deadline_ms - elapsed_ms() : -1.0;
-        if (deadline_ms > 0.0 && remaining_ms <= 0.0)
-            die("deadline of " + std::to_string(deadline_ms) +
-                " ms exhausted after " + std::to_string(attempt) +
-                " attempt(s)");
-
-        std::string failure;
-        std::string response;
-        bool got_response = false;
-
-        auto conn = gpm::TcpStream::connectTo(host, port);
-        if (!conn.ok()) {
-            failure = conn.error();
-        } else {
-            gpm::TcpStream stream = std::move(conn.value());
-            // Bound each attempt by --timeout-ms and what is left
-            // of the overall --deadline, whichever is tighter.
-            double t = timeout_ms;
-            if (remaining_ms > 0.0 &&
-                (t <= 0.0 || remaining_ms < t))
-                t = remaining_ms;
-            if (t > 0.0) {
-                int ms = t < 1.0 ? 1 : static_cast<int>(t);
-                stream.setReadTimeoutMs(ms);
-                stream.setWriteTimeoutMs(ms);
-            }
-            if (!stream.writeAll(wire)) {
-                failure = "failed to send request";
-            } else if (command == "submit-batch") {
-                // Buffer the full response set before printing
-                // anything: a retry re-sends the whole batch, so
-                // partial output from a failed attempt would be
-                // duplicated.
-                std::vector<std::pair<std::size_t, std::string>>
-                    results;
-                std::string batch_error;
-                while (results.size() < batch_count &&
-                       failure.empty() && batch_error.empty()) {
-                    std::string ln;
-                    switch (stream.readLine(ln)) {
-                    case gpm::TcpStream::ReadStatus::Line: {
-                        auto parsed = gpm::json::parse(ln);
-                        if (!parsed.ok()) {
-                            failure = "unparseable response line";
-                            break;
-                        }
-                        const Value *idx =
-                            parsed.value().find("index");
-                        if (!idx || !idx->isNumber()) {
-                            // Batch-level line: the one-and-only
-                            // response (admission error).
-                            batch_error = ln;
-                            break;
-                        }
-                        results.emplace_back(
-                            static_cast<std::size_t>(
-                                idx->asNumber()),
-                            ln);
-                        break;
-                    }
-                    case gpm::TcpStream::ReadStatus::Timeout:
-                        failure =
-                            "timed out waiting for batch responses";
-                        break;
-                    default:
-                        failure = "connection closed mid-batch";
-                    }
-                }
-                if (!batch_error.empty()) {
-                    auto parsed = gpm::json::parse(batch_error);
-                    const Value *err =
-                        parsed.value().find("error");
-                    std::string code;
-                    if (err && err->find("code") &&
-                        err->find("code")->isString())
-                        code = err->find("code")->asString();
-                    bool transient = code == "busy" ||
-                        code == "internal_error";
-                    if (!transient || attempt >= retries) {
-                        std::printf("%s\n", batch_error.c_str());
-                        return 2;
-                    }
-                    failure = "server rejected the batch with '" +
-                        code + "'";
-                } else if (failure.empty()) {
-                    // Full set received: print in input order,
-                    // exit non-zero if any scenario failed.
-                    std::sort(results.begin(), results.end(),
-                              [](const auto &a, const auto &b) {
-                                  return a.first < b.first;
-                              });
-                    int rc = 0;
-                    for (const auto &r : results) {
-                        auto parsed = gpm::json::parse(r.second);
-                        const Value *ok = parsed.ok()
-                            ? parsed.value().find("ok")
-                            : nullptr;
-                        if (!(ok && ok->isBool() && ok->asBool()))
-                            rc = 2;
-                        std::printf("%s\n", r.second.c_str());
-                    }
-                    return rc;
-                }
-            } else {
-                switch (stream.readLine(response)) {
-                case gpm::TcpStream::ReadStatus::Line:
-                    got_response = true;
-                    break;
-                case gpm::TcpStream::ReadStatus::Timeout:
-                    failure = "timed out waiting for a response";
-                    break;
-                default:
-                    failure = "connection closed before a "
-                              "response arrived";
-                }
-            }
-        }
-
-        if (got_response) {
-            auto parsed = gpm::json::parse(response);
-            if (!parsed.ok())
-                die("unparseable response");
-            // Transient server-side outcomes are retried; anything
-            // else (including validation errors) is final.
-            const Value *err = parsed.value().find("error");
-            std::string code;
-            if (err && err->find("code") &&
-                err->find("code")->isString())
-                code = err->find("code")->asString();
-            bool transient =
-                code == "busy" || code == "internal_error";
-            if (!transient || attempt >= retries) {
-                std::printf("%s\n", response.c_str());
-                const Value *ok = parsed.value().find("ok");
-                bool is_ok = ok && ok->isBool() && ok->asBool();
-                // After the raw JSON line (which scripts grep),
-                // pretty-print every counter the server reported —
-                // generically, so new counters show up here without
-                // a client release.
-                if (command == "stats" && is_ok) {
-                    const Value *res = parsed.value().find("result");
-                    if (res && res->isObject())
-                        for (const auto &[key, val] :
-                             res->asObject())
-                            std::fprintf(stderr,
-                                         "gpmctl: %s: %s\n",
-                                         key.c_str(),
-                                         val.dump().c_str());
-                }
-                return is_ok ? 0 : 2;
-            }
-            failure = "server reported '" + code + "'";
-        } else if (attempt >= retries) {
-            die(failure);
-        }
-
-        double delay = backoff.nextMs();
-        if (deadline_ms > 0.0) {
-            double left = deadline_ms - elapsed_ms();
-            if (left <= 0.0)
+    // One request's full send/retry cycle. For submit_batch
+    // requests @p expect is the scenario count (responses are
+    // buffered, sorted by index and printed together); 0 means a
+    // single-response verb. Returns the exit code; transport
+    // failures past the retry budget die(1) from inside.
+    auto runWire = [&](const std::string &wire,
+                       std::size_t expect,
+                       std::size_t index_base) -> int {
+        for (long attempt = 0;; attempt++) {
+            double remaining_ms = deadline_ms > 0.0
+                ? deadline_ms - elapsed_ms()
+                : -1.0;
+            if (deadline_ms > 0.0 && remaining_ms <= 0.0)
                 die("deadline of " + std::to_string(deadline_ms) +
                     " ms exhausted after " +
-                    std::to_string(attempt + 1) + " attempt(s)");
-            if (delay > left)
-                delay = left;
+                    std::to_string(attempt) + " attempt(s)");
+
+            std::string failure;
+            std::string response;
+            bool got_response = false;
+            double retry_floor_ms = 0.0;
+
+            auto conn = gpm::TcpStream::connectTo(host, port);
+            if (!conn.ok()) {
+                failure = conn.error();
+            } else {
+                gpm::TcpStream stream = std::move(conn.value());
+                // Bound each attempt by --timeout-ms and what is
+                // left of the overall --deadline, whichever is
+                // tighter.
+                double t = timeout_ms;
+                if (remaining_ms > 0.0 &&
+                    (t <= 0.0 || remaining_ms < t))
+                    t = remaining_ms;
+                if (t > 0.0) {
+                    int ms = t < 1.0 ? 1 : static_cast<int>(t);
+                    stream.setReadTimeoutMs(ms);
+                    stream.setWriteTimeoutMs(ms);
+                }
+                if (!stream.writeAll(wire)) {
+                    failure = "failed to send request";
+                } else if (expect > 0) {
+                    // Buffer the full response set before printing
+                    // anything: a retry re-sends the whole batch,
+                    // so partial output from a failed attempt would
+                    // be duplicated.
+                    std::vector<std::pair<std::size_t, std::string>>
+                        results;
+                    std::string batch_error;
+                    while (results.size() < expect &&
+                           failure.empty() && batch_error.empty()) {
+                        std::string ln;
+                        switch (stream.readLine(ln)) {
+                        case gpm::TcpStream::ReadStatus::Line: {
+                            auto parsed = gpm::json::parse(ln);
+                            if (!parsed.ok()) {
+                                failure =
+                                    "unparseable response line";
+                                break;
+                            }
+                            const Value *idx =
+                                parsed.value().find("index");
+                            if (!idx || !idx->isNumber()) {
+                                // Batch-level line: the
+                                // one-and-only response (admission
+                                // error).
+                                batch_error = ln;
+                                break;
+                            }
+                            results.emplace_back(
+                                static_cast<std::size_t>(
+                                    idx->asNumber()),
+                                ln);
+                            break;
+                        }
+                        case gpm::TcpStream::ReadStatus::Timeout:
+                            failure = "timed out waiting for "
+                                      "batch responses";
+                            break;
+                        default:
+                            failure = "connection closed mid-batch";
+                        }
+                    }
+                    if (!batch_error.empty()) {
+                        auto parsed = gpm::json::parse(batch_error);
+                        const Value *err =
+                            parsed.value().find("error");
+                        std::string code;
+                        if (err && err->find("code") &&
+                            err->find("code")->isString())
+                            code = err->find("code")->asString();
+                        if (!transientCode(code) ||
+                            attempt >= retries) {
+                            std::printf("%s\n",
+                                        batch_error.c_str());
+                            return 2;
+                        }
+                        retry_floor_ms = retryHintOf(err);
+                        failure =
+                            "server rejected the batch with '" +
+                            code + "'";
+                    } else if (failure.empty()) {
+                        // Full set received: print in input order,
+                        // exit non-zero if any scenario failed.
+                        std::sort(results.begin(), results.end(),
+                                  [](const auto &a, const auto &b) {
+                                      return a.first < b.first;
+                                  });
+                        int rc = 0;
+                        for (const auto &r : results) {
+                            auto parsed =
+                                gpm::json::parse(r.second);
+                            const Value *ok = parsed.ok()
+                                ? parsed.value().find("ok")
+                                : nullptr;
+                            if (!(ok && ok->isBool() &&
+                                  ok->asBool()))
+                                rc = 2;
+                            // The daemon indexes within *its*
+                            // request; shift windowed responses
+                            // back to input-file positions so
+                            // callers can match lines by index.
+                            if (index_base > 0 && parsed.ok()) {
+                                parsed.value().set(
+                                    "index",
+                                    Value(index_base + r.first));
+                                std::printf(
+                                    "%s\n",
+                                    parsed.value().dump().c_str());
+                            } else {
+                                std::printf("%s\n",
+                                            r.second.c_str());
+                            }
+                        }
+                        return rc;
+                    }
+                } else {
+                    switch (stream.readLine(response)) {
+                    case gpm::TcpStream::ReadStatus::Line:
+                        got_response = true;
+                        break;
+                    case gpm::TcpStream::ReadStatus::Timeout:
+                        failure =
+                            "timed out waiting for a response";
+                        break;
+                    default:
+                        failure = "connection closed before a "
+                                  "response arrived";
+                    }
+                }
+            }
+
+            if (got_response) {
+                auto parsed = gpm::json::parse(response);
+                if (!parsed.ok())
+                    die("unparseable response");
+                // Transient server-side outcomes are retried;
+                // anything else (including validation errors) is
+                // final.
+                const Value *err = parsed.value().find("error");
+                std::string code;
+                if (err && err->find("code") &&
+                    err->find("code")->isString())
+                    code = err->find("code")->asString();
+                if (!transientCode(code) || attempt >= retries) {
+                    std::printf("%s\n", response.c_str());
+                    const Value *ok = parsed.value().find("ok");
+                    bool is_ok =
+                        ok && ok->isBool() && ok->asBool();
+                    // After the raw JSON line (which scripts
+                    // grep), pretty-print every counter the server
+                    // reported — generically and KEY-SORTED, so
+                    // new counters show up without a client
+                    // release and smoke greps see a stable order.
+                    // Bare strings print unquoted (breaker states
+                    // read as open/half-open/closed, not
+                    // "\"open\"").
+                    if (command == "stats" && is_ok) {
+                        const Value *res =
+                            parsed.value().find("result");
+                        if (res && res->isObject()) {
+                            std::vector<std::pair<std::string,
+                                                  std::string>>
+                                rows;
+                            for (const auto &[key, val] :
+                                 res->asObject())
+                                rows.emplace_back(
+                                    key,
+                                    val.isString()
+                                        ? val.asString()
+                                        : val.dump());
+                            std::sort(rows.begin(), rows.end());
+                            for (const auto &[key, val] : rows)
+                                std::fprintf(stderr,
+                                             "gpmctl: %s: %s\n",
+                                             key.c_str(),
+                                             val.c_str());
+                        }
+                    }
+                    return is_ok ? 0 : 2;
+                }
+                retry_floor_ms = retryHintOf(err);
+                failure = "server reported '" + code + "'";
+            } else if (attempt >= retries) {
+                die(failure);
+            }
+
+            // The server's retryAfterMs hint is a floor under the
+            // exponential backoff: never poke an overloaded daemon
+            // sooner than it asked.
+            double delay =
+                std::max(backoff.nextMs(), retry_floor_ms);
+            if (deadline_ms > 0.0) {
+                double left = deadline_ms - elapsed_ms();
+                if (left <= 0.0)
+                    die("deadline of " +
+                        std::to_string(deadline_ms) +
+                        " ms exhausted after " +
+                        std::to_string(attempt + 1) +
+                        " attempt(s)");
+                if (delay > left)
+                    delay = left;
+            }
+            std::fprintf(stderr,
+                         "gpmctl: %s; retrying in %.0f ms "
+                         "(attempt %ld of %ld)\n",
+                         failure.c_str(), delay, attempt + 1,
+                         retries + 1);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay));
         }
-        std::fprintf(stderr,
-                     "gpmctl: %s; retrying in %.0f ms "
-                     "(attempt %ld of %ld)\n",
-                     failure.c_str(), delay, attempt + 1,
-                     retries + 1);
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(delay));
+    };
+
+    if (command != "submit-batch")
+        return runWire(request.dump() + "\n", 0, 0);
+
+    // Window the batch under --max-inflight: consecutive
+    // submit_batch requests of at most N scenarios each, every
+    // window retried as a unit. Sequential windows plus per-window
+    // input-order printing preserves overall input order, and each
+    // window's daemon-relative indices are shifted back to
+    // input-file positions before printing.
+    std::size_t window = max_inflight > 0
+        ? static_cast<std::size_t>(max_inflight)
+        : batch_count;
+    int rc = 0;
+    for (std::size_t off = 0; off < batch_count; off += window) {
+        std::size_t n = std::min(window, batch_count - off);
+        Value scenarios = Value::array();
+        for (std::size_t i = 0; i < n; i++)
+            scenarios.push(batch_scenarios[off + i]);
+        Value req = Value::object();
+        req.set("id", "gpmctl");
+        req.set("verb", "submit_batch");
+        req.set("scenarios", std::move(scenarios));
+        int wrc = runWire(req.dump() + "\n", n, off);
+        if (wrc != 0)
+            rc = wrc;
     }
+    return rc;
 }

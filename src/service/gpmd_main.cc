@@ -94,7 +94,25 @@ usage(const char *argv0)
         "\n                     longer gets 'line_too_long')\n"
         "  --fault SPEC       arm fault injection (also GPMD_FAULT;"
         "\n                     e.g. worker-throw:0.5,seed:42 — see\n"
-        "                     docs/ROBUSTNESS.md)\n",
+        "                     docs/ROBUSTNESS.md)\n"
+        "  --overload-off     disable adaptive admission control\n"
+        "                     (binary busy/accept only)\n"
+        "  --overload-fair-share F  fraction of the queue one\n"
+        "                     connection may hold (default 0.5)\n"
+        "  --overload-headroom F  safety factor on predicted\n"
+        "                     completion vs deadline (default 1.0)\n"
+        "  --overload-degrade-depth F  queue-load fraction at/over\n"
+        "                     which admissions are flagged\n"
+        "                     overloaded (default 0.75)\n"
+        "  --degrade-ladder B 1/0: substitute cheaper ladder\n"
+        "                     solvers under overload or doomed\n"
+        "                     deadlines (default 1)\n"
+        "  --breaker-window N failure window of the disk/profile\n"
+        "                     circuit breakers (default 16)\n"
+        "  --breaker-threshold F  failure rate opening a breaker\n"
+        "                     (default 0.5)\n"
+        "  --breaker-cooldown-ms N  breaker open->half-open\n"
+        "                     cooldown (default 250)\n",
         argv0);
 }
 
@@ -161,6 +179,33 @@ parseArgs(int argc, char **argv)
                 static_cast<std::size_t>(std::atol(need(i))), i++;
         else if (a == "--fault")
             cfg.faultSpec = need(i), i++;
+        else if (a == "--overload-off")
+            cfg.service.admission.enabled = false;
+        else if (a == "--overload-fair-share")
+            cfg.service.admission.fairShare = std::atof(need(i)),
+            i++;
+        else if (a == "--overload-headroom")
+            cfg.service.admission.headroom = std::atof(need(i)),
+            i++;
+        else if (a == "--overload-degrade-depth")
+            cfg.service.admission.degradeDepth =
+                std::atof(need(i)),
+            i++;
+        else if (a == "--degrade-ladder")
+            cfg.service.degradeLadder = std::atoi(need(i)) != 0,
+            i++;
+        else if (a == "--breaker-window")
+            cfg.service.resultBreaker.window =
+                static_cast<std::size_t>(std::atol(need(i))),
+            i++;
+        else if (a == "--breaker-threshold")
+            cfg.service.resultBreaker.failureThreshold =
+                std::atof(need(i)),
+            i++;
+        else if (a == "--breaker-cooldown-ms")
+            cfg.service.resultBreaker.cooldownMs =
+                std::atof(need(i)),
+            i++;
         else if (a == "--help" || a == "-h") {
             usage(argv[0]);
             std::exit(0);
@@ -209,7 +254,11 @@ main(int argc, char **argv)
         });
     };
     if (!cfg.profileCacheDir.empty()) {
-        lib.attachStore(cfg.profileCacheDir);
+        // The profile store shares the result cache's breaker
+        // tuning: one --breaker-* knob set governs both failure
+        // domains (they open and close independently).
+        lib.attachStore(cfg.profileCacheDir,
+                        cfg.service.resultBreaker);
         gpm::inform("gpmd: prewarming profiles (store %s)",
                     cfg.profileCacheDir.c_str());
         prewarm = prewarmThread(

@@ -111,6 +111,14 @@ ScenarioSpec::hash() const
     return canonicalJson().canonicalHash();
 }
 
+ScenarioSpec
+degradeSpec(const ScenarioSpec &spec, const std::string &policy)
+{
+    ScenarioSpec out = spec;
+    out.policy = policy;
+    return out;
+}
+
 namespace
 {
 

@@ -112,6 +112,18 @@ std::optional<std::string>
 validateScenario(const ScenarioSpec &spec);
 
 /**
+ * A copy of @p spec solving with @p policy instead — what a
+ * degraded execution actually runs and serializes (see
+ * degrade.hh). For cluster scenarios this substitutes the
+ * facility-level arbitration kernel; the chips keep their inner
+ * policies. The copy has its own canonical form and hash, so a
+ * degraded payload can never collide with the original scenario's
+ * cache entry.
+ */
+ScenarioSpec degradeSpec(const ScenarioSpec &spec,
+                         const std::string &policy);
+
+/**
  * Build a ScenarioSpec from a parsed JSON scenario object.
  * Accepted fields:
  *   combo     array of benchmark names, or a combination key

@@ -86,11 +86,14 @@ GpmServer::run()
         }
         connections++;
         std::size_t slot = conns.size();
+        // Fairness identity: the 1-based accept ordinal. Never 0 —
+        // 0 is the exempt in-process caller.
+        std::uint64_t clientId = connections.load();
         auto conn = std::make_shared<ConnState>(cfd);
         conns.push_back(conn);
         connBusy.push_back(0);
         connThreads.emplace_back(&GpmServer::serveConn, this,
-                                 std::move(conn), slot);
+                                 std::move(conn), slot, clientId);
     }
 }
 
@@ -136,7 +139,8 @@ namespace
 
 std::string
 errorResponse(const Value &id, const std::string &code,
-              const std::string &message)
+              const std::string &message,
+              double retryAfterMs = 0.0)
 {
     Value root = Value::object();
     root.set("id", id);
@@ -144,8 +148,22 @@ errorResponse(const Value &id, const std::string &code,
     Value err = Value::object();
     err.set("code", code);
     err.set("message", message);
+    if (retryAfterMs > 0.0)
+        err.set("retryAfterMs", retryAfterMs);
     root.set("error", std::move(err));
     return root.dump();
+}
+
+/** The "degraded": {from, to, reason} marker for responses the
+ *  ladder served one or more rungs down. */
+Value
+degradedMarker(const ScenarioService::Response &r)
+{
+    Value d = Value::object();
+    d.set("from", r.degradedFrom);
+    d.set("to", r.degradedTo);
+    d.set("reason", r.degradedReason);
+    return d;
 }
 
 std::string
@@ -174,11 +192,14 @@ std::string
 submitResponse(const Value &id, const ScenarioService::Response &r)
 {
     if (!r.ok)
-        return errorResponse(id, r.errorCode, r.errorMessage);
+        return errorResponse(id, r.errorCode, r.errorMessage,
+                             r.retryAfterMs);
     Value head = Value::object();
     head.set("id", id);
     head.set("ok", true);
     head.set("cached", r.cacheHit);
+    if (!r.degradedTo.empty())
+        head.set("degraded", degradedMarker(r));
     std::string out = head.dump();
     out.pop_back(); // strip '}'
     out += ",\"result\":" + r.payload + "}";
@@ -201,10 +222,14 @@ batchResponse(const Value &id, std::size_t index,
         Value err = Value::object();
         err.set("code", r.errorCode);
         err.set("message", r.errorMessage);
+        if (r.retryAfterMs > 0.0)
+            err.set("retryAfterMs", r.retryAfterMs);
         head.set("error", std::move(err));
         return head.dump();
     }
     head.set("cached", r.cacheHit);
+    if (!r.degradedTo.empty())
+        head.set("degraded", degradedMarker(r));
     std::string out = head.dump();
     out.pop_back(); // strip '}'
     out += ",\"result\":" + r.payload + "}";
@@ -225,7 +250,7 @@ GpmServer::writeLine(ConnState &conn, const std::string &line)
 
 void
 GpmServer::serveConn(std::shared_ptr<ConnState> conn,
-                     std::size_t slot)
+                     std::size_t slot, std::uint64_t clientId)
 {
     if (opts.idleTimeoutMs > 0)
         conn->stream.setReadTimeoutMs(opts.idleTimeoutMs);
@@ -276,7 +301,7 @@ GpmServer::serveConn(std::shared_ptr<ConnState> conn,
         if (fault::armed())
             fault::maybeDelay(fault::Point::ConnStall);
         bool want_stop = false;
-        handleLine(conn, line, want_stop);
+        handleLine(conn, line, want_stop, clientId);
         bool stop_now;
         {
             std::lock_guard<std::mutex> lock(connMtx);
@@ -303,7 +328,8 @@ GpmServer::serveConn(std::shared_ptr<ConnState> conn,
 
 void
 GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
-                      const std::string &line, bool &want_stop)
+                      const std::string &line, bool &want_stop,
+                      std::uint64_t clientId)
 {
     Value id(nullptr);
 
@@ -392,6 +418,17 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
         result.set("profileBuildMs", s.profileBuildMs);
         result.set("profileReady", s.profileReady);
         result.set("profileQuarantined", s.profileQuarantined);
+        result.set("shedOverload", s.shedOverload);
+        result.set("degradedRequests", s.degradedRequests);
+        result.set("breakerOpens",
+                   s.diskBreakerOpens + s.profileBreakerOpens);
+        result.set("breakerRefusals",
+                   s.diskBreakerRefusals +
+                       s.profileBreakerRefusals);
+        result.set("breakerStateDisk",
+                   std::string(s.diskBreakerState));
+        result.set("breakerStateProfile",
+                   std::string(s.profileBreakerState));
         result.set("connections", connections.load());
         result.set("requests", requests.load());
         result.set("idleReaped", idleReaped.load());
@@ -425,7 +462,8 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
             [self, conn, id](ScenarioService::Response &&r) {
                 self->writeLine(*conn, submitResponse(id, r));
                 conn->decPending();
-            });
+            },
+            clientId);
         return;
     }
 
@@ -470,14 +508,16 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
                              ScenarioService::Response &&r) {
                 self->writeLine(*conn, batchResponse(id, index, r));
                 conn->decPending();
-            });
+            },
+            clientId);
         if (!outcome.admitted) {
             // No per-scenario callback fired or ever will: answer
             // with one batch-level error line (no "index").
             conn->decPending(specs.size());
             writeLine(*conn,
                       errorResponse(id, outcome.errorCode,
-                                    outcome.errorMessage));
+                                    outcome.errorMessage,
+                                    outcome.retryAfterMs));
         }
         return;
     }

@@ -12,9 +12,12 @@
  *   {"id": <scalar?>, "verb": "shutdown"}
  *
  * Responses echo the request id and carry either "result" (with
- * "cached" for submits) or "error": {"code", "message"} with codes
- * parse | invalid | busy | draining | deadline_exceeded |
- * internal_error | line_too_long.
+ * "cached" for submits, plus "degraded": {from, to, reason} when
+ * the ladder substituted a cheaper solver) or "error": {"code",
+ * "message"} with codes parse | invalid | busy | rejected_overload
+ * | draining | deadline_exceeded | internal_error | line_too_long.
+ * busy / rejected_overload errors carry "retryAfterMs", the
+ * server's backoff floor hint.
  *
  * Pipelining: a client may send further request lines before
  * earlier responses arrive. submit and submit_batch are dispatched
@@ -126,9 +129,10 @@ class GpmServer
     struct ConnState;
 
     void serveConn(std::shared_ptr<ConnState> conn,
-                   std::size_t slot);
+                   std::size_t slot, std::uint64_t clientId);
     void handleLine(const std::shared_ptr<ConnState> &conn,
-                    const std::string &line, bool &want_stop);
+                    const std::string &line, bool &want_stop,
+                    std::uint64_t clientId);
     /** Write one response line (appends '\n') under the
      *  connection's writer lock; a failed write marks the
      *  connection broken. */

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "service/degrade.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 
@@ -21,6 +22,14 @@ struct ScenarioService::Job
     bool hasDeadline = false;
     CancelToken cancel;
     Callback done;
+    /** Fairness attribution (0 = exempt in-process caller). */
+    std::uint64_t clientId = 0;
+    /** Load was at/over the degrade threshold when admitted. */
+    bool overloadAtAdmit = false;
+    /** When the job was admitted — the deadline's epoch, used to
+     *  compute remaining time at execution (CancelToken keeps its
+     *  deadline private). */
+    std::chrono::steady_clock::time_point admitTime;
 };
 
 ScenarioService::ScenarioService(ProfileLibrary &lib_,
@@ -33,7 +42,10 @@ ScenarioService::ScenarioService(ProfileLibrary &lib_,
         opts.workers = 1;
     if (!opts.cacheDir.empty())
         disk = std::make_unique<DiskCache>(opts.cacheDir,
-                                           opts.cacheDiskBytes);
+                                           opts.cacheDiskBytes,
+                                           opts.resultBreaker);
+    admission = std::make_unique<AdmissionController>(
+        opts.admission, opts.queueCapacity, opts.workers);
     workers.reserve(opts.workers);
     for (std::size_t i = 0; i < opts.workers; i++) {
         workers.emplace_back(&ScenarioService::workerLoop, this, i);
@@ -117,12 +129,15 @@ ScenarioService::cachePut(std::uint64_t hash,
 
 std::unique_ptr<ScenarioService::Job>
 ScenarioService::makeJob(const ScenarioSpec &spec,
-                         std::uint64_t hash, Callback done)
+                         std::uint64_t hash, Callback done,
+                         std::uint64_t clientId)
 {
     auto job = std::make_unique<Job>();
     job->spec = spec;
     job->hash = hash;
     job->done = std::move(done);
+    job->clientId = clientId;
+    job->admitTime = std::chrono::steady_clock::now();
     if (spec.deadlineMs > 0.0) {
         job->hasDeadline = true;
         job->cancel.setDeadlineAfterMs(spec.deadlineMs);
@@ -130,20 +145,32 @@ ScenarioService::makeJob(const ScenarioSpec &spec,
     return job;
 }
 
+std::string
+ScenarioService::floorKeyFor(const ScenarioSpec &spec) const
+{
+    std::string policy = spec.policy;
+    if (opts.degradeLadder && degrade::onLadder(policy))
+        policy = "WaterFill"; // the ladder's bottom rung
+    return AdmissionController::serviceKeyFor(
+        policy, spec.cluster.has_value());
+}
+
 ScenarioService::Response
-ScenarioService::submit(const ScenarioSpec &spec)
+ScenarioService::submit(const ScenarioSpec &spec,
+                        std::uint64_t clientId)
 {
     std::promise<Response> done;
     std::future<Response> fut = done.get_future();
-    submitAsync(spec, [&done](Response &&r) {
-        done.set_value(std::move(r));
-    });
+    submitAsync(
+        spec,
+        [&done](Response &&r) { done.set_value(std::move(r)); },
+        clientId);
     return fut.get();
 }
 
 void
 ScenarioService::submitAsync(const ScenarioSpec &spec,
-                             Callback done)
+                             Callback done, std::uint64_t clientId)
 {
     Response r;
     if (auto err = validateScenario(spec)) {
@@ -168,10 +195,11 @@ ScenarioService::submitAsync(const ScenarioSpec &spec,
         return;
     }
 
-    auto job = makeJob(spec, r.hash, std::move(done));
+    auto job = makeJob(spec, r.hash, std::move(done), clientId);
     Callback rejected; // fired outside the lock
     {
         std::lock_guard<std::mutex> lock(queueMtx);
+        std::size_t load = queue.size() + inFlight.load();
         if (draining) {
             r.errorCode = "draining";
             r.errorMessage = "service is shutting down";
@@ -180,8 +208,21 @@ ScenarioService::submitAsync(const ScenarioSpec &spec,
             rejectedBusy++;
             r.errorCode = "busy";
             r.errorMessage = "request queue is full, retry later";
+            r.retryAfterMs = admission->retryHintMs(load);
+            rejected = std::move(job->done);
+        } else if (auto d = admission->preAdmit(
+                       clientId,
+                       AdmissionController::serviceKeyFor(
+                           spec.policy, spec.cluster.has_value()),
+                       floorKeyFor(spec), spec.deadlineMs, load);
+                   !d.admit) {
+            r.errorCode = std::move(d.errorCode);
+            r.errorMessage = std::move(d.errorMessage);
+            r.retryAfterMs = d.retryAfterMs;
             rejected = std::move(job->done);
         } else {
+            job->overloadAtAdmit = d.overloaded;
+            admission->onEnqueue(clientId);
             cacheMisses++;
             queue.push_back(std::move(job));
         }
@@ -196,7 +237,8 @@ ScenarioService::submitAsync(const ScenarioSpec &spec,
 ScenarioService::BatchOutcome
 ScenarioService::submitBatch(
     const std::vector<ScenarioSpec> &specs,
-    std::function<void(std::size_t, Response &&)> done)
+    std::function<void(std::size_t, Response &&)> done,
+    std::uint64_t clientId)
 {
     batchRequests++;
     BatchOutcome out;
@@ -236,13 +278,16 @@ ScenarioService::submitBatch(
             continue;
         }
         misses.push_back(makeJob(
-            specs[i], r.hash, [done, i](Response &&resp) {
+            specs[i], r.hash,
+            [done, i](Response &&resp) {
                 done(i, std::move(resp));
-            }));
+            },
+            clientId));
     }
 
     if (!misses.empty()) {
         std::lock_guard<std::mutex> lock(queueMtx);
+        std::size_t load = queue.size() + inFlight.load();
         if (draining) {
             out.errorCode = "draining";
             out.errorMessage = "service is shutting down";
@@ -254,11 +299,32 @@ ScenarioService::submitBatch(
             out.errorMessage = "queue cannot admit " +
                 std::to_string(misses.size()) +
                 " scenarios, retry later";
+            out.retryAfterMs = admission->retryHintMs(load);
             return out;
         }
+        // All-or-nothing admission extends to fairness and
+        // overload: one decision covers the whole batch (deadline
+        // doom prediction stays per-request at execution — batch
+        // entries can carry heterogeneous deadlines).
+        auto d = admission->preAdmit(
+            clientId,
+            AdmissionController::serviceKeyFor(
+                misses.front()->spec.policy,
+                misses.front()->spec.cluster.has_value()),
+            floorKeyFor(misses.front()->spec), 0.0, load,
+            misses.size());
+        if (!d.admit) {
+            out.errorCode = std::move(d.errorCode);
+            out.errorMessage = std::move(d.errorMessage);
+            out.retryAfterMs = d.retryAfterMs;
+            return out;
+        }
+        admission->onEnqueue(clientId, misses.size());
         cacheMisses += misses.size();
-        for (auto &job : misses)
+        for (auto &job : misses) {
+            job->overloadAtAdmit = d.overloaded;
             queue.push_back(std::move(job));
+        }
     }
     queueCv.notify_all();
 
@@ -295,6 +361,51 @@ ScenarioService::submitJsonText(const std::string &text)
     return submit(spec.value());
 }
 
+ScenarioSpec
+ScenarioService::degradeDecision(const Job &job,
+                                 std::string &reason) const
+{
+    reason.clear();
+    if (!opts.degradeLadder || !degrade::onLadder(job.spec.policy))
+        return job.spec;
+
+    std::string target = job.spec.policy;
+    // Overload at admission: one rung down unconditionally — the
+    // whole queue is behind this request, shave where it is cheap.
+    if (job.overloadAtAdmit) {
+        if (auto next = degrade::nextRung(target)) {
+            target = *next;
+            reason = "overload";
+        }
+    }
+    // Doomed deadline: keep descending while the EWMA of the
+    // current candidate predictably blows the remaining time. Only
+    // ever fires from observed completions — unknown solvers run
+    // exact.
+    if (job.hasDeadline) {
+        double elapsedMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - job.admitTime)
+                .count();
+        double remainingMs = job.spec.deadlineMs - elapsedMs;
+        for (;;) {
+            double per = admission->serviceTimeMs(
+                AdmissionController::serviceKeyFor(
+                    target, job.spec.cluster.has_value()));
+            if (per <= 0.0 ||
+                per * admission->options().headroom <= remainingMs)
+                break;
+            auto next = degrade::nextRung(target);
+            if (!next)
+                break;
+            target = *next;
+            reason = "deadline";
+        }
+    }
+    return target == job.spec.policy ? job.spec
+                                     : degradeSpec(job.spec, target);
+}
+
 ScenarioService::Response
 ScenarioService::execute(Job &job)
 {
@@ -304,14 +415,38 @@ ScenarioService::execute(Job &job)
         throw std::runtime_error(
             "injected fault: worker-throw");
 
-    if (job.spec.cluster)
-        return executeCluster(job);
-
     Response r;
     r.hash = job.hash;
-    ExperimentRunner &runner = runnerFor(job.spec);
+
+    std::string reason;
+    ScenarioSpec spec = degradeDecision(job, reason);
+    std::uint64_t payloadHash = job.hash;
+    if (!reason.empty()) {
+        // CACHE CORRECTNESS: the degraded payload lives under the
+        // degraded spec's own hash. The submitted hash keeps
+        // addressing only the exact answer.
+        payloadHash = spec.hash();
+        r.degradedFrom = job.spec.policy;
+        r.degradedTo = spec.policy;
+        r.degradedReason = reason;
+        degradedCount++;
+        bool diskHit = false;
+        if (cacheGet(payloadHash, r.payload, diskHit)) {
+            served++;
+            r.ok = true;
+            r.cacheHit = true;
+            r.diskHit = diskHit;
+            return r;
+        }
+    }
+
+    if (spec.cluster)
+        return executeCluster(job, spec, payloadHash,
+                              std::move(r));
+
+    ExperimentRunner &runner = runnerFor(spec);
     auto swept = runner.trySweep(
-        job.spec.sweepSpec(), opts.sweepConcurrency,
+        spec.sweepSpec(), opts.sweepConcurrency,
         job.hasDeadline ? &job.cancel : nullptr);
     if (!swept.ok()) {
         if (swept.error().cancelled) {
@@ -333,25 +468,25 @@ ScenarioService::execute(Job &job)
             swept.error().message;
         return r;
     }
-    r.payload = serializeResults(job.spec, swept.value());
-    cachePut(job.hash, r.payload);
+    r.payload = serializeResults(spec, swept.value());
+    cachePut(payloadHash, r.payload);
     served++;
     r.ok = true;
     return r;
 }
 
 ScenarioService::Response
-ScenarioService::executeCluster(Job &job)
+ScenarioService::executeCluster(Job &job, const ScenarioSpec &spec,
+                                std::uint64_t payloadHash,
+                                Response r)
 {
-    Response r;
-    r.hash = job.hash;
     clusterRequests++;
 
-    ClusterManager mgr(lib, dvfs, job.spec.simConfig(),
-                       job.spec.clusterSpec());
+    ClusterManager mgr(lib, dvfs, spec.simConfig(),
+                       spec.clusterSpec());
     std::vector<ClusterRunResult> runs;
-    runs.reserve(job.spec.budgets.size());
-    for (double b : job.spec.budgets) {
+    runs.reserve(spec.budgets.size());
+    for (double b : spec.budgets) {
         auto run = mgr.run(b, opts.sweepConcurrency,
                            job.hasDeadline ? &job.cancel : nullptr);
         if (!run.ok()) {
@@ -378,8 +513,8 @@ ScenarioService::executeCluster(Job &job)
         chipSims += run.value().chips.size();
         runs.push_back(std::move(run.value()));
     }
-    r.payload = serializeClusterResults(job.spec, runs);
-    cachePut(job.hash, r.payload);
+    r.payload = serializeClusterResults(spec, runs);
+    cachePut(payloadHash, r.payload);
     served++;
     r.ok = true;
     return r;
@@ -402,6 +537,9 @@ ScenarioService::workerLoop(std::size_t slot)
             job = std::move(queue.front());
             queue.pop_front();
         }
+        // Frees the client's fairness slot whether the job runs,
+        // sheds, or crashes.
+        admission->onDequeue(job->clientId);
 
         // Deadline shed: the caller stopped caring — answer with a
         // structured error instead of burning a worker on it.
@@ -420,6 +558,7 @@ ScenarioService::workerLoop(std::size_t slot)
         inFlight++;
         Response r;
         bool crashed = false;
+        auto execStart = std::chrono::steady_clock::now();
         try {
             r = execute(*job);
         } catch (const std::exception &e) {
@@ -438,6 +577,23 @@ ScenarioService::workerLoop(std::size_t slot)
         }
         inFlight--;
         if (!crashed) {
+            // Feed the admission EWMAs from actual computations
+            // only (a degraded-cache hit says nothing about the
+            // solver's cost), keyed by the policy that served.
+            if (r.ok && !r.cacheHit) {
+                double wallMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() -
+                        execStart)
+                        .count();
+                const std::string &ran = r.degradedTo.empty()
+                    ? job->spec.policy
+                    : r.degradedTo;
+                admission->recordService(
+                    AdmissionController::serviceKeyFor(
+                        ran, job->spec.cluster.has_value()),
+                    wallMs);
+            }
             job->done(std::move(r));
             continue;
         }
@@ -526,12 +682,17 @@ ScenarioService::stats() const
         std::lock_guard<std::mutex> lock(cacheMtx);
         s.cacheSize = lru.size();
     }
+    s.shedOverload = admission->shedCount();
+    s.degradedRequests = degradedCount.load();
     if (disk) {
         DiskCacheStats d = disk->stats();
         s.diskEvictions = d.evictions;
         s.diskQuarantined = d.quarantined;
         s.diskEntries = d.entries;
         s.diskBytes = d.bytes;
+        s.diskBreakerRefusals = d.breakerRefusals;
+        s.diskBreakerOpens = d.breakerOpens;
+        s.diskBreakerState = d.breakerState;
     }
     {
         ProfileLibraryStats pl = lib.stats();
@@ -540,6 +701,9 @@ ScenarioService::stats() const
         s.profileBuildMs = pl.buildMs;
         s.profileReady = pl.ready;
         s.profileQuarantined = pl.storeQuarantined;
+        s.profileBreakerRefusals = pl.storeBreakerRefusals;
+        s.profileBreakerOpens = pl.storeBreakerOpens;
+        s.profileBreakerState = pl.storeBreakerState;
     }
     s.uptimeSec = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - startTime)

@@ -43,6 +43,22 @@
  *    worker then retires (its state is no longer trusted) and a
  *    supervisor thread respawns a replacement, so the worker count
  *    survives arbitrarily many crashes.
+ *  - Adaptive admission (admission.hh): beneath the binary "busy"
+ *    high-water mark, per-policy service-time EWMAs shed requests
+ *    whose deadline cannot be met even by the cheapest ladder rung
+ *    ("rejected_overload" + retryAfterMs hint), and per-client
+ *    fairness keeps one pipelined connection from occupying the
+ *    whole queue.
+ *  - Degradation ladder (degrade.hh): a request admitted while the
+ *    service is overloaded, or whose remaining deadline the current
+ *    solver's EWMA cannot meet, is served by the next-cheaper
+ *    solver on the ladder. Degraded payloads are computed and
+ *    cached under the DEGRADED spec's hash — never under the
+ *    original hash, which must stay bitwise-reserved for the exact
+ *    answer — and the response carries {from, to, reason}.
+ *  - Circuit breakers (breaker.hh): the disk result cache wraps its
+ *    read path in a breaker, so persistent I/O faults collapse to
+ *    memory-only serving instead of a per-request disk penalty.
  */
 
 #ifndef GPM_SERVICE_SERVICE_HH
@@ -63,6 +79,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "service/admission.hh"
 #include "service/disk_cache.hh"
 #include "service/scenario.hh"
 #include "util/cancel.hh"
@@ -88,6 +105,13 @@ struct ServiceOptions
     std::string cacheDir;
     /** Disk-tier LRU byte budget (0 = unbounded). */
     std::uint64_t cacheDiskBytes = 64ull << 20;
+    /** Adaptive admission control tuning (see admission.hh). */
+    AdmissionOptions admission;
+    /** Substitute cheaper ladder solvers under overload / doomed
+     *  deadlines (see degrade.hh). Off = exact answers or nothing. */
+    bool degradeLadder = true;
+    /** Disk result-cache read-path circuit breaker tuning. */
+    BreakerOptions resultBreaker;
 };
 
 /** A stats() snapshot (all counters since construction). */
@@ -113,6 +137,14 @@ struct ServiceStats
     std::uint64_t profileBuildMs = 0;  ///< cumulative sim time [ms]
     std::uint64_t profileReady = 0;    ///< profiles ready to serve
     std::uint64_t profileQuarantined = 0; ///< corrupt store entries
+    std::uint64_t shedOverload = 0; ///< shed by admission control
+    std::uint64_t degradedRequests = 0; ///< served a rung down
+    std::uint64_t diskBreakerRefusals = 0; ///< ops skipped while open
+    std::uint64_t diskBreakerOpens = 0; ///< disk breaker open events
+    std::uint64_t profileBreakerRefusals = 0;
+    std::uint64_t profileBreakerOpens = 0;
+    const char *diskBreakerState = "closed";
+    const char *profileBreakerState = "closed";
     std::size_t workersAlive = 0;  ///< workers currently running
     std::size_t queueDepth = 0;    ///< requests waiting right now
     std::size_t inFlight = 0;      ///< requests being computed
@@ -132,7 +164,8 @@ class ScenarioService
     {
         bool ok = false;
         /** "invalid" | "busy" | "draining" | "parse" |
-         *  "deadline_exceeded" | "internal_error" when !ok. */
+         *  "deadline_exceeded" | "rejected_overload" |
+         *  "internal_error" when !ok. */
         std::string errorCode;
         std::string errorMessage;
         /** Canonical result payload (see serializeResults). */
@@ -141,7 +174,20 @@ class ScenarioService
         /** The hit was served from the disk tier (implies
          *  cacheHit). */
         bool diskHit = false;
+        /** The hash of the SUBMITTED spec — the client's matching
+         *  key — even when the payload was served degraded (the
+         *  degraded payload is cached under its own spec's hash,
+         *  never under this one). */
         std::uint64_t hash = 0;
+        /** Non-empty when the ladder substituted a cheaper solver:
+         *  the requested policy, the one that served, and why
+         *  ("overload" | "deadline"). */
+        std::string degradedFrom;
+        std::string degradedTo;
+        std::string degradedReason;
+        /** Backoff floor hint on "busy"/"rejected_overload" [ms];
+         *  0 = none. */
+        double retryAfterMs = 0.0;
     };
 
     /** Completion callback: invoked exactly once per scenario,
@@ -154,11 +200,14 @@ class ScenarioService
     struct BatchOutcome
     {
         bool admitted = false;
-        /** "invalid" | "busy" | "draining" when !admitted. */
+        /** "invalid" | "busy" | "rejected_overload" | "draining"
+         *  when !admitted. */
         std::string errorCode;
         std::string errorMessage;
         /** Offending scenario for "invalid". */
         std::size_t errorIndex = 0;
+        /** Backoff floor hint on "busy"/"rejected_overload" [ms]. */
+        double retryAfterMs = 0.0;
     };
 
     ScenarioService(ProfileLibrary &lib, const DvfsTable &dvfs,
@@ -173,9 +222,12 @@ class ScenarioService
     /**
      * Validate, then serve @p spec: from cache when possible,
      * otherwise through the queue (blocking until computed) unless
-     * the high-water mark rejects it.
+     * the high-water mark or admission control rejects it.
+     * @p clientId attributes the request for per-client fairness;
+     * 0 (in-process callers) is exempt.
      */
-    Response submit(const ScenarioSpec &spec);
+    Response submit(const ScenarioSpec &spec,
+                    std::uint64_t clientId = 0);
 
     /**
      * submit() without blocking: @p done fires exactly once with
@@ -185,20 +237,23 @@ class ScenarioService
      * invoke from either context and must not call back into
      * drain().
      */
-    void submitAsync(const ScenarioSpec &spec, Callback done);
+    void submitAsync(const ScenarioSpec &spec, Callback done,
+                     std::uint64_t clientId = 0);
 
     /**
      * Admit @p specs as one unit. Every spec is validated before
      * anything runs; on any validation failure, a full queue
-     * (queueDepth + misses would exceed queueCapacity) or a
-     * draining service, the whole batch is rejected and no
-     * callback fires. Once admitted, @p done fires exactly once
-     * per scenario with its index — cache hits synchronously, in
-     * order; misses from worker threads in completion order.
+     * (queueDepth + misses would exceed queueCapacity), a client
+     * over its fairness share, or a draining service, the whole
+     * batch is rejected and no callback fires. Once admitted,
+     * @p done fires exactly once per scenario with its index —
+     * cache hits synchronously, in order; misses from worker
+     * threads in completion order.
      */
     BatchOutcome
     submitBatch(const std::vector<ScenarioSpec> &specs,
-                std::function<void(std::size_t, Response &&)> done);
+                std::function<void(std::size_t, Response &&)> done,
+                std::uint64_t clientId = 0);
 
     /** parse + parseScenario + submit, mapping JSON errors to the
      *  "parse" code and schema errors to "invalid". */
@@ -215,20 +270,37 @@ class ScenarioService
 
     const ServiceOptions &options() const { return opts; }
 
+    /** The admission controller (tests prime its EWMAs). */
+    AdmissionController &admissionController()
+    {
+        return *admission;
+    }
+
   private:
     struct Job;
 
     ExperimentRunner &runnerFor(const ScenarioSpec &spec);
     Response execute(Job &job);
     /** Cluster-scenario half of execute(): ClusterManager runs, one
-     *  per budget fraction. Chip-sim failures come back as
-     *  structured "internal_error" responses — the worker survives
-     *  (workerCrashes stays untouched). */
-    Response executeCluster(Job &job);
+     *  per budget fraction over @p spec (the possibly-degraded
+     *  spec; @p payloadHash is its cache key, @p r carries the hash
+     *  and degradation fields already filled in). Chip-sim failures
+     *  come back as structured "internal_error" responses — the
+     *  worker survives (workerCrashes stays untouched). */
+    Response executeCluster(Job &job, const ScenarioSpec &spec,
+                            std::uint64_t payloadHash, Response r);
+    /** The degradation-ladder decision for @p job: the spec to
+     *  actually run (== job.spec when not degrading) and why. */
+    ScenarioSpec degradeDecision(const Job &job,
+                                 std::string &reason) const;
+    /** The EWMA key of the cheapest solver @p spec could degrade
+     *  to (its own key when the ladder does not apply). */
+    std::string floorKeyFor(const ScenarioSpec &spec) const;
     void workerLoop(std::size_t slot);
     void supervisorLoop();
     std::unique_ptr<Job> makeJob(const ScenarioSpec &spec,
-                                 std::uint64_t hash, Callback done);
+                                 std::uint64_t hash, Callback done,
+                                 std::uint64_t clientId);
     /** Two-tier lookup: memory, then disk (promoting the hit).
      *  Counts nothing — callers own the stats. */
     bool cacheGet(std::uint64_t hash, std::string &payload,
@@ -275,6 +347,11 @@ class ScenarioService
      *  locked; never touched while holding cacheMtx. */
     std::unique_ptr<DiskCache> disk;
 
+    /** Adaptive admission control (always constructed; a disabled
+     *  one admits everything). Internally locked; called under
+     *  queueMtx — it never calls back out. */
+    std::unique_ptr<AdmissionController> admission;
+
     std::atomic<std::uint64_t> served{0};
     std::atomic<std::uint64_t> cacheHits{0};
     std::atomic<std::uint64_t> cacheMisses{0};
@@ -288,6 +365,7 @@ class ScenarioService
     std::atomic<std::uint64_t> clusterRequests{0};
     std::atomic<std::uint64_t> clusterEpochs{0};
     std::atomic<std::uint64_t> chipSims{0};
+    std::atomic<std::uint64_t> degradedCount{0};
     std::atomic<std::size_t> aliveWorkers{0};
     std::atomic<std::size_t> inFlight{0};
 };

@@ -452,9 +452,10 @@ ProfileLibrary::publishLocked(Slot &s, WorkloadProfile &&p,
 }
 
 void
-ProfileLibrary::attachStore(const std::string &dir)
+ProfileLibrary::attachStore(const std::string &dir,
+                            BreakerOptions breakerOpts)
 {
-    store = std::make_unique<ProfileStore>(dir);
+    store = std::make_unique<ProfileStore>(dir, breakerOpts);
 }
 
 const WorkloadProfile &
@@ -741,6 +742,9 @@ ProfileLibrary::stats() const
         ProfileStoreStats ss = store->stats();
         s.storeQuarantined = ss.quarantined;
         s.storeWriteFailures = ss.writeFailures;
+        s.storeBreakerRefusals = ss.breakerRefusals;
+        s.storeBreakerOpens = ss.breakerOpens;
+        s.storeBreakerState = ss.breakerState;
     }
     return s;
 }

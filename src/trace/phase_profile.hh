@@ -29,6 +29,7 @@
 
 #include "power/dvfs.hh"
 #include "uarch/core_config.hh"
+#include "util/breaker.hh"
 #include "util/units.hh"
 
 namespace gpm
@@ -207,6 +208,12 @@ struct ProfileLibraryStats
     std::uint64_t storeQuarantined = 0;
     /** Store writes that failed (entry rebuilt next cold start). */
     std::uint64_t storeWriteFailures = 0;
+    /** Store loads/saves refused by its open circuit breaker. */
+    std::uint64_t storeBreakerRefusals = 0;
+    /** Store breaker transitions to open since attach. */
+    std::uint64_t storeBreakerOpens = 0;
+    /** "closed" | "open" | "half-open" ("closed" with no store). */
+    const char *storeBreakerState = "closed";
 };
 
 /**
@@ -254,9 +261,12 @@ class ProfileLibrary
      * Attach the content-addressed profile store rooted at @p dir
      * (created if missing): get() and buildSuite() then probe it
      * before building and write through to it after. Attach before
-     * serving traffic.
+     * serving traffic. @p breakerOpts tunes the store's read-path
+     * circuit breaker (persistent I/O faults degrade the library to
+     * build-from-trace instead of stalling on a sick disk).
      */
-    void attachStore(const std::string &dir);
+    void attachStore(const std::string &dir,
+                     BreakerOptions breakerOpts = BreakerOptions{});
 
     /**
      * Ensure every suite profile is Ready: probe the attached store

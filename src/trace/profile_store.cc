@@ -95,7 +95,9 @@ parseProfile(const std::string &in, WorkloadProfile &out)
 
 } // namespace
 
-ProfileStore::ProfileStore(std::string dir_) : dir(std::move(dir_))
+ProfileStore::ProfileStore(std::string dir_,
+                           BreakerOptions breakerOpts)
+    : dir(std::move(dir_)), breaker(breakerOpts)
 {
     if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
         warn("profile store: cannot create %s: %s", dir.c_str(),
@@ -140,9 +142,28 @@ bool
 ProfileStore::load(const std::string &name, std::uint64_t fp,
                    WorkloadProfile &out)
 {
+    // Breaker open: skip the sick disk entirely — the caller
+    // rebuilds the profile from the trace model instead.
+    if (!breaker.allow()) {
+        std::lock_guard<std::mutex> lock(mtx);
+        counters.breakerRefusals++;
+        counters.misses++;
+        return false;
+    }
+    // A stalled read is the failure mode breakers exist for: pay
+    // the injected delay once, count it against the window.
+    if (fault::armed() &&
+        fault::maybeDelay(fault::Point::ProfileReadStall)) {
+        breaker.recordFailure();
+        std::lock_guard<std::mutex> lock(mtx);
+        counters.misses++;
+        return false;
+    }
     std::string path = pathFor(name, fp);
     std::string raw;
     if (!binio::readWholeFile(path, raw)) {
+        // A plain absence is a healthy answer, not an I/O fault.
+        breaker.recordSuccess();
         std::lock_guard<std::mutex> lock(mtx);
         counters.misses++;
         return false;
@@ -160,12 +181,14 @@ ProfileStore::load(const std::string &name, std::uint64_t fp,
     if (!corrupt)
         corrupt = !parseProfile(payload, p) || p.name != name;
     if (corrupt) {
+        breaker.recordFailure();
         quarantine(path);
         std::lock_guard<std::mutex> lock(mtx);
         counters.misses++;
         return false;
     }
 
+    breaker.recordSuccess();
     out = std::move(p);
     std::lock_guard<std::mutex> lock(mtx);
     counters.hits++;
@@ -176,6 +199,15 @@ bool
 ProfileStore::save(const std::string &name, std::uint64_t fp,
                    const WorkloadProfile &p)
 {
+    // Writing to a disk the breaker holds open would stall the
+    // builder the same way reads did; the profile simply stays
+    // memory-resident (rebuilt next cold start, like any failed
+    // save). Half-open is fine: the probe is a read.
+    if (breaker.state() == CircuitBreaker::State::Open) {
+        std::lock_guard<std::mutex> lock(mtx);
+        counters.breakerRefusals++;
+        return false;
+    }
     if (fault::armed() &&
         fault::fire(fault::Point::ProfileWriteFail)) {
         std::lock_guard<std::mutex> lock(mtx);
@@ -197,7 +229,10 @@ ProfileStoreStats
 ProfileStore::stats() const
 {
     std::lock_guard<std::mutex> lock(mtx);
-    return counters;
+    ProfileStoreStats s = counters;
+    s.breakerOpens = breaker.opens();
+    s.breakerState = breaker.stateName();
+    return s;
 }
 
 } // namespace gpm

@@ -15,8 +15,16 @@
  * a crash mid-save never leaves a truncated entry; corrupt or
  * truncated entries found on read are quarantined aside as
  * `.corrupt` and rebuilt. The `profile-read-corrupt` /
- * `profile-write-fail` fault points inject both failure modes for
- * chaos tests.
+ * `profile-write-fail` / `profile-read-stall` fault points inject
+ * the failure modes for chaos tests.
+ *
+ * Failure-domain circuit breaker (see util/breaker.hh): read
+ * outcomes feed a breaker — corrupt/stalled reads are failures,
+ * verified reads and plain absences are successes. While the
+ * breaker is open every load() is an immediate miss (the library
+ * rebuilds from the trace model instead of touching the sick disk)
+ * and every save() is skipped; after the cooldown a single read
+ * probes the store and a healthy result closes it again.
  */
 
 #ifndef GPM_TRACE_PROFILE_STORE_HH
@@ -27,6 +35,7 @@
 #include <string>
 
 #include "trace/phase_profile.hh"
+#include "util/breaker.hh"
 
 namespace gpm
 {
@@ -38,13 +47,21 @@ struct ProfileStoreStats
     std::uint64_t misses = 0;
     std::uint64_t quarantined = 0;
     std::uint64_t writeFailures = 0;
+    /** Loads/saves refused by the open breaker. */
+    std::uint64_t breakerRefusals = 0;
+    /** Breaker transitions to open since construction. */
+    std::uint64_t breakerOpens = 0;
+    /** "closed" | "open" | "half-open". */
+    const char *breakerState = "closed";
 };
 
 class ProfileStore
 {
   public:
     /** Binds to (and creates if missing) directory @p dir. */
-    explicit ProfileStore(std::string dir);
+    explicit ProfileStore(std::string dir,
+                          BreakerOptions breakerOpts =
+                              BreakerOptions{});
 
     /**
      * Load the profile for (@p name, @p fp) into @p out.
@@ -74,12 +91,16 @@ class ProfileStore
 
     ProfileStoreStats stats() const;
 
+    /** The read-path breaker (chaos tests poke its state). */
+    const CircuitBreaker &readBreaker() const { return breaker; }
+
   private:
     void quarantine(const std::string &path);
 
     std::string dir;
     mutable std::mutex mtx; ///< guards the counters only
     ProfileStoreStats counters;
+    CircuitBreaker breaker;
 };
 
 } // namespace gpm

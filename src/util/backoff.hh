@@ -13,6 +13,7 @@
 #define GPM_UTIL_BACKOFF_HH
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "util/rng.hh"
@@ -37,15 +38,18 @@ class BackoffSchedule
     /**
      * Delay before the next attempt [ms]:
      * min(cap, base * 2^n) * U[0.5, 1), where n counts calls made
-     * so far.
+     * so far. The exponent is clamped at 62 — by then base * 2^n
+     * dwarfs any sane cap, and an unclamped doubling of a huge cap
+     * would run the un-jittered delay into infinity at absurd
+     * attempt counts (a long-lived client retrying for days).
      */
     double
     nextMs()
     {
-        double raw = baseMs;
-        for (std::size_t i = 0; i < attempt && raw < capMs; i++)
-            raw *= 2.0;
+        int n = static_cast<int>(
+            std::min<std::size_t>(attempt, 62));
         attempt++;
+        double raw = std::ldexp(baseMs, n);
         return std::min(raw, capMs) * rng.uniform(0.5, 1.0);
     }
 

@@ -48,7 +48,8 @@ constexpr const char *kNames[kPoints] = {
     "worker-throw",      "worker-stall", "response-delay",
     "disk-read-corrupt", "disk-write-fail",
     "profile-read-corrupt", "profile-write-fail",
-    "chip-sim-throw",
+    "chip-sim-throw",     "disk-read-stall",
+    "profile-read-stall", "clock-skew",
 };
 
 void
@@ -201,6 +202,18 @@ maybeDelay(Point p)
     if (ms > 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     return true;
+}
+
+int
+configuredDelayMs(Point p)
+{
+    if (!armed())
+        return 0;
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    const PointConfig &cfg =
+        s.points[static_cast<std::size_t>(p)];
+    return cfg.on ? cfg.delayMs : 0;
 }
 
 std::uint64_t

@@ -38,6 +38,17 @@
  *                   (exercises the ClusterManager's containment: the
  *                   error surfaces as a structured per-chip failure,
  *                   not a worker crash)
+ *   disk-read-stall    stall a disk-cache read for delay-ms and
+ *                   treat it as an I/O failure (a sick disk: the
+ *                   read-path circuit breaker must open and serve
+ *                   memory-only)
+ *   profile-read-stall stall a profile-store read for delay-ms and
+ *                   treat it as an I/O failure (same, for the
+ *                   profile store's breaker)
+ *   clock-skew      jump a circuit breaker's internal clock forward
+ *                   by delay-ms per fire (breaker cooldowns must
+ *                   stay correct under time jumps — never crash or
+ *                   wedge)
  *
  * Spec grammar (comma-separated, whitespace-free):
  *
@@ -81,6 +92,9 @@ enum class Point : std::size_t
     ProfileReadCorrupt,
     ProfileWriteFail,
     ChipSimThrow,
+    DiskReadStall,
+    ProfileReadStall,
+    ClockSkew,
     kCount
 };
 
@@ -119,6 +133,11 @@ bool fire(Point p);
 /** fire(p) and, when it fires, sleep the point's configured
  *  delay-ms. Returns whether it fired. */
 bool maybeDelay(Point p);
+
+/** The delay-ms configured for @p p (0 when disarmed or no delay
+ *  was given). For fault points that consume the delay as a value
+ *  instead of sleeping it — e.g. clock-skew's jump size. */
+int configuredDelayMs(Point p);
 
 /** Times @p p has fired since the last arm()/disarm(). */
 std::uint64_t fires(Point p);
