@@ -16,7 +16,12 @@
 # cancel the sweep mid-computation), an overload smoke (a 1-worker
 # daemon under a pipelined burst must shed with structured
 # rejected_overload + retryAfterMs, serve at least one request a
-# ladder rung down, and drain cleanly), then a ThreadSanitizer build
+# ladder rung down, and drain cleanly), a metrics smoke (raw-TCP
+# GETs against --metrics-port: /healthz answers ok, /metrics is
+# Prometheus text carrying the service counters — no curl
+# dependency), a throughput smoke (the serving-path bench at small
+# scale under a raised fd limit: every transport phase must finish
+# with zero request errors), then a ThreadSanitizer build
 # running the concurrency-sensitive tests (thread pool + sweep
 # determinism) and the same smokes under TSan. The TSan stage can be
 # skipped with GPM_SKIP_TSAN=1 (e.g. on toolchains without libtsan).
@@ -50,6 +55,34 @@ wait_gpmd_port() {
     echo "gpmd never listened:" >&2
     cat "$log" >&2
     return 1
+}
+
+# Echo the HTTP metrics port once the daemon ($1 = pid, $2 = log)
+# prints "gpmd: metrics on HOST:PORT".
+wait_gpmd_metrics_port() {
+    local pid=$1 log=$2 port="" i
+    for i in $(seq 1 600); do
+        port=$(sed -n 's/^gpmd: metrics on .*:\([0-9]*\)$/\1/p' \
+            "$log")
+        [ -n "$port" ] && { echo "$port"; return 0; }
+        kill -0 "$pid" 2>/dev/null ||
+            { echo "gpmd exited early:" >&2; cat "$log" >&2
+              return 1; }
+        sleep 0.5
+    done
+    echo "gpmd never exposed metrics:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# Raw-TCP HTTP/1.0 GET ($1 = port, $2 = path) over /dev/tcp — the
+# metrics surface must be scrapeable without curl on the box.
+http_get() {
+    local port=$1 path=$2
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&3
+    timeout 30 cat <&3
+    exec 3<&- 3>&-
 }
 
 # Graceful shutdown ($1 = pid, $2 = log): SIGTERM must drain and
@@ -329,8 +362,10 @@ gpmd_deadline() {
 # Drive one gpmd build through the chaos smoke: a daemon with armed
 # fault points must degrade gracefully, never die. worker-throw
 # crashes real workers (the supervisor respawns them), conn-stall
-# slows every request; gpmctl's seeded backoff retries must converge
-# inside its deadline anyway.
+# slows every request, read-drop silently swallows a fraction of
+# request lines inside the reactor; gpmctl's seeded backoff retries
+# (with a per-attempt timeout so dropped requests do not hang an
+# attempt forever) must converge inside its deadline anyway.
 gpmd_chaos() {
     local bdir=$1
     local gpmd="$bdir/src/service/gpmd"
@@ -338,7 +373,7 @@ gpmd_chaos() {
     local log
     log=$(mktemp)
 
-    GPMD_FAULT="worker-throw:0.8,conn-stall:1:20,seed:5" \
+    GPMD_FAULT="worker-throw:0.8,conn-stall:1:20,read-drop:0.3,seed:5" \
         "$gpmd" --port 0 --scale "$SMOKE_SCALE" \
         --profile-cache "$SMOKE_CACHE" >"$log" 2>&1 &
     local pid=$!
@@ -349,24 +384,32 @@ gpmd_chaos() {
     grep -q 'FAULT INJECTION ARMED' "$log" ||
         { echo "faults not armed:"; cat "$log"; return 1; }
 
-    # Pings survive the stalled-connection fault.
-    "$gpmctl" --port "$port" ping | grep -q '"pong":true' ||
+    # Pings survive the stalled-connection and dropped-read faults.
+    "$gpmctl" --port "$port" --retries 10 --retry-base-ms 20 \
+        --timeout-ms 3000 --seed 6 ping |
+        grep -q '"pong":true' ||
         { echo "ping did not survive conn-stall"; return 1; }
 
-    # Submits crash workers with probability 0.8, yet a retrying
-    # client converges well inside its deadline — and the payload it
-    # finally gets is the real sweep result.
-    "$gpmctl" --port "$port" --retries 30 --retry-base-ms 20 \
-        --deadline 60000 --seed 7 submit \
-        --combo mcf --policy MaxBIPS --budget 0.8 |
-        grep -q '"ok":true' ||
-        { echo "retrying submit did not converge"; return 1; }
+    # Submits crash workers with probability 0.8 and lose their
+    # request line with probability 0.3, yet a retrying client
+    # converges well inside its deadline — and the payload it
+    # finally gets is the real sweep result. Three distinct
+    # scenarios (cache misses all) so the worker-throw fault gets
+    # enough rolls that at least one crash is near-certain.
+    local budget
+    for budget in 0.8 0.7 0.75; do
+        "$gpmctl" --port "$port" --retries 30 --retry-base-ms 20 \
+            --timeout-ms 5000 --deadline 60000 --seed 7 submit \
+            --combo mcf --policy MaxBIPS --budget "$budget" |
+            grep -q '"ok":true' ||
+            { echo "retrying submit did not converge"; return 1; }
+    done
 
     # The daemon contained every crash: workers restored, crashes
     # counted, and it still serves.
     local stats
-    stats=$("$gpmctl" --port "$port" --retries 5 \
-        --retry-base-ms 20 --seed 8 stats)
+    stats=$("$gpmctl" --port "$port" --retries 10 \
+        --retry-base-ms 20 --timeout-ms 3000 --seed 8 stats)
     echo "$stats" | grep -q '"faultsArmed":true' ||
         { echo "bad stats: $stats"; return 1; }
     echo "$stats" | grep -q '"workersAlive":2' ||
@@ -455,6 +498,108 @@ gpmd_overload() {
     rm -f "$log" "$resp"
 }
 
+# Metrics smoke: a daemon with --metrics-port 0 must answer raw-TCP
+# HTTP GETs — /healthz with "ok", /metrics with Prometheus text
+# (version 0.0.4) carrying the service counters, the reactor gauges
+# and the breaker states, with request traffic visible in
+# gpm_requests_total; unknown paths get 404 and the NDJSON port
+# keeps serving gpmctl on the side.
+gpmd_metrics_smoke() {
+    local bdir=$1
+    local gpmd="$bdir/src/service/gpmd"
+    local gpmctl="$bdir/src/service/gpmctl"
+    local log body
+    log=$(mktemp)
+
+    "$gpmd" --port 0 --metrics-port 0 --scale "$SMOKE_SCALE" \
+        --profile-cache "$SMOKE_CACHE" >"$log" 2>&1 &
+    local pid=$!
+    trap 'kill "$pid" 2>/dev/null || true' RETURN
+
+    local port mport
+    port=$(wait_gpmd_port "$pid" "$log") || return 1
+    mport=$(wait_gpmd_metrics_port "$pid" "$log") || return 1
+
+    body=$(http_get "$mport" /healthz)
+    echo "$body" | grep -q '^HTTP/1.0 200 ' ||
+        { echo "healthz: no 200:"; echo "$body"; return 1; }
+    echo "$body" | grep -q '^ok$' ||
+        { echo "healthz: no ok body:"; echo "$body"; return 1; }
+
+    # Generate traffic so the counters have something to say.
+    "$gpmctl" --port "$port" ping >/dev/null ||
+        { echo "metrics: ping failed"; return 1; }
+    "$gpmctl" --port "$port" submit \
+        --combo mcf --policy MaxBIPS --budget 0.8 >/dev/null ||
+        { echo "metrics: submit failed"; return 1; }
+
+    body=$(http_get "$mport" /metrics)
+    echo "$body" | grep -q '^HTTP/1.0 200 ' ||
+        { echo "metrics: no 200:"; echo "$body"; return 1; }
+    echo "$body" | grep -q 'version=0.0.4' ||
+        { echo "metrics: wrong content type:"; echo "$body"
+          return 1; }
+    local name
+    for name in gpm_served_total gpm_cache_hits_total \
+        gpm_worker_crashes_total gpm_shed_overload_total \
+        gpm_workers_alive gpm_open_connections \
+        gpm_epoll_wakeups_total gpm_bytes_in_total \
+        gpm_ring_buffer_high_water gpm_uptime_seconds; do
+        echo "$body" | grep -q "^$name " ||
+            { echo "metrics: $name missing:"; echo "$body"
+              return 1; }
+    done
+    echo "$body" |
+        grep -q '^gpm_breaker_state{breaker="disk",state="closed"} 1$' ||
+        { echo "metrics: no disk breaker state:"; echo "$body"
+          return 1; }
+    echo "$body" | grep -q '^gpm_requests_total [1-9]' ||
+        { echo "metrics: no request traffic counted:"
+          echo "$body"; return 1; }
+
+    body=$(http_get "$mport" /nonsense)
+    echo "$body" | grep -q '^HTTP/1.0 404 ' ||
+        { echo "metrics: unknown path not 404:"; echo "$body"
+          return 1; }
+
+    # The NDJSON plane is unaffected by scrapes.
+    "$gpmctl" --port "$port" ping | grep -q '"pong":true' ||
+        { echo "metrics: NDJSON plane broken after scrapes"
+          return 1; }
+
+    stop_gpmd "$pid" "$log" || return 1
+    rm -f "$log"
+}
+
+# Throughput smoke: the serving-path bench at small scale — cache
+# phases plus the transport comparison (thread-per-connection
+# baseline vs reactor, plus connection churn). The bench enforces
+# zero request errors on the transport phases itself; the speedup
+# ratio is only gated at full scale (>= 5000 connections), not
+# here. Runs in a subshell with the fd soft limit raised to the
+# hard limit — hundreds of sockets terminate in one process.
+service_throughput_smoke() {
+    local bdir=$1
+    local out
+    out=$(mktemp)
+    (
+        ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+        GPM_SCALE="$SMOKE_SCALE" \
+            GPM_PROFILE_CACHE="$SMOKE_CACHE" \
+            GPM_BENCH_JSON="$out" \
+            GPM_BENCH_CLIENTS=2 GPM_BENCH_SCENARIOS=4 \
+            GPM_BENCH_TPC_CONNS=40 GPM_BENCH_REACTOR_CONNS=200 \
+            GPM_BENCH_CONN_SCENARIOS=4 GPM_BENCH_CHURN_CONNS=100 \
+            "$bdir/bench/bench_service_throughput" >/dev/null
+    ) || { echo "bench_service_throughput failed"; return 1; }
+    [ "$(wc -l <"$out")" -eq 6 ] ||
+        { echo "expected 6 NDJSON records:"; cat "$out"; return 1; }
+    grep -q '"phase": "reactor-sustained"' "$out" ||
+        { echo "no reactor-sustained record:"; cat "$out"
+          return 1; }
+    rm -f "$out"
+}
+
 echo "== tier-1: standard build + ctest =="
 cmake -B "$BUILD" -S . -DGPM_WERROR=ON
 cmake --build "$BUILD" -j
@@ -477,6 +622,12 @@ gpmd_deadline "$BUILD"
 
 echo "== tier-1: gpmd overload smoke (shed / degrade / drain) =="
 gpmd_overload "$BUILD"
+
+echo "== tier-1: gpmd metrics smoke (/healthz + /metrics scrape) =="
+gpmd_metrics_smoke "$BUILD"
+
+echo "== tier-1: serving-path throughput smoke (reactor vs tpc) =="
+service_throughput_smoke "$BUILD"
 
 if [ "${GPM_SKIP_TSAN:-0}" = "1" ]; then
     echo "== tier-1: TSan stage skipped (GPM_SKIP_TSAN=1) =="
@@ -505,5 +656,8 @@ gpmd_deadline "$BUILD-tsan"
 
 echo "== tier-1: gpmd overload smoke under TSan =="
 gpmd_overload "$BUILD-tsan"
+
+echo "== tier-1: gpmd metrics smoke under TSan =="
+gpmd_metrics_smoke "$BUILD-tsan"
 
 echo "== tier-1: all stages passed =="

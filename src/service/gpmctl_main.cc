@@ -47,8 +47,12 @@
  * failure, transport failure/timeout, and transient "busy" /
  * "rejected_overload" / "internal_error" responses, with
  * exponential backoff and jitter, all bounded by --deadline. A
- * rejection carrying "retryAfterMs" raises the next delay to at
- * least that hint — the server knows its own drain rate.
+ * --deadline by itself funds retries past the --retries count (so
+ * a connection refused while the daemon is still starting keeps
+ * backing off until the budget runs out, instead of dying on the
+ * first attempt). A rejection carrying "retryAfterMs" raises the
+ * next delay to at least that hint — the server knows its own
+ * drain rate.
  *
  * Prints the server's one-line JSON response on stdout. Exit codes:
  * 0 = ok:true, 2 = server returned an error, 1 = usage or
@@ -406,6 +410,15 @@ main(int argc, char **argv)
         return code == "busy" || code == "rejected_overload" ||
             code == "internal_error";
     };
+    // A transient failure is retried while either budget is open:
+    // the --retries attempt count, or wall-clock left on
+    // --deadline. The deadline alone funds retries so that e.g. a
+    // connection refused during daemon startup rides the seeded
+    // backoff instead of being permanently fatal.
+    auto canRetry = [&](long attempt) {
+        return attempt < retries ||
+            (deadline_ms > 0.0 && elapsed_ms() < deadline_ms);
+    };
     /** The server's retryAfterMs hint from an "error" object
      *  (0 = none). */
     auto retryHintOf = [](const Value *err) {
@@ -505,7 +518,7 @@ main(int argc, char **argv)
                             err->find("code")->isString())
                             code = err->find("code")->asString();
                         if (!transientCode(code) ||
-                            attempt >= retries) {
+                            !canRetry(attempt)) {
                             std::printf("%s\n",
                                         batch_error.c_str());
                             return 2;
@@ -577,7 +590,7 @@ main(int argc, char **argv)
                 if (err && err->find("code") &&
                     err->find("code")->isString())
                     code = err->find("code")->asString();
-                if (!transientCode(code) || attempt >= retries) {
+                if (!transientCode(code) || !canRetry(attempt)) {
                     std::printf("%s\n", response.c_str());
                     const Value *ok = parsed.value().find("ok");
                     bool is_ok =
@@ -616,7 +629,7 @@ main(int argc, char **argv)
                 }
                 retry_floor_ms = retryHintOf(err);
                 failure = "server reported '" + code + "'";
-            } else if (attempt >= retries) {
+            } else if (!canRetry(attempt)) {
                 die(failure);
             }
 
@@ -636,11 +649,21 @@ main(int argc, char **argv)
                 if (delay > left)
                     delay = left;
             }
-            std::fprintf(stderr,
-                         "gpmctl: %s; retrying in %.0f ms "
-                         "(attempt %ld of %ld)\n",
-                         failure.c_str(), delay, attempt + 1,
-                         retries + 1);
+            if (attempt < retries)
+                std::fprintf(stderr,
+                             "gpmctl: %s; retrying in %.0f ms "
+                             "(attempt %ld of %ld)\n",
+                             failure.c_str(), delay, attempt + 1,
+                             retries + 1);
+            else
+                // Past the attempt budget, the --deadline is what
+                // funds this retry.
+                std::fprintf(stderr,
+                             "gpmctl: %s; retrying in %.0f ms "
+                             "(attempt %ld, %.0f ms of deadline "
+                             "left)\n",
+                             failure.c_str(), delay, attempt + 1,
+                             deadline_ms - elapsed_ms());
             std::this_thread::sleep_for(
                 std::chrono::duration<double, std::milli>(delay));
         }

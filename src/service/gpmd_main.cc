@@ -43,6 +43,11 @@ struct DaemonConfig
 {
     std::string host = "127.0.0.1";
     std::uint16_t port = 7421;
+    /** Non-zero: serve GET /metrics and /healthz on this port
+     *  (same reactor; 0 = no observability listener). */
+    std::uint16_t metricsPort = 0;
+    bool metricsPortSet = false;
+    int listenBacklog = 1024;
     gpm::ServiceOptions service;
     gpm::ServerOptions server;
     double scale = 1.0;
@@ -67,6 +72,15 @@ usage(const char *argv0)
         "  --host ADDR        bind address (default 127.0.0.1)\n"
         "  --port N           TCP port; 0 = ephemeral (default "
         "7421)\n"
+        "  --metrics-port N   serve GET /metrics (Prometheus "
+        "text)\n"
+        "                     and /healthz on this port; 0 = "
+        "ephemeral\n"
+        "                     (default: no metrics listener)\n"
+        "  --reactor-threads N  epoll event loops serving the\n"
+        "                     sockets (default 1)\n"
+        "  --listen-backlog N listen(2) backlog (default 1024,\n"
+        "                     clamped by net.core.somaxconn)\n"
         "  --workers N        queue worker threads (default 2)\n"
         "  --queue N          queue high-water mark (default 64)\n"
         "  --cache N          LRU result-cache entries (default "
@@ -144,6 +158,21 @@ parseArgs(int argc, char **argv)
         else if (a == "--port")
             cfg.port =
                 static_cast<std::uint16_t>(std::atoi(need(i))), i++;
+        else if (a == "--metrics-port") {
+            cfg.metricsPort =
+                static_cast<std::uint16_t>(std::atoi(need(i)));
+            cfg.metricsPortSet = true;
+            i++;
+        } else if (a == "--reactor-threads") {
+            long v = std::atol(need(i));
+            cfg.server.reactorThreads =
+                v > 0 ? static_cast<std::size_t>(v) : 1;
+            i++;
+        } else if (a == "--listen-backlog") {
+            int v = std::atoi(need(i));
+            cfg.listenBacklog = v > 0 ? v : 1024;
+            i++;
+        }
         else if (a == "--workers")
             cfg.service.workers =
                 static_cast<std::size_t>(std::atol(need(i))), i++;
@@ -279,13 +308,21 @@ main(int argc, char **argv)
     }
 
     gpm::ScenarioService svc(lib, dvfs, cfg.service);
-    auto listener =
-        gpm::TcpListener::listenOn(cfg.host, cfg.port);
+    auto listener = gpm::TcpListener::listenOn(
+        cfg.host, cfg.port, cfg.listenBacklog);
     if (!listener.ok())
         gpm::fatal("gpmd: %s", listener.error().c_str());
 
     gpm::GpmServer server(svc, std::move(listener.value()),
                           cfg.server);
+    if (cfg.metricsPortSet) {
+        auto mlistener = gpm::TcpListener::listenOn(
+            cfg.host, cfg.metricsPort, 64);
+        if (!mlistener.ok())
+            gpm::fatal("gpmd: metrics listener: %s",
+                       mlistener.error().c_str());
+        server.attachMetricsListener(std::move(mlistener.value()));
+    }
     g_listen_fd = server.listenerFd();
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
@@ -293,6 +330,9 @@ main(int argc, char **argv)
 
     std::printf("gpmd: listening on %s:%u\n", cfg.host.c_str(),
                 static_cast<unsigned>(server.port()));
+    if (server.metricsPort() != 0)
+        std::printf("gpmd: metrics on %s:%u\n", cfg.host.c_str(),
+                    static_cast<unsigned>(server.metricsPort()));
     std::fflush(stdout);
 
     server.run();

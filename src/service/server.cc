@@ -1,8 +1,6 @@
 #include "service/server.hh"
 
-#include <condition_variable>
-#include <cstdio>
-
+#include "service/prom.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 
@@ -11,90 +9,37 @@ namespace gpm
 
 using json::Value;
 
-struct GpmServer::ConnState
-{
-    explicit ConnState(int fd) : stream(fd) {}
-
-    TcpStream stream;
-    /** Serializes response-line writes from the reader thread and
-     *  worker-thread completion callbacks. */
-    std::mutex writeMtx;
-    /** A write failed; the reader stops reading new requests. */
-    std::atomic<bool> broken{false};
-
-    std::mutex pendMtx;
-    std::condition_variable pendCv;
-    /** Dispatched responses not yet written. */
-    std::size_t pending = 0;
-
-    void
-    addPending(std::size_t n)
-    {
-        std::lock_guard<std::mutex> lock(pendMtx);
-        pending += n;
-    }
-
-    void
-    decPending(std::size_t n = 1)
-    {
-        {
-            std::lock_guard<std::mutex> lock(pendMtx);
-            pending -= n;
-        }
-        pendCv.notify_all();
-    }
-
-    std::size_t
-    pendingCount()
-    {
-        std::lock_guard<std::mutex> lock(pendMtx);
-        return pending;
-    }
-
-    /** Block until every dispatched response has been written (or
-     *  abandoned via decPending). */
-    void
-    waitIdle()
-    {
-        std::unique_lock<std::mutex> lock(pendMtx);
-        pendCv.wait(lock, [&] { return pending == 0; });
-    }
-};
-
 GpmServer::GpmServer(ScenarioService &svc_, TcpListener listener_,
                      ServerOptions opts_)
     : svc(svc_), listener(std::move(listener_)), opts(opts_)
 {
+    ReactorOptions ropts;
+    ropts.threads = opts.reactorThreads;
+    ropts.idleTimeoutMs = opts.idleTimeoutMs;
+    ropts.writeTimeoutMs = opts.writeTimeoutMs;
+    ropts.maxLineBytes = opts.maxLineBytes;
+    // Convert to the private base here, in member context, where
+    // the conversion is accessible.
+    ReactorHandler &handler = *this;
+    pool = std::make_unique<ReactorPool>(handler, ropts);
+    pool->serveListener(listener.fd());
 }
 
 GpmServer::~GpmServer() { stopAndDrain(); }
 
 void
+GpmServer::attachMetricsListener(TcpListener l)
+{
+    metricsListener = std::move(l);
+    pool->serveHttpListener(metricsListener.fd());
+}
+
+void
 GpmServer::run()
 {
-    for (;;) {
-        int cfd = listener.acceptFd();
-        if (cfd < 0)
-            return;
-        if (fault::armed())
-            fault::maybeDelay(fault::Point::AcceptDelay);
-        std::lock_guard<std::mutex> lock(connMtx);
-        if (stopping) {
-            auto doomed = std::make_shared<ConnState>(cfd);
-            doomed->stream.shutdownBoth();
-            return;
-        }
-        connections++;
-        std::size_t slot = conns.size();
-        // Fairness identity: the 1-based accept ordinal. Never 0 —
-        // 0 is the exempt in-process caller.
-        std::uint64_t clientId = connections.load();
-        auto conn = std::make_shared<ConnState>(cfd);
-        conns.push_back(conn);
-        connBusy.push_back(0);
-        connThreads.emplace_back(&GpmServer::serveConn, this,
-                                 std::move(conn), slot, clientId);
-    }
+    pool->start();
+    std::unique_lock<std::mutex> lock(stopMtx);
+    stopCv.wait(lock, [&] { return acceptClosed; });
 }
 
 void
@@ -104,34 +49,32 @@ GpmServer::requestStop()
 }
 
 void
+GpmServer::onAcceptDone()
+{
+    std::lock_guard<std::mutex> lock(stopMtx);
+    acceptClosed = true;
+    stopCv.notify_all();
+}
+
+void
 GpmServer::stopAndDrain()
 {
     requestStop();
     {
-        std::lock_guard<std::mutex> lock(connMtx);
+        std::lock_guard<std::mutex> lock(stopMtx);
         if (drained)
             return;
         drained = true;
     }
     // Finish dispatched scenario work first: every pending response
-    // is computed and written (the workers invoke the connections'
+    // is computed and enqueued (the workers invoke the connections'
     // completion callbacks) before any socket goes away.
     svc.drain();
-    {
-        std::lock_guard<std::mutex> lock(connMtx);
-        stopping = true;
-        // Only idle connections (blocked in readLine) are shut down
-        // here; one mid-request finishes its inline handling, sees
-        // `stopping`, and exits on its own — a drain never cuts off
-        // a response whose work was already done.
-        for (std::size_t i = 0; i < conns.size(); i++)
-            if (conns[i] && !connBusy[i])
-                conns[i]->stream.shutdownBoth();
-    }
-    for (auto &t : connThreads)
-        if (t.joinable())
-            t.join();
+    // Then flush what is queued, close every connection and join
+    // the reactor threads.
+    pool->shutdownAndJoin();
     listener.close();
+    metricsListener.close();
 }
 
 namespace
@@ -236,125 +179,100 @@ batchResponse(const Value &id, std::size_t index,
     return out;
 }
 
+/** Frame one complete HTTP/1.0 response. */
+std::string
+httpResponse(int code, const char *status, const char *ctype,
+             std::string body)
+{
+    std::string r = "HTTP/1.0 ";
+    r += std::to_string(code);
+    r += ' ';
+    r += status;
+    r += "\r\nContent-Type: ";
+    r += ctype;
+    r += "\r\nContent-Length: ";
+    r += std::to_string(body.size());
+    r += "\r\nConnection: close\r\n\r\n";
+    r += body;
+    return r;
+}
+
 } // namespace
 
 void
-GpmServer::writeLine(ConnState &conn, const std::string &line)
+GpmServer::sendLine(const std::shared_ptr<ReactorConn> &conn,
+                    std::string line)
 {
-    if (fault::armed())
-        fault::maybeDelay(fault::Point::ResponseDelay);
-    std::lock_guard<std::mutex> lock(conn.writeMtx);
-    if (!conn.stream.writeAll(line + "\n"))
-        conn.broken.store(true, std::memory_order_relaxed);
+    line.push_back('\n');
+    conn->send(std::move(line));
 }
 
-void
-GpmServer::serveConn(std::shared_ptr<ConnState> conn,
-                     std::size_t slot, std::uint64_t clientId)
+std::string
+GpmServer::onLineTooLong()
 {
-    if (opts.idleTimeoutMs > 0)
-        conn->stream.setReadTimeoutMs(opts.idleTimeoutMs);
-    if (opts.writeTimeoutMs > 0)
-        conn->stream.setWriteTimeoutMs(opts.writeTimeoutMs);
-    std::string line;
-    for (;;) {
-        TcpStream::ReadStatus st =
-            conn->stream.readLine(line, opts.maxLineBytes);
-        if (st == TcpStream::ReadStatus::Timeout) {
-            // A connection still owed responses is waiting on
-            // workers, not idling — keep reading (pipelining).
-            if (conn->pendingCount() > 0)
-                continue;
-            // Idle reap: a silent client no longer pins its thread.
-            idleReaped++;
-            break;
-        }
-        if (st == TcpStream::ReadStatus::TooLong) {
-            // Answer structurally, then close: past an overrun the
-            // stream can no longer be framed into lines.
-            lineTooLong++;
-            writeLine(*conn,
-                      errorResponse(Value(nullptr), "line_too_long",
-                                    "request line exceeds " +
-                                        std::to_string(
-                                            opts.maxLineBytes) +
-                                        " bytes"));
-            break;
-        }
-        if (st != TcpStream::ReadStatus::Line)
-            break; // EOF, error, or shutdown
-        if (fault::armed() && fault::fire(fault::Point::ReadDrop))
-            continue; // pretend the request was lost in transit
-        // Blank lines are keep-alive noise, not requests.
-        if (line.find_first_not_of(" \t") == std::string::npos)
-            continue;
-        requests++;
-        {
-            // Mark the slot mid-request so a concurrent
-            // stopAndDrain() lets the inline handling finish
-            // instead of shutting the socket down underneath it.
-            std::lock_guard<std::mutex> lock(connMtx);
-            if (stopping)
-                break;
-            connBusy[slot] = 1;
-        }
-        if (fault::armed())
-            fault::maybeDelay(fault::Point::ConnStall);
-        bool want_stop = false;
-        handleLine(conn, line, want_stop, clientId);
-        bool stop_now;
-        {
-            std::lock_guard<std::mutex> lock(connMtx);
-            connBusy[slot] = 0;
-            stop_now = stopping;
-        }
-        if (conn->broken.load(std::memory_order_relaxed) ||
-            stop_now)
-            break;
-        if (want_stop) {
-            requestStop();
-            break;
-        }
+    std::string line = errorResponse(
+        Value(nullptr), "line_too_long",
+        "request line exceeds " +
+            std::to_string(opts.maxLineBytes) + " bytes");
+    line.push_back('\n');
+    return line;
+}
+
+std::string
+GpmServer::onHttpRequest(std::string_view method,
+                         std::string_view path)
+{
+    if (method != "GET")
+        return httpResponse(405, "Method Not Allowed",
+                            "text/plain; charset=utf-8",
+                            "method not allowed\n");
+    if (path == "/healthz")
+        return httpResponse(200, "OK",
+                            "text/plain; charset=utf-8", "ok\n");
+    if (path == "/metrics") {
+        ServerCounters c;
+        c.connections = pool->stats().accepted;
+        c.requests = requests.load(std::memory_order_relaxed);
+        c.reactorThreads = opts.reactorThreads;
+        return httpResponse(
+            200, "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            renderPrometheus(svc.stats(), pool->stats(), c));
     }
-    // Every dispatched response must be written (or abandoned)
-    // before the stream can die: worker callbacks hold a reference
-    // to this ConnState and write through it.
-    conn->waitIdle();
-    // Drop the server's reference *before* the fd closes so
-    // stopAndDrain() can never shut down a kernel-recycled fd.
-    std::lock_guard<std::mutex> lock(connMtx);
-    conns[slot].reset();
+    return httpResponse(404, "Not Found",
+                        "text/plain; charset=utf-8",
+                        "not found\n");
 }
 
 void
-GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
-                      const std::string &line, bool &want_stop,
-                      std::uint64_t clientId)
+GpmServer::onLine(const std::shared_ptr<ReactorConn> &conn,
+                  std::string_view line)
 {
+    requests++;
     Value id(nullptr);
 
     auto parsed = json::parse(line);
     if (!parsed.ok()) {
-        writeLine(*conn,
-                  errorResponse(id, "parse",
-                                parsed.error().message +
-                                    " at offset " +
-                                    std::to_string(
-                                        parsed.error().offset)));
+        sendLine(conn,
+                 errorResponse(id, "parse",
+                               parsed.error().message +
+                                   " at offset " +
+                                   std::to_string(
+                                       parsed.error().offset)));
         return;
     }
     const Value &req = parsed.value();
     if (!req.isObject()) {
-        writeLine(*conn,
-                  errorResponse(id, "parse",
-                                "request must be a JSON object"));
+        sendLine(conn,
+                 errorResponse(id, "parse",
+                               "request must be a JSON object"));
         return;
     }
 
     if (const Value *rid = req.find("id")) {
         if (!rid->isScalar()) {
-            writeLine(*conn, errorResponse(id, "invalid",
-                                           "id must be a scalar"));
+            sendLine(conn, errorResponse(id, "invalid",
+                                         "id must be a scalar"));
             return;
         }
         id = *rid;
@@ -363,19 +281,19 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
         (void)val;
         if (key != "id" && key != "verb" && key != "scenario" &&
             key != "scenarios") {
-            writeLine(*conn,
-                      errorResponse(id, "invalid",
-                                    "unknown request field '" +
-                                        key + "'"));
+            sendLine(conn,
+                     errorResponse(id, "invalid",
+                                   "unknown request field '" +
+                                       key + "'"));
             return;
         }
     }
 
     const Value *verb = req.find("verb");
     if (!verb || !verb->isString()) {
-        writeLine(*conn,
-                  errorResponse(id, "invalid",
-                                "missing or non-string 'verb'"));
+        sendLine(conn,
+                 errorResponse(id, "invalid",
+                               "missing or non-string 'verb'"));
         return;
     }
     const std::string &v = verb->asString();
@@ -383,12 +301,13 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
     if (v == "ping") {
         Value result = Value::object();
         result.set("pong", true);
-        writeLine(*conn, okResponse(id, std::move(result)));
+        sendLine(conn, okResponse(id, std::move(result)));
         return;
     }
 
     if (v == "stats") {
         ServiceStats s = svc.stats();
+        ReactorStats r = pool->stats();
         Value result = Value::object();
         result.set("uptimeSec", s.uptimeSec);
         result.set("served", s.served);
@@ -429,59 +348,64 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
                    std::string(s.diskBreakerState));
         result.set("breakerStateProfile",
                    std::string(s.profileBreakerState));
-        result.set("connections", connections.load());
+        result.set("connections", r.accepted);
         result.set("requests", requests.load());
-        result.set("idleReaped", idleReaped.load());
-        result.set("lineTooLong", lineTooLong.load());
+        result.set("idleReaped", r.idleReaped);
+        result.set("lineTooLong", r.lineTooLong);
+        result.set("openConnections", r.openConnections);
+        result.set("epollWakeups", r.epollWakeups);
+        result.set("bytesIn", r.bytesIn);
+        result.set("bytesOut", r.bytesOut);
+        result.set("ringHighWater", r.ringHighWater);
+        result.set("acceptSheds", r.emfileSheds);
         result.set("faultsArmed", fault::armed());
-        writeLine(*conn, okResponse(id, std::move(result)));
+        sendLine(conn, okResponse(id, std::move(result)));
         return;
     }
 
     if (v == "submit") {
         const Value *scenario = req.find("scenario");
         if (!scenario) {
-            writeLine(*conn,
-                      errorResponse(id, "invalid",
-                                    "submit needs a 'scenario'"));
+            sendLine(conn,
+                     errorResponse(id, "invalid",
+                                   "submit needs a 'scenario'"));
             return;
         }
         auto spec = parseScenario(*scenario);
         if (!spec.ok()) {
-            writeLine(*conn,
-                      errorResponse(id, "invalid", spec.error()));
+            sendLine(conn,
+                     errorResponse(id, "invalid", spec.error()));
             return;
         }
         // Dispatch and return to reading: the response line is
-        // written whenever the service completes it (immediately
+        // enqueued whenever the service completes it (immediately
         // for cache hits and rejections).
         conn->addPending(1);
-        GpmServer *self = this;
         svc.submitAsync(
             spec.value(),
-            [self, conn, id](ScenarioService::Response &&r) {
-                self->writeLine(*conn, submitResponse(id, r));
+            [conn, id](ScenarioService::Response &&r) {
+                sendLine(conn, submitResponse(id, r));
                 conn->decPending();
             },
-            clientId);
+            conn->clientId());
         return;
     }
 
     if (v == "submit_batch") {
         const Value *scenarios = req.find("scenarios");
         if (!scenarios || !scenarios->isArray()) {
-            writeLine(*conn,
-                      errorResponse(
-                          id, "invalid",
-                          "submit_batch needs a 'scenarios' array"));
+            sendLine(conn,
+                     errorResponse(
+                         id, "invalid",
+                         "submit_batch needs a 'scenarios' array"));
             return;
         }
         const Value::Array &arr = scenarios->asArray();
         if (arr.empty()) {
-            writeLine(*conn,
-                      errorResponse(id, "invalid",
-                                    "'scenarios' must not be "
-                                    "empty"));
+            sendLine(conn,
+                     errorResponse(id, "invalid",
+                                   "'scenarios' must not be "
+                                   "empty"));
             return;
         }
         std::vector<ScenarioSpec> specs;
@@ -489,11 +413,11 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
         for (std::size_t i = 0; i < arr.size(); i++) {
             auto spec = parseScenario(arr[i]);
             if (!spec.ok()) {
-                writeLine(*conn,
-                          errorResponse(id, "invalid",
-                                        "scenario " +
-                                            std::to_string(i) +
-                                            ": " + spec.error()));
+                sendLine(conn,
+                         errorResponse(id, "invalid",
+                                       "scenario " +
+                                           std::to_string(i) +
+                                           ": " + spec.error()));
                 return;
             }
             specs.push_back(std::move(spec.value()));
@@ -501,38 +425,36 @@ GpmServer::handleLine(const std::shared_ptr<ConnState> &conn,
         // Count the whole batch as pending before dispatch: hit
         // callbacks fire synchronously inside submitBatch.
         conn->addPending(specs.size());
-        GpmServer *self = this;
         auto outcome = svc.submitBatch(
             specs,
-            [self, conn, id](std::size_t index,
-                             ScenarioService::Response &&r) {
-                self->writeLine(*conn, batchResponse(id, index, r));
+            [conn, id](std::size_t index,
+                       ScenarioService::Response &&r) {
+                sendLine(conn, batchResponse(id, index, r));
                 conn->decPending();
             },
-            clientId);
+            conn->clientId());
         if (!outcome.admitted) {
             // No per-scenario callback fired or ever will: answer
             // with one batch-level error line (no "index").
             conn->decPending(specs.size());
-            writeLine(*conn,
-                      errorResponse(id, outcome.errorCode,
-                                    outcome.errorMessage,
-                                    outcome.retryAfterMs));
+            sendLine(conn,
+                     errorResponse(id, outcome.errorCode,
+                                   outcome.errorMessage,
+                                   outcome.retryAfterMs));
         }
         return;
     }
 
     if (v == "shutdown") {
-        want_stop = true;
         Value result = Value::object();
         result.set("stopping", true);
-        writeLine(*conn, okResponse(id, std::move(result)));
+        sendLine(conn, okResponse(id, std::move(result)));
+        requestStop();
         return;
     }
 
-    writeLine(*conn,
-              errorResponse(id, "invalid",
-                            "unknown verb '" + v + "'"));
+    sendLine(conn, errorResponse(id, "invalid",
+                                 "unknown verb '" + v + "'"));
 }
 
 } // namespace gpm

@@ -21,10 +21,10 @@
  *
  * Pipelining: a client may send further request lines before
  * earlier responses arrive. submit and submit_batch are dispatched
- * asynchronously — the connection's reader keeps reading while
- * workers compute — and responses are written as results complete,
- * not in request order; clients match them by "id". Each response
- * line is written atomically under a per-connection writer lock.
+ * asynchronously — the reactor keeps reading while workers compute
+ * — and responses are written as results complete, not in request
+ * order; clients match them by "id". Each response line is enqueued
+ * atomically on the connection's ordered output queue.
  *
  * submit_batch admits its scenarios all-or-nothing and answers with
  * either ONE batch-level error line (no "index") or exactly one
@@ -32,33 +32,44 @@
  * array) and "hash" (canonical scenario hash, 16 hex digits), in
  * completion order.
  *
- * Connection model: thread per connection off a blocking accept
- * loop. run() blocks until requestStop() (callable from a signal
- * handler via the listener's async-signal-safe shutdown);
- * stopAndDrain() then finishes queued scenario work, shuts down the
- * remaining connections and joins their threads — the clean
- * SIGINT/SIGTERM draining path.
+ * Connection model: an epoll reactor pool (reactor.hh; default one
+ * event loop, ServerOptions::reactorThreads for more). Request
+ * lines are framed zero-copy in per-connection scan buffers and
+ * handled on the reactor thread; responses flush via writev with
+ * EPOLLOUT-driven backpressure. run() blocks until requestStop()
+ * (callable from a signal handler via the listener's
+ * async-signal-safe shutdown); stopAndDrain() then finishes queued
+ * scenario work, flushes and closes the remaining connections and
+ * joins the reactors — the clean SIGINT/SIGTERM draining path.
+ *
+ * Observability: attachMetricsListener() adds an HTTP listener on
+ * the same reactor serving GET /metrics (Prometheus text; see
+ * prom.hh) and GET /healthz.
  *
  * Hardening (see docs/ROBUSTNESS.md): a connection idle past
  * ServerOptions::idleTimeoutMs with no responses outstanding is
  * reaped (a connection still owed responses is working, not idle);
  * a request line longer than maxLineBytes is answered with a
  * structured "line_too_long" error before the connection closes
- * (framing is unrecoverable past an overrun).
+ * (framing is unrecoverable past an overrun); a connection whose
+ * queued responses make no write progress for writeTimeoutMs is
+ * dropped; transient EMFILE/ENFILE sheds the incoming connection
+ * via a reserved spare fd instead of killing the accept loop.
  */
 
 #ifndef GPM_SERVICE_SERVER_HH
 #define GPM_SERVICE_SERVER_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
+#include <string_view>
 
 #include "service/net.hh"
+#include "service/reactor.hh"
 #include "service/service.hh"
 
 namespace gpm
@@ -70,22 +81,24 @@ struct ServerOptions
     /** Reap a connection with no received bytes *and* no pending
      *  responses for this long; 0 = never. */
     int idleTimeoutMs = 0;
-    /** Bound each wait for a response write to make progress;
-     *  0 = block forever. */
+    /** Close a connection whose queued responses make no write
+     *  progress for this long; 0 = wait forever. */
     int writeTimeoutMs = 0;
     /** Longest accepted request line; longer ones are answered
      *  with "line_too_long" and the connection is closed. */
     std::size_t maxLineBytes = 1 << 20;
+    /** Reactor event loops serving the sockets. */
+    std::size_t reactorThreads = 1;
 };
 
-class GpmServer
+class GpmServer : private ReactorHandler
 {
   public:
     GpmServer(ScenarioService &svc, TcpListener listener,
               ServerOptions opts = ServerOptions{});
 
     /** stopAndDrain() if the owner did not. */
-    ~GpmServer();
+    ~GpmServer() override;
 
     GpmServer(const GpmServer &) = delete;
     GpmServer &operator=(const GpmServer &) = delete;
@@ -93,7 +106,17 @@ class GpmServer
     std::uint16_t port() const { return listener.port(); }
     int listenerFd() const { return listener.fd(); }
 
-    /** Accept loop; blocks until requestStop(). */
+    /** Serve GET /metrics and /healthz on @p l (same reactor).
+     *  Call before run(). */
+    void attachMetricsListener(TcpListener l);
+    /** The metrics listener's port; 0 when none is attached. */
+    std::uint16_t metricsPort() const
+    {
+        return metricsListener.valid() ? metricsListener.port()
+                                       : 0;
+    }
+
+    /** Serve; blocks until requestStop(). */
     void run();
 
     /** Unblock run(). Safe from signal handlers and other
@@ -101,63 +124,55 @@ class GpmServer
     void requestStop();
 
     /**
-     * Graceful teardown after run() returns: drain the service
-     * (dispatched submits complete and their responses are
-     * written), close the remaining connections, join connection
-     * threads. Idempotent.
+     * Graceful teardown: drain the service (dispatched submits
+     * complete and their responses are written), flush and close
+     * the remaining connections, join the reactors. Idempotent.
      */
     void stopAndDrain();
 
     /** Connections accepted since start. */
-    std::uint64_t connectionCount() const { return connections; }
+    std::uint64_t connectionCount() const
+    {
+        return pool->stats().accepted;
+    }
     /** Requests (lines) handled since start. */
     std::uint64_t requestCount() const { return requests; }
     /** Connections reaped for idling past idleTimeoutMs. */
-    std::uint64_t idleReapedCount() const { return idleReaped; }
+    std::uint64_t idleReapedCount() const
+    {
+        return pool->stats().idleReaped;
+    }
     /** Over-long lines answered with "line_too_long". */
-    std::uint64_t lineTooLongCount() const { return lineTooLong; }
+    std::uint64_t lineTooLongCount() const
+    {
+        return pool->stats().lineTooLong;
+    }
 
   private:
-    /**
-     * Everything a response writer needs, shared between the
-     * connection's reader thread and the worker threads completing
-     * its dispatched scenarios. The reader owns the read side; any
-     * thread may write a response line under writeMtx. `pending`
-     * counts dispatched-but-unwritten responses; the reader waits
-     * for it to hit zero before letting the stream die.
-     */
-    struct ConnState;
+    // ---- ReactorHandler ----
+    void onLine(const std::shared_ptr<ReactorConn> &conn,
+                std::string_view line) override;
+    std::string onLineTooLong() override;
+    std::string onHttpRequest(std::string_view method,
+                              std::string_view path) override;
+    void onAcceptDone() override;
 
-    void serveConn(std::shared_ptr<ConnState> conn,
-                   std::size_t slot, std::uint64_t clientId);
-    void handleLine(const std::shared_ptr<ConnState> &conn,
-                    const std::string &line, bool &want_stop,
-                    std::uint64_t clientId);
-    /** Write one response line (appends '\n') under the
-     *  connection's writer lock; a failed write marks the
-     *  connection broken. */
-    void writeLine(ConnState &conn, const std::string &line);
+    /** Enqueue one response line (appends '\n'). */
+    static void sendLine(const std::shared_ptr<ReactorConn> &conn,
+                         std::string line);
 
     ScenarioService &svc;
     TcpListener listener;
+    TcpListener metricsListener;
     ServerOptions opts;
+    std::unique_ptr<ReactorPool> pool;
 
-    std::mutex connMtx;
-    std::vector<std::thread> connThreads;
-    /** Live connection per thread slot; reset once that connection
-     *  has finished (so stopAndDrain() never touches a dead one). */
-    std::vector<std::shared_ptr<ConnState>> conns;
-    /** Per-slot "mid-request" flag: stopAndDrain() only shuts down
-     *  idle connections, so a response being handled inline is
-     *  always written before its socket goes away. */
-    std::vector<char> connBusy;
-    bool stopping = false;
+    std::mutex stopMtx;
+    std::condition_variable stopCv;
+    bool acceptClosed = false;
     bool drained = false;
 
-    std::atomic<std::uint64_t> connections{0};
     std::atomic<std::uint64_t> requests{0};
-    std::atomic<std::uint64_t> idleReaped{0};
-    std::atomic<std::uint64_t> lineTooLong{0};
 };
 
 } // namespace gpm
