@@ -9,7 +9,12 @@
  * real workload profiles — core c runs suite[c % 12] phase-shifted
  * by frac(c·φ) via ProfileCursor::seekFraction — then measures
  * solve() latency over GPM_MANYCORE_ITERS iterations (p50/p99) and
- * the BIPS gap vs a quality reference: the exact branch-and-bound
+ * the BIPS gap vs a quality reference. The bench pins itself to
+ * one CPU, runs a multi-iteration untimed warmup, and trims the
+ * slowest 2% of samples before taking p99 — scheduler migrations
+ * and first-touch faults otherwise put a 3x outlier tail on
+ * microsecond-scale solves (the old single-warmup p99 wobbled
+ * 7 -> 23 µs run to run). The quality reference is: the exact branch-and-bound
  * optimum at small N (≤ 16), the MCKP LP upper bound at larger N
  * (where exact search is unaffordable; the LP bound over-estimates
  * the true optimum, so reported gaps are conservative).
@@ -36,6 +41,8 @@
 #include <functional>
 #include <string>
 #include <vector>
+
+#include <sched.h>
 
 #include "common.hh"
 #include "core/mckp.hh"
@@ -103,6 +110,40 @@ percentile(const std::vector<double> &sorted, double p)
     std::size_t hi = std::min(lo + 1, sorted.size() - 1);
     double f = idx - static_cast<double>(lo);
     return sorted[lo] * (1.0 - f) + sorted[hi] * f;
+}
+
+/** Fraction of the slowest samples dropped before taking p99:
+ *  migration/IRQ outliers, not solver behaviour. */
+constexpr double trimFrac = 0.02;
+
+/** p99 of the ascending-sorted sample after trimming the slowest
+ *  trimFrac (at least one sample, never the whole set). */
+double
+trimmedP99(const std::vector<double> &sorted)
+{
+    std::size_t drop = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(sorted.size()) * trimFrac));
+    if (drop >= sorted.size())
+        drop = sorted.size() - 1;
+    std::vector<double> kept(sorted.begin(),
+                             sorted.end() - drop);
+    return percentile(kept, 0.99);
+}
+
+/** Pin this thread to the CPU it is on (best-effort): latency
+ *  percentiles should measure the solver, not scheduler
+ *  migrations mid-iteration. */
+void
+pinToCurrentCpu()
+{
+    int cpu = ::sched_getcpu();
+    if (cpu < 0)
+        return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    ::sched_setaffinity(0, sizeof(set), &set);
 }
 
 /**
@@ -173,6 +214,8 @@ main()
     const std::size_t iters = itersFromEnv();
     const double budget_frac = 0.75;
 
+    pinToCurrentCpu();
+
     const std::vector<PolicyUnderTest> policies = {
         {"MaxBIPS-DP",
          [](const ModeMatrix &m, Watts b) {
@@ -213,9 +256,14 @@ main()
 
         for (const auto &p : policies) {
             std::vector<double> lat_us(iters, 0.0);
-            // Untimed warmup: fault in scratch buffers and caches so
-            // the percentiles reflect steady-state decisions.
+            // Untimed warmup passes: fault in scratch buffers,
+            // caches and the branch history so the percentiles
+            // reflect steady-state decisions (one pass left the
+            // first timed iterations cold enough to dominate p99).
             std::vector<PowerMode> assign = p.solve(m, budget);
+            for (std::size_t w = 1;
+                 w < std::min<std::size_t>(iters, 16); w++)
+                assign = p.solve(m, budget);
             for (std::size_t i = 0; i < iters; i++) {
                 auto t0 = std::chrono::steady_clock::now();
                 assign = p.solve(m, budget);
@@ -226,7 +274,7 @@ main()
             }
             std::sort(lat_us.begin(), lat_us.end());
             double p50 = percentile(lat_us, 0.50);
-            double p99 = percentile(lat_us, 0.99);
+            double p99 = trimmedP99(lat_us);
             double bips = m.totalBips(assign);
             Watts power = m.totalPowerW(assign);
             if (power > budget + 1e-9)
@@ -249,12 +297,13 @@ main()
                 "\"n_cores\": %zu, \"n_modes\": %zu, "
                 "\"policy\": \"%s\", \"iters\": %zu, "
                 "\"p50_us\": %.2f, \"p99_us\": %.2f, "
+                "\"p99_trim_pct\": %g, "
                 "\"budget_frac\": %.2f, \"bips\": %.4f, "
                 "\"ref_bips\": %.4f, \"ref_kind\": \"%s\", "
                 "\"gap_pct\": %.3f, \"scale\": %g }",
                 n, dvfs.numModes(), p.name, iters, p50, p99,
-                budget_frac, bips, ref_bips, exact ? "bnb" : "lp",
-                gap * 100.0, scale);
+                trimFrac * 100.0, budget_frac, bips, ref_bips,
+                exact ? "bnb" : "lp", gap * 100.0, scale);
             bench::appendBenchLine(rec);
         }
     }

@@ -84,9 +84,14 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: gpmctl [--host H] [--port P] [retry options] "
+        "usage: gpmctl [--host H[,H2[:P2],...]] [--port P] "
+        "[retry options] "
         "<ping|stats|shutdown|submit|submit-batch> "
         "[submit options | @FILE.ndjson]\n"
+        "  --host takes a comma-separated HOST[:PORT] list; "
+        "retries rotate\n"
+        "  through the endpoints (entries without :PORT use "
+        "--port)\n"
         "retry options: [--retries N] [--retry-base-ms B] "
         "[--deadline MS]\n"
         "  [--timeout-ms T] [--seed S] [--max-inflight N]\n"
@@ -180,6 +185,18 @@ main(int argc, char **argv)
     std::string host = "127.0.0.1";
     std::uint16_t port = 7421;
     std::string command;
+
+    // Endpoint rotation (--host a,b,c): each retryable failure
+    // moves to the next endpoint, so a dead daemon or a router
+    // answering only open-breaker refusals is routed around
+    // client-side while the usual retry budget funds the attempts.
+    struct Endpoint
+    {
+        std::string host;
+        std::uint16_t port;
+    };
+    std::vector<Endpoint> endpoints;
+    std::size_t ep_idx = 0;
 
     // Scenario pieces for `submit`.
     std::string combo_arg, combo_key, policy, budget_arg,
@@ -276,6 +293,29 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+
+    // --host may be a comma-separated HOST[:PORT] list; entries
+    // without a port inherit --port (parsed here, after the arg
+    // loop, so --host and --port order does not matter).
+    for (const auto &tok : splitCommas(host)) {
+        if (tok.empty())
+            continue;
+        std::size_t colon = tok.rfind(':');
+        if (colon != std::string::npos && colon != 0 &&
+            colon + 1 < tok.size() &&
+            tok.find_first_not_of("0123456789", colon + 1) ==
+                std::string::npos) {
+            int p = std::atoi(tok.c_str() + colon + 1);
+            if (p <= 0 || p > 65535)
+                die("bad port in endpoint '" + tok + "'");
+            endpoints.push_back({tok.substr(0, colon),
+                                 static_cast<std::uint16_t>(p)});
+        } else {
+            endpoints.push_back({tok, port});
+        }
+    }
+    if (endpoints.empty())
+        die("--host named no endpoints");
 
     Value request = Value::object();
     request.set("id", "gpmctl");
@@ -448,7 +488,9 @@ main(int argc, char **argv)
             bool got_response = false;
             double retry_floor_ms = 0.0;
 
-            auto conn = gpm::TcpStream::connectTo(host, port);
+            const Endpoint &ep =
+                endpoints[ep_idx % endpoints.size()];
+            auto conn = gpm::TcpStream::connectTo(ep.host, ep.port);
             if (!conn.ok()) {
                 failure = conn.error();
             } else {
@@ -631,6 +673,18 @@ main(int argc, char **argv)
                 failure = "server reported '" + code + "'";
             } else if (!canRetry(attempt)) {
                 die(failure);
+            }
+
+            // Any retried failure — transport or a transient
+            // refusal — rotates to the next endpoint so the retry
+            // budget is spent across the fleet, not on one dead
+            // replica.
+            if (endpoints.size() > 1) {
+                ep_idx++;
+                const Endpoint &next =
+                    endpoints[ep_idx % endpoints.size()];
+                failure += "; rotating to " + next.host + ":" +
+                    std::to_string(next.port);
             }
 
             // The server's retryAfterMs hint is a floor under the

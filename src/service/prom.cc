@@ -7,12 +7,16 @@
 namespace gpm
 {
 
-namespace
-{
+#ifndef GPM_BUILD_VERSION
+#define GPM_BUILD_VERSION "unknown"
+#endif
+#ifndef GPM_BUILD_REVISION
+#define GPM_BUILD_REVISION "unknown"
+#endif
 
 void
-counter(std::string &out, const char *name, const char *help,
-        std::uint64_t v)
+promCounter(std::string &out, const char *name, const char *help,
+            std::uint64_t v)
 {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -23,8 +27,8 @@ counter(std::string &out, const char *name, const char *help,
 }
 
 void
-gauge(std::string &out, const char *name, const char *help,
-      double v)
+promGauge(std::string &out, const char *name, const char *help,
+          double v)
 {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -32,6 +36,19 @@ gauge(std::string &out, const char *name, const char *help,
                   help, name, name, v);
     out += buf;
 }
+
+void
+promBuildInfo(std::string &out)
+{
+    out += "# HELP gpm_build_info Build version and revision as "
+           "labels; value is always 1\n"
+           "# TYPE gpm_build_info gauge\n"
+           "gpm_build_info{version=\"" GPM_BUILD_VERSION
+           "\",revision=\"" GPM_BUILD_REVISION "\"} 1\n";
+}
+
+namespace
+{
 
 void
 breakerState(std::string &out, const char *breaker,
@@ -58,91 +75,93 @@ renderPrometheus(const ServiceStats &s, const ReactorStats &r,
     std::string out;
     out.reserve(8192);
 
+    promBuildInfo(out);
+
     // ---- scenario service counters ----
-    counter(out, "gpm_served_total",
+    promCounter(out,"gpm_served_total",
             "Responses served with ok payloads", s.served);
-    counter(out, "gpm_cache_hits_total",
+    promCounter(out,"gpm_cache_hits_total",
             "Cache hits (memory or disk tier)", s.cacheHits);
-    counter(out, "gpm_cache_misses_total",
+    promCounter(out,"gpm_cache_misses_total",
             "Accepted requests that had to compute",
             s.cacheMisses);
-    counter(out, "gpm_rejected_busy_total",
+    promCounter(out,"gpm_rejected_busy_total",
             "Requests rejected while the queue was full",
             s.rejectedBusy);
-    counter(out, "gpm_invalid_total",
+    promCounter(out,"gpm_invalid_total",
             "Requests that failed validation", s.invalid);
-    counter(out, "gpm_shed_deadline_total",
+    promCounter(out,"gpm_shed_deadline_total",
             "Requests shed because their deadline expired",
             s.shedDeadline);
-    counter(out, "gpm_worker_crashes_total",
+    promCounter(out,"gpm_worker_crashes_total",
             "Contained worker crashes", s.workerCrashes);
-    counter(out, "gpm_batch_requests_total",
+    promCounter(out,"gpm_batch_requests_total",
             "submit_batch requests admitted", s.batchRequests);
-    counter(out, "gpm_disk_hits_total",
+    promCounter(out,"gpm_disk_hits_total",
             "Disk-tier hits promoted to memory", s.diskHits);
-    counter(out, "gpm_disk_evictions_total",
+    promCounter(out,"gpm_disk_evictions_total",
             "Disk-tier entries LRU-evicted", s.diskEvictions);
-    counter(out, "gpm_disk_quarantined_total",
+    promCounter(out,"gpm_disk_quarantined_total",
             "Corrupt disk entries quarantined",
             s.diskQuarantined);
-    counter(out, "gpm_cancelled_mid_sweep_total",
+    promCounter(out,"gpm_cancelled_mid_sweep_total",
             "Sweeps cancelled by a mid-flight deadline",
             s.cancelledMidSweep);
-    counter(out, "gpm_cluster_requests_total",
+    promCounter(out,"gpm_cluster_requests_total",
             "Cluster scenarios computed", s.clusterRequests);
-    counter(out, "gpm_cluster_epochs_total",
+    promCounter(out,"gpm_cluster_epochs_total",
             "Facility epochs arbitrated", s.clusterEpochs);
-    counter(out, "gpm_chip_sims_total",
+    promCounter(out,"gpm_chip_sims_total",
             "Per-chip simulations run", s.chipSims);
-    counter(out, "gpm_profile_builds_total",
+    promCounter(out,"gpm_profile_builds_total",
             "Detailed-core profile suite builds",
             s.profileBuilds);
-    counter(out, "gpm_profile_disk_hits_total",
+    promCounter(out,"gpm_profile_disk_hits_total",
             "Profiles loaded from the on-disk store",
             s.profileDiskHits);
-    counter(out, "gpm_profile_build_ms_total",
+    promCounter(out,"gpm_profile_build_ms_total",
             "Cumulative profile simulation time in ms",
             s.profileBuildMs);
-    counter(out, "gpm_profile_quarantined_total",
+    promCounter(out,"gpm_profile_quarantined_total",
             "Corrupt profile-store entries quarantined",
             s.profileQuarantined);
-    counter(out, "gpm_shed_overload_total",
+    promCounter(out,"gpm_shed_overload_total",
             "Requests shed by admission control",
             s.shedOverload);
-    counter(out, "gpm_degraded_requests_total",
+    promCounter(out,"gpm_degraded_requests_total",
             "Requests served one or more rungs down",
             s.degradedRequests);
-    counter(out, "gpm_disk_breaker_refusals_total",
+    promCounter(out,"gpm_disk_breaker_refusals_total",
             "Disk ops refused while the breaker was open",
             s.diskBreakerRefusals);
-    counter(out, "gpm_disk_breaker_opens_total",
+    promCounter(out,"gpm_disk_breaker_opens_total",
             "Disk breaker open events", s.diskBreakerOpens);
-    counter(out, "gpm_profile_breaker_refusals_total",
+    promCounter(out,"gpm_profile_breaker_refusals_total",
             "Profile-store ops refused while the breaker was open",
             s.profileBreakerRefusals);
-    counter(out, "gpm_profile_breaker_opens_total",
+    promCounter(out,"gpm_profile_breaker_opens_total",
             "Profile-store breaker open events",
             s.profileBreakerOpens);
 
     // ---- scenario service gauges ----
-    gauge(out, "gpm_profile_ready",
+    promGauge(out,"gpm_profile_ready",
           "Profiles currently ready to serve",
           static_cast<double>(s.profileReady));
-    gauge(out, "gpm_workers_alive", "Worker threads running",
+    promGauge(out,"gpm_workers_alive", "Worker threads running",
           static_cast<double>(s.workersAlive));
-    gauge(out, "gpm_queue_depth", "Requests waiting right now",
+    promGauge(out,"gpm_queue_depth", "Requests waiting right now",
           static_cast<double>(s.queueDepth));
-    gauge(out, "gpm_in_flight", "Requests being computed",
+    promGauge(out,"gpm_in_flight", "Requests being computed",
           static_cast<double>(s.inFlight));
-    gauge(out, "gpm_cache_size", "Memory-tier cache entries",
+    promGauge(out,"gpm_cache_size", "Memory-tier cache entries",
           static_cast<double>(s.cacheSize));
-    gauge(out, "gpm_disk_entries", "Disk-tier cache entries",
+    promGauge(out,"gpm_disk_entries", "Disk-tier cache entries",
           static_cast<double>(s.diskEntries));
-    gauge(out, "gpm_disk_bytes", "Disk-tier tracked bytes",
+    promGauge(out,"gpm_disk_bytes", "Disk-tier tracked bytes",
           static_cast<double>(s.diskBytes));
-    gauge(out, "gpm_uptime_seconds", "Daemon uptime",
+    promGauge(out,"gpm_uptime_seconds", "Daemon uptime",
           s.uptimeSec);
-    gauge(out, "gpm_cache_hit_rate",
+    promGauge(out,"gpm_cache_hit_rate",
           "cacheHits / (cacheHits + cacheMisses)",
           s.cacheHitRate);
 
@@ -153,33 +172,33 @@ renderPrometheus(const ServiceStats &s, const ReactorStats &r,
     breakerState(out, "profile", s.profileBreakerState);
 
     // ---- server / reactor transport ----
-    counter(out, "gpm_connections_total",
+    promCounter(out,"gpm_connections_total",
             "NDJSON connections accepted", c.connections);
-    counter(out, "gpm_requests_total",
+    promCounter(out,"gpm_requests_total",
             "Request lines handled", c.requests);
-    counter(out, "gpm_idle_reaped_total",
+    promCounter(out,"gpm_idle_reaped_total",
             "Connections reaped for idling", r.idleReaped);
-    counter(out, "gpm_line_too_long_total",
+    promCounter(out,"gpm_line_too_long_total",
             "Over-long lines answered with line_too_long",
             r.lineTooLong);
-    counter(out, "gpm_epoll_wakeups_total",
+    promCounter(out,"gpm_epoll_wakeups_total",
             "epoll_wait returns across all reactors",
             r.epollWakeups);
-    counter(out, "gpm_bytes_in_total",
+    promCounter(out,"gpm_bytes_in_total",
             "Bytes received on data sockets", r.bytesIn);
-    counter(out, "gpm_bytes_out_total",
+    promCounter(out,"gpm_bytes_out_total",
             "Bytes written to data sockets", r.bytesOut);
-    counter(out, "gpm_accept_sheds_total",
+    promCounter(out,"gpm_accept_sheds_total",
             "Connections shed under EMFILE/ENFILE via the spare "
             "fd",
             r.emfileSheds);
-    gauge(out, "gpm_open_connections",
+    promGauge(out,"gpm_open_connections",
           "Sockets currently open across all reactors",
           static_cast<double>(r.openConnections));
-    gauge(out, "gpm_ring_buffer_high_water",
+    promGauge(out,"gpm_ring_buffer_high_water",
           "Largest per-connection scan-buffer fill seen",
           static_cast<double>(r.ringHighWater));
-    gauge(out, "gpm_reactor_threads", "Reactor event loops",
+    promGauge(out,"gpm_reactor_threads", "Reactor event loops",
           static_cast<double>(c.reactorThreads));
     return out;
 }
